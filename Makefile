@@ -1,0 +1,42 @@
+# dds — a laboratory for Dynamic Distributed Systems
+#
+# Standard targets for building, testing and regenerating the paper's
+# experiment tables. Everything is std-lib Go; no network access needed.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments quick-experiments fuzz fmt clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/object/... ./internal/sketch/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table in EXPERIMENTS.md (several minutes).
+experiments:
+	$(GO) run ./cmd/otqbench
+
+# CI-sized experiment pass.
+quick-experiments:
+	$(GO) run ./cmd/otqbench -quick -seeds 2
+
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeTrace -fuzztime=30s ./internal/core/
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

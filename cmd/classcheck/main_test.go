@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/churn"
+	"repro/internal/core"
+)
+
+func TestParseClass(t *testing.T) {
+	cases := []struct {
+		size, geo string
+		b, d      int
+		stable    bool
+		want      core.Class
+	}{
+		{"static", "complete", 8, 0, true,
+			core.Class{Size: core.SizeStatic, B: 8, Geo: core.GeoComplete, EventuallyStable: true}},
+		{"M^b", "diam-known", 16, 4, false,
+			core.Class{Size: core.SizeBoundedKnown, B: 16, Geo: core.GeoDiameterKnown, D: 4}},
+		{"mn", "diam-bounded", 0, 0, false,
+			core.Class{Size: core.SizeBoundedUnknown, Geo: core.GeoDiameterBounded}},
+		{"minf", "unconstrained", 0, 0, false,
+			core.Class{Size: core.SizeUnbounded, Geo: core.GeoUnconstrained}},
+	}
+	for _, c := range cases {
+		got, err := parseClass(c.size, c.b, c.geo, c.d, c.stable)
+		if err != nil {
+			t.Errorf("parseClass(%q, %q): %v", c.size, c.geo, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseClass(%q, %q) = %+v, want %+v", c.size, c.geo, got, c.want)
+		}
+	}
+}
+
+func TestParseClassErrors(t *testing.T) {
+	if _, err := parseClass("weird", 0, "complete", 0, false); err == nil {
+		t.Error("unknown size accepted")
+	}
+	if _, err := parseClass("static", 0, "weird", 0, false); err == nil {
+		t.Error("unknown geography accepted")
+	}
+}
+
+func TestGenerateOverlays(t *testing.T) {
+	for _, name := range []string{"mesh", "star", "ring", "random-k", "growing-path", "fragile"} {
+		tr := generate(name, 1, churn.Config{
+			InitialPopulation: 6, ArrivalRate: 0.1, Session: churn.ExpSessions(40),
+		}, 120)
+		if len(tr.Entities()) == 0 {
+			t.Errorf("overlay %q generated an empty trace", name)
+		}
+	}
+}

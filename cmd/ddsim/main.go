@@ -1,0 +1,139 @@
+// Command ddsim runs a single dynamic-system simulation: an overlay, a
+// churn process, a One-Time Query protocol, and prints the specification
+// checker's judgment next to the solvability oracle's prediction.
+//
+// Example:
+//
+//	ddsim -overlay ring -n 32 -arrival 0.1 -session 80 -protocol echo-wave -horizon 2000
+//	ddsim -overlay star -n 24 -protocol flood-ttl -ttl 2
+//	ddsim -overlay growing-path -n 4 -arrival 0.05 -double-every 250 -protocol expanding-ring
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/agg"
+	"repro/internal/churn"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/otq"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		overlayName = flag.String("overlay", "ring", "overlay: mesh, star, ring, random-k, growing-path, fragile")
+		k           = flag.Int("k", 3, "neighbor count for the random-k overlay")
+		n           = flag.Int("n", 32, "initial population (immortal core)")
+		arrival     = flag.Float64("arrival", 0, "Poisson arrival rate per tick (0 = no churn)")
+		session     = flag.Float64("session", 80, "mean session length of arrivals (exp-distributed)")
+		doubleEvery = flag.Int64("double-every", 0, "double the arrival rate every D ticks (M^inf runs)")
+		quiesceAt   = flag.Int64("quiesce-at", 0, "suppress churn from this tick on (eventual stability)")
+		protoName   = flag.String("protocol", "echo-wave", "protocol: flood-ttl, flood-repeat, echo-wave, tree-echo, expanding-ring, gossip-push-sum")
+		ttl         = flag.Int("ttl", 4, "TTL for flood-ttl")
+		queryAt     = flag.Int64("query-at", 100, "virtual time the query launches")
+		horizon     = flag.Int64("horizon", 2000, "virtual time the run stops")
+		seed        = flag.Uint64("seed", 1, "run seed")
+	)
+	flag.Parse()
+
+	overlay, err := overlayBuilder(*overlayName, *k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddsim:", err)
+		os.Exit(2)
+	}
+	proto, protoID, err := protocolBuilder(*protoName, *ttl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddsim:", err)
+		os.Exit(2)
+	}
+
+	cc := churn.Config{InitialPopulation: *n, Immortal: true}
+	if *arrival > 0 {
+		cc.ArrivalRate = *arrival
+		cc.Session = churn.ExpSessions(*session)
+		cc.DoubleEvery = *doubleEvery
+		cc.QuiesceAt = *quiesceAt
+	}
+	res := exp.Execute(exp.Scenario{
+		Seed:       *seed,
+		Overlay:    overlay,
+		Churn:      cc,
+		Protocol:   proto,
+		MinLatency: 1, MaxLatency: 2,
+		QueryAt: sim.Time(*queryAt),
+		Horizon: sim.Time(*horizon),
+	})
+
+	fmt.Printf("run: overlay=%s protocol=%s seed=%d horizon=%d\n", *overlayName, *protoName, *seed, *horizon)
+	fmt.Printf("querier: entity %d, query window [%d, ...]\n", res.Querier, *queryAt)
+	fmt.Printf("trace: %d events, %d entities ever, max concurrency %d\n",
+		res.Trace.Len(), len(res.Trace.Entities()), res.Trace.MaxConcurrency())
+	fmt.Printf("messages: sent %d, delivered %d, dropped %d\n",
+		res.Messages.Sent, res.Messages.Delivered, res.Messages.Dropped)
+	fmt.Printf("inferred class: %s\n", res.Inferred)
+
+	verdict, reason := core.OTQSolvability(res.Inferred)
+	fmt.Printf("oracle on the inferred class: %s (%s)\n", verdict, reason)
+	pred := core.PredictOTQ(protoID, res.Inferred)
+	fmt.Printf("oracle on %s here: terminates=%v valid=%v (%s)\n", protoID, pred.Terminates, pred.Valid, pred.Note)
+
+	fmt.Printf("\noutcome: %s\n", res.Outcome)
+	if ans := res.Run.Answer(); ans != nil {
+		fmt.Printf("answer: count=%v sum=%v min=%v max=%v mean=%v\n",
+			ans.Result(agg.Count), ans.Result(agg.Sum), ans.Result(agg.Min),
+			ans.Result(agg.Max), ans.Result(agg.Mean))
+	}
+	if res.Outcome.OK() {
+		fmt.Println("verdict: Termination and Validity both hold on this run")
+	} else {
+		fmt.Println("verdict: the One-Time Query specification was NOT met on this run")
+	}
+}
+
+func overlayBuilder(name string, k int) (func(uint64) topology.Overlay, error) {
+	switch name {
+	case "mesh":
+		return func(uint64) topology.Overlay { return topology.NewMesh() }, nil
+	case "star":
+		return func(uint64) topology.Overlay { return topology.NewStar() }, nil
+	case "ring":
+		return func(seed uint64) topology.Overlay { return topology.NewRing(seed) }, nil
+	case "random-k":
+		return func(seed uint64) topology.Overlay { return topology.NewRandomK(seed, k) }, nil
+	case "growing-path":
+		return func(uint64) topology.Overlay { return topology.NewGrowingPath() }, nil
+	case "fragile":
+		return func(seed uint64) topology.Overlay { return topology.NewFragile(seed) }, nil
+	default:
+		return nil, fmt.Errorf("unknown overlay %q", name)
+	}
+}
+
+func protocolBuilder(name string, ttl int) (func() otq.Protocol, core.ProtocolID, error) {
+	switch name {
+	case "flood-ttl":
+		return func() otq.Protocol { return &otq.FloodTTL{TTL: ttl, MaxLatency: 2} }, core.ProtoFloodTTL, nil
+	case "flood-repeat":
+		return func() otq.Protocol {
+			return &otq.RepeatedFlood{TTL: ttl, MaxLatency: 2, MaxRounds: 10, QuietRounds: 2}
+		}, core.ProtoRepeatedFlood, nil
+	case "tree-echo":
+		return func() otq.Protocol {
+			return &otq.TreeEcho{DetectDepartures: true, CheckInterval: 4}
+		}, core.ProtoTreeEcho, nil
+	case "echo-wave":
+		return func() otq.Protocol {
+			return &otq.EchoWave{RescanInterval: 3, QuietFor: 60, MaxRescans: 5000}
+		}, core.ProtoEchoWave, nil
+	case "expanding-ring":
+		return func() otq.Protocol { return &otq.ExpandingRing{MaxLatency: 2, MaxTTL: 64} }, core.ProtoExpandingRing, nil
+	case "gossip-push-sum":
+		return func() otq.Protocol { return &otq.GossipPushSum{RoundInterval: 2, Rounds: 100, Seed: 11} }, core.ProtoGossip, nil
+	default:
+		return nil, "", fmt.Errorf("unknown protocol %q", name)
+	}
+}

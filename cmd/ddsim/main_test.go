@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestOverlayBuilder(t *testing.T) {
+	for _, name := range []string{"mesh", "star", "ring", "random-k", "growing-path", "fragile"} {
+		build, err := overlayBuilder(name, 3)
+		if err != nil {
+			t.Errorf("overlay %q: %v", name, err)
+			continue
+		}
+		ov := build(7)
+		if ov == nil || ov.Name() == "" {
+			t.Errorf("overlay %q built badly", name)
+		}
+	}
+	if _, err := overlayBuilder("nope", 3); err == nil {
+		t.Error("unknown overlay accepted")
+	}
+}
+
+func TestProtocolBuilder(t *testing.T) {
+	ids := map[string]core.ProtocolID{
+		"flood-ttl":       core.ProtoFloodTTL,
+		"flood-repeat":    core.ProtoRepeatedFlood,
+		"echo-wave":       core.ProtoEchoWave,
+		"tree-echo":       core.ProtoTreeEcho,
+		"expanding-ring":  core.ProtoExpandingRing,
+		"gossip-push-sum": core.ProtoGossip,
+	}
+	for name, wantID := range ids {
+		build, id, err := protocolBuilder(name, 4)
+		if err != nil {
+			t.Errorf("protocol %q: %v", name, err)
+			continue
+		}
+		if id != wantID {
+			t.Errorf("protocol %q mapped to %q", name, id)
+		}
+		p := build()
+		if p.Name() != string(wantID) {
+			t.Errorf("protocol %q builds %q", name, p.Name())
+		}
+	}
+	if _, _, err := protocolBuilder("nope", 1); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}

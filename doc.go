@@ -1,0 +1,15 @@
+// Package repro is a laboratory for dynamic distributed systems: a
+// from-scratch reproduction of "Looking for a Definition of Dynamic
+// Distributed Systems" (Baldoni, Bertier, Raynal, Tucci-Piergiovanni,
+// PaCT 2007).
+//
+// The library formalizes the paper's two-dimensional classification of
+// dynamic systems (internal/core), simulates them deterministically
+// (internal/sim, internal/churn, internal/topology, internal/node),
+// implements the canonical One-Time Query problem with four protocols and
+// a trace-based specification checker (internal/otq), and provides the
+// reliable-object substrate the paper's research programme builds on
+// (internal/object). See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduced results; bench_test.go regenerates
+// every experiment table.
+package repro

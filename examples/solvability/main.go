@@ -1,0 +1,101 @@
+// Solvability: walk the paper's two-dimensional class lattice, print the
+// oracle's verdict for the One-Time Query problem in every class, then
+// witness two of the negative results live:
+//
+//   - a fixed-TTL flood misses stable participants once the diameter
+//     exceeds its horizon (unknown diameter bound);
+//
+//   - under perpetual adversarial growth, a knowledge-free wave never
+//     answers (Termination and Validity cannot both be guaranteed).
+//
+//     go run ./examples/solvability
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/otq"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func main() {
+	lattice()
+	fmt.Println()
+	floodBeyondHorizon()
+	fmt.Println()
+	starvedWave()
+}
+
+// lattice prints the oracle over the class product space.
+func lattice() {
+	fmt.Println("One-Time Query solvability across the class lattice:")
+	tb := stats.NewTable("size \\ geography", "complete", "diam<=D known", "diam bounded", "unconstrained")
+	sizes := []core.SizeModel{core.SizeStatic, core.SizeBoundedKnown, core.SizeBoundedUnknown, core.SizeUnbounded}
+	geos := []core.GeoModel{core.GeoComplete, core.GeoDiameterKnown, core.GeoDiameterBounded, core.GeoUnconstrained}
+	for _, stable := range []bool{false, true} {
+		suffix := " (perpetual churn)"
+		if stable {
+			suffix = " (eventually stable)"
+		}
+		for _, size := range sizes {
+			row := []any{size.String() + suffix}
+			for _, geo := range geos {
+				v, _ := core.OTQSolvability(core.Class{Size: size, B: 8, Geo: geo, D: 4, EventuallyStable: stable})
+				row = append(row, v.String())
+			}
+			tb.AddRow(row...)
+		}
+	}
+	fmt.Print(tb)
+}
+
+// floodBeyondHorizon: a 24-cycle has diameter 12; a TTL-6 flood
+// terminates but misses the far half — the C2 witness.
+func floodBeyondHorizon() {
+	engine := sim.New()
+	proto := &otq.FloodTTL{TTL: 6, MaxLatency: 2}
+	world := node.NewWorld(engine, topology.NewManual(), proto.Factory(), node.Config{
+		MinLatency: 1, MaxLatency: 2, Seed: 1,
+	})
+	const n = 24
+	for i := 1; i <= n; i++ {
+		world.Join(graph.NodeID(i))
+	}
+	for i := 1; i <= n; i++ {
+		world.SetLink(graph.NodeID(i), graph.NodeID(i%n+1), true)
+	}
+	run := proto.Launch(world, 1)
+	engine.RunUntil(1000)
+	world.Close()
+	out := otq.Check(world.Trace, run, nil)
+	fmt.Printf("fixed TTL on a too-wide cycle (diameter 12, TTL 6):\n  %s\n", out)
+	fmt.Printf("  missed stable participants: %v\n", out.MissedStable)
+	fmt.Println("  => terminating with a guessed bound sacrifices Validity (claim C2)")
+}
+
+// starvedWave: the C3 impossibility argument, played by the adversary
+// package — entities keep arriving at the far end of a growing path
+// faster than the quiescence window, and the wave never answers.
+func starvedWave() {
+	engine := sim.New()
+	proto := &otq.EchoWave{RescanInterval: 2, QuietFor: 40, MaxRescans: 100000}
+	world := node.NewWorld(engine, topology.NewGrowingPath(), proto.Factory(), node.Config{Seed: 1})
+	world.Join(1)
+	world.Join(2)
+	run := proto.Launch(world, 1)
+	adv := &adversary.FrontierGrower{Every: 10}
+	stop := adv.Attach(world)
+	engine.RunUntil(2000)
+	stop()
+	world.Close()
+	out := otq.Check(world.Trace, run, nil)
+	fmt.Printf("knowledge-free wave under perpetual adversarial growth:\n  %s\n", out)
+	fmt.Printf("  entities that arrived during the query: %d\n", len(world.Trace.Entities()))
+	fmt.Println("  => the frontier outruns every traversal; Termination is lost (claim C3)")
+}

@@ -1,0 +1,110 @@
+// State machine: the full reliable-object pipeline of the paper's
+// research programme (claim C6) in one run. Unreliable consensus objects
+// (which crash mid-protocol) are turned into reliable consensus by the
+// t+1 self-implementation, and reliable consensus turns ANY sequentially
+// specified object into a wait-free linearizable one via the universal
+// construction — here, a replicated bank account with order-sensitive
+// operations, plus an atomic snapshot for an all-at-once audit.
+//
+//	go run ./examples/statemachine
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/object/snapshot"
+	"repro/internal/object/universal"
+)
+
+func main() {
+	replicatedAccount()
+	fmt.Println()
+	auditSnapshot()
+}
+
+func replicatedAccount() {
+	fmt.Println("a replicated account from crash-prone consensus objects")
+	// Sequential specification: deposits add, the sentinel -1 applies
+	// monthly interest (order-sensitive: deposit-then-interest differs
+	// from interest-then-deposit, so linearizability is observable).
+	apply := func(state, arg int64) int64 {
+		if arg == -1 {
+			return state + state/10
+		}
+		return state + arg
+	}
+	obj := universal.New(apply, 1000, 64, 2)
+
+	// Every log cell's consensus tolerates t=2 responsive crashes of its
+	// base objects; crash two bases of the first cells mid-protocol.
+	for cell := 0; cell < 4; cell++ {
+		obj.CellBases(cell)[0].CrashAfter(2, true)
+		obj.CellBases(cell)[1].CrashAfter(5, true)
+	}
+
+	const tellers = 4
+	clients := make([]*universal.Client, tellers)
+	var wg sync.WaitGroup
+	for i := 0; i < tellers; i++ {
+		clients[i] = obj.NewClient()
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ops := []int64{100, -1, 50}
+			for _, op := range ops {
+				if _, err := clients[i].Invoke(op); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, c := range clients {
+		c.Sync()
+		fmt.Printf("  teller %d sees balance %d\n", i, c.State())
+	}
+	final := clients[0].State()
+	for _, c := range clients {
+		if c.State() != final {
+			panic("replicas diverged")
+		}
+	}
+	fmt.Println("  => all replicas agree on one interleaving of order-sensitive ops,")
+	fmt.Println("     despite 8 base consensus objects crashing mid-protocol")
+}
+
+func auditSnapshot() {
+	fmt.Println("an atomic audit over concurrently updated branch totals")
+	// Four branches update their cells concurrently; the auditor's Scan
+	// returns a consistent cut (values that coexisted at one instant).
+	s := snapshot.New(4)
+	var wg sync.WaitGroup
+	for b := 0; b < 4; b++ {
+		b := b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := int64(1); v <= 1000; v++ {
+				s.Update(b, v)
+			}
+		}()
+	}
+	audits := 0
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			got := s.Scan()
+			fmt.Printf("  final audit: %v (%d atomic audits ran concurrently)\n", got, audits)
+			fmt.Println("  => scans are linearizable cuts built from registers alone —")
+			fmt.Println("     snapshots need no consensus, unlike the account above")
+			return
+		default:
+			s.Scan()
+			audits++
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package adversary makes the paper's impossibility arguments executable.
+// An unsolvability claim is an adversary construction — "for every
+// protocol there is a run of the class that defeats it" — and each
+// strategy here builds such runs live, using only the powers its system
+// class grants: scheduling arrivals, scheduling departures, or flipping
+// links. Attach one to a world before launching a protocol and the
+// experiment plays the lower-bound argument out against real code.
+//
+// The adversary is omniscient (it inspects the world and the ground-truth
+// trace) but not omnipotent: it cannot touch protocol state, forge
+// messages, or act outside its class's powers.
+package adversary
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Adversary manipulates a world while a protocol runs.
+type Adversary interface {
+	// Attach starts the adversary's activity on the world, until the
+	// returned stop function is called or the horizon passes.
+	Attach(w *node.World) (stop func())
+	// Name identifies the strategy in experiment output.
+	Name() string
+}
+
+// FrontierGrower realizes the C3 argument against knowledge-free waves:
+// it keeps the system growing so that quiescence never comes. Fresh
+// entities join every Every ticks, forever; on a growing-path overlay the
+// diameter grows with them and every traversal chases a receding
+// frontier. Class powers used: unbounded arrivals (M^infinity).
+type FrontierGrower struct {
+	// Every is the join period. Default 10.
+	Every sim.Time
+	// FirstID seeds fresh identities; joins use FirstID, FirstID+1, ...
+	// Must not collide with existing entities. Default 1 << 20.
+	FirstID graph.NodeID
+}
+
+// Name implements Adversary.
+func (*FrontierGrower) Name() string { return "frontier-grower" }
+
+// Attach implements Adversary.
+func (fg *FrontierGrower) Attach(w *node.World) func() {
+	every := fg.Every
+	if every <= 0 {
+		every = 10
+	}
+	next := fg.FirstID
+	if next == 0 {
+		next = 1 << 20
+	}
+	tk := w.Engine.Every(every, func() {
+		w.Join(next)
+		next++
+	})
+	return tk.Stop
+}
+
+// RelayKiller realizes the argument against unguarded waves: it watches
+// who relays traffic and removes the busiest relay, mid-protocol. Without
+// duplicate paths or retransmission the victim's undelivered subtree is
+// silently lost. Class powers used: departures (targeted churn is still
+// churn — the class does not promise WHO stays).
+type RelayKiller struct {
+	// Every is the kill period. Default 15.
+	Every sim.Time
+	// Protect lists entities the adversary may not remove (typically the
+	// querier: the problem obliges nothing when the querier dies).
+	Protect []graph.NodeID
+	// MaxKills bounds the damage. Default 4.
+	MaxKills int
+
+	cursor int
+	kills  int
+}
+
+// Name implements Adversary.
+func (*RelayKiller) Name() string { return "relay-killer" }
+
+// Attach implements Adversary.
+func (rk *RelayKiller) Attach(w *node.World) func() {
+	every := rk.Every
+	if every <= 0 {
+		every = 15
+	}
+	maxKills := rk.MaxKills
+	if maxKills == 0 {
+		maxKills = 4
+	}
+	protected := make(map[graph.NodeID]bool, len(rk.Protect))
+	for _, id := range rk.Protect {
+		protected[id] = true
+	}
+	tk := w.Engine.Every(every, func() {
+		if rk.kills >= maxKills {
+			return
+		}
+		// Count sends per entity since the last inspection.
+		recent := w.Trace.EventsSince(rk.cursor)
+		rk.cursor += len(recent)
+		activity := map[graph.NodeID]int{}
+		for _, ev := range recent {
+			if ev.Kind == core.TSend {
+				activity[ev.P]++
+			}
+		}
+		var victim graph.NodeID
+		best := 0
+		ids := make([]graph.NodeID, 0, len(activity))
+		for id := range activity {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if protected[id] || w.Proc(id) == nil {
+				continue
+			}
+			if activity[id] > best {
+				victim = id
+				best = activity[id]
+			}
+		}
+		if best > 0 {
+			w.Leave(victim)
+			rk.kills++
+		}
+	})
+	return tk.Stop
+}
+
+// EdgeFlipper exercises the geography dimension in isolation: membership
+// never changes, but random links keep going down and coming back. On a
+// cycle this never disconnects anything (a cycle minus one edge is a
+// path), yet the diameter jumps between n/2 and n-1 and in-flight
+// messages die with their link — dynamics that live entirely in the
+// always-connected geography class. Requires an overlay with direct link
+// control. Class powers used: link dynamics only.
+type EdgeFlipper struct {
+	// Every is the flip period. Default 20.
+	Every sim.Time
+	// Outage is how long a cut link stays down. Default Every/2 (min 1).
+	Outage sim.Time
+	// Seed drives edge choice.
+	Seed uint64
+}
+
+// Name implements Adversary.
+func (*EdgeFlipper) Name() string { return "edge-flipper" }
+
+// Attach implements Adversary.
+func (ef *EdgeFlipper) Attach(w *node.World) func() {
+	every := ef.Every
+	if every <= 0 {
+		every = 20
+	}
+	outage := ef.Outage
+	if outage <= 0 {
+		outage = every / 2
+		if outage <= 0 {
+			outage = 1
+		}
+	}
+	r := rng.New(ef.Seed ^ 0xf11b)
+	down := make(map[[2]graph.NodeID]bool)
+	tk := w.Engine.Every(every, func() {
+		g := w.Overlay.Graph()
+		// Collect candidate edges not currently flapped.
+		var edges [][2]graph.NodeID
+		for _, u := range g.Nodes() {
+			for _, v := range g.Neighbors(u) {
+				if u < v && !down[[2]graph.NodeID{u, v}] {
+					edges = append(edges, [2]graph.NodeID{u, v})
+				}
+			}
+		}
+		if len(edges) == 0 {
+			return
+		}
+		e := edges[r.Intn(len(edges))]
+		down[e] = true
+		w.SetLink(e[0], e[1], false)
+		w.Engine.After(outage, func() {
+			delete(down, e)
+			if w.Proc(e[0]) != nil && w.Proc(e[1]) != nil {
+				w.SetLink(e[0], e[1], true)
+			}
+		})
+	})
+	return tk.Stop
+}
+
+// Partitioner realizes the C2/C3 argument against fixed-point probes: it
+// detaches a chosen victim for a while and reattaches it later, so any
+// protocol that concluded during the outage missed a stable member.
+// Requires an overlay with direct link control (topology.Manual). Class
+// powers used: link dynamics within an unconstrained geography.
+type Partitioner struct {
+	// Victim is the entity to isolate.
+	Victim graph.NodeID
+	// CutAt and HealAt bound the outage (absolute virtual times).
+	CutAt, HealAt sim.Time
+
+	saved []graph.NodeID
+}
+
+// Name implements Adversary.
+func (*Partitioner) Name() string { return "partitioner" }
+
+// Attach implements Adversary.
+func (pa *Partitioner) Attach(w *node.World) func() {
+	cutEv := w.Engine.At(pa.CutAt, func() {
+		pa.saved = w.Overlay.Graph().Neighbors(pa.Victim)
+		for _, u := range pa.saved {
+			w.SetLink(pa.Victim, u, false)
+		}
+	})
+	healEv := w.Engine.At(pa.HealAt, func() {
+		for _, u := range pa.saved {
+			if w.Proc(u) != nil {
+				w.SetLink(pa.Victim, u, true)
+			}
+		}
+	})
+	return func() {
+		cutEv.Cancel()
+		healEv.Cancel()
+	}
+}

@@ -1,0 +1,36 @@
+package adversary_test
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/node"
+	"repro/internal/otq"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Play an impossibility argument against real code: the frontier grower
+// keeps the system expanding, so the knowledge-free wave never quiesces.
+func Example() {
+	engine := sim.New()
+	proto := &otq.EchoWave{RescanInterval: 3, QuietFor: 40, MaxRescans: 100000}
+	world := node.NewWorld(engine, topology.NewGrowingPath(), proto.Factory(), node.Config{Seed: 1})
+	world.Join(1)
+	world.Join(2)
+	run := proto.Launch(world, 1)
+
+	adv := &adversary.FrontierGrower{Every: 8}
+	stop := adv.Attach(world)
+	engine.RunUntil(1000)
+	stop()
+	world.Close()
+
+	fmt.Println("strategy:", adv.Name())
+	fmt.Println("query answered:", run.Answer() != nil)
+	fmt.Println("entities grown past 100:", len(world.Trace.Entities()) > 100)
+	// Output:
+	// strategy: frontier-grower
+	// query answered: false
+	// entities grown past 100: true
+}

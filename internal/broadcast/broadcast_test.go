@@ -1,0 +1,210 @@
+package broadcast
+
+import (
+	"testing"
+
+	"repro/internal/churn"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func cycleWorld(bc *Broadcast, n int) (*node.World, *sim.Engine) {
+	e := sim.New()
+	w := node.NewWorld(e, topology.NewManual(), bc.Factory(), node.Config{
+		MinLatency: 1, MaxLatency: 2, Seed: 1,
+	})
+	for i := 1; i <= n; i++ {
+		w.Join(graph.NodeID(i))
+	}
+	for i := 1; i <= n; i++ {
+		w.SetLink(graph.NodeID(i), graph.NodeID(i%n+1), true)
+	}
+	return w, e
+}
+
+func TestFloodDeliversEverywhereStatic(t *testing.T) {
+	bc := &Broadcast{}
+	w, e := cycleWorld(bc, 20)
+	bc.Launch(w, 1, 3.14)
+	e.RunUntil(500)
+	w.Close()
+	rep := Check(w.Trace)
+	if !rep.OK() {
+		t.Fatalf("static flood broadcast: %+v", rep)
+	}
+	if rep.StableCount != 20 || rep.DeliveredStable != 20 {
+		t.Fatalf("coverage %d/%d", rep.DeliveredStable, rep.StableCount)
+	}
+	// The farthest member is 10 hops away at <= 2 ticks per hop.
+	if p100 := rep.LatencyP(100); p100 > 22 {
+		t.Fatalf("max latency %d, want <= 22", p100)
+	}
+	if rep.LatencyP(0) != 0 {
+		t.Fatalf("source latency %d, want 0", rep.LatencyP(0))
+	}
+}
+
+func TestFloodMessageOptimalOnTree(t *testing.T) {
+	bc := &Broadcast{}
+	e := sim.New()
+	w := node.NewWorld(e, topology.NewGrowingPath(), bc.Factory(), node.Config{Seed: 1})
+	for i := 1; i <= 10; i++ {
+		w.Join(graph.NodeID(i))
+	}
+	bc.Launch(w, 1, 1)
+	e.RunUntil(200)
+	w.Close()
+	if !Check(w.Trace).OK() {
+		t.Fatal("path broadcast incomplete")
+	}
+	// One message per edge on a tree.
+	if ms := w.Trace.Messages(tagMsg); ms.Sent != 9 {
+		t.Fatalf("flood sent %d messages on a 9-edge path", ms.Sent)
+	}
+}
+
+// A relay that leaves mid-dissemination cuts off the far side: the flood
+// misses stable members, the anti-entropy variant recovers them through
+// the repaired topology.
+func relayDeathFixture(t *testing.T, bc *Broadcast) Report {
+	t.Helper()
+	e := sim.New()
+	w := node.NewWorld(e, topology.NewManual(), bc.Factory(), node.Config{
+		MinLatency: 2, MaxLatency: 2, Seed: 1,
+	})
+	// Path 1-2-3-4: relay 2 dies while the message is still in flight to
+	// it (latency 2, leave at 1), so the far side never hears the flood;
+	// a repair bridges 1-3 to keep the graph connected.
+	for i := 1; i <= 4; i++ {
+		w.Join(graph.NodeID(i))
+	}
+	for i := 1; i < 4; i++ {
+		w.SetLink(graph.NodeID(i), graph.NodeID(i+1), true)
+	}
+	bc.Launch(w, 1, 7)
+	e.At(1, func() {
+		w.Leave(2)
+		w.SetLink(1, 3, true)
+	})
+	e.RunUntil(1000)
+	w.Close()
+	return Check(w.Trace)
+}
+
+func TestFloodCutOffByRelayDeath(t *testing.T) {
+	rep := relayDeathFixture(t, &Broadcast{})
+	if rep.OK() {
+		t.Fatalf("flood survived a relay death: %+v", rep)
+	}
+	if rep.DeliveredStable >= rep.StableCount {
+		t.Fatalf("expected missing stable deliveries: %+v", rep)
+	}
+}
+
+func TestAntiEntropySurvivesRelayDeath(t *testing.T) {
+	rep := relayDeathFixture(t, &Broadcast{AntiEntropy: true, SpreadInterval: 3})
+	if !rep.OK() {
+		t.Fatalf("anti-entropy missed stable members: %+v (coverage %.2f)", rep, rep.Coverage())
+	}
+}
+
+func TestAntiEntropyReachesLateJoiners(t *testing.T) {
+	bc := &Broadcast{AntiEntropy: true, SpreadInterval: 3}
+	w, e := cycleWorld(bc, 6)
+	bc.Launch(w, 1, 9)
+	e.RunUntil(50)
+	w.Join(99)
+	w.SetLink(99, 3, true)
+	e.RunUntil(300)
+	w.Close()
+	rep := Check(w.Trace)
+	// The joiner is not stable (joined after the send) but anti-entropy
+	// still reaches it: DeliveredOther counts it.
+	if rep.DeliveredOther != 1 {
+		t.Fatalf("late joiner not reached: %+v", rep)
+	}
+	if !rep.OK() {
+		t.Fatalf("stable coverage broken: %+v", rep)
+	}
+}
+
+func TestIntegrityDuplicateDetection(t *testing.T) {
+	// Synthetic trace with a duplicate delivery: the checker must flag it.
+	tr := &core.Trace{}
+	tr.Join(0, 1)
+	tr.Join(0, 2)
+	tr.Mark(5, 1, markSend)
+	tr.Mark(5, 1, markDeliver)
+	tr.Mark(8, 2, markDeliver)
+	tr.Mark(9, 2, markDeliver) // duplicate
+	tr.Close(20)
+	rep := Check(tr)
+	if rep.Duplicates != 1 {
+		t.Fatalf("Duplicates = %d, want 1", rep.Duplicates)
+	}
+	if rep.OK() {
+		t.Fatal("duplicate delivery judged OK")
+	}
+}
+
+func TestCheckNoSend(t *testing.T) {
+	tr := &core.Trace{}
+	tr.Join(0, 1)
+	tr.Close(10)
+	rep := Check(tr)
+	if rep.SentAt != -1 || rep.OK() {
+		t.Fatalf("no-send trace judged sent: %+v", rep)
+	}
+}
+
+func TestUnderChurnComparison(t *testing.T) {
+	run := func(anti bool) Report {
+		bc := &Broadcast{AntiEntropy: anti, SpreadInterval: 3}
+		e := sim.New()
+		w := node.NewWorld(e, topology.NewRing(5), bc.Factory(), node.Config{
+			MinLatency: 1, MaxLatency: 2, Seed: 5,
+		})
+		gen := churn.New(5, churn.Config{
+			InitialPopulation: 24, Immortal: true,
+			ArrivalRate: 0.15, Session: churn.ExpSessions(40),
+		})
+		w.ApplyChurn(gen, 1200)
+		e.RunUntil(100)
+		bc.Launch(w, w.Present()[0], 1)
+		e.RunUntil(1200)
+		w.Close()
+		return Check(w.Trace)
+	}
+	flood := run(false)
+	anti := run(true)
+	if anti.Coverage() < flood.Coverage() {
+		t.Fatalf("anti-entropy coverage %.2f below flood's %.2f", anti.Coverage(), flood.Coverage())
+	}
+	if !anti.OK() {
+		t.Fatalf("anti-entropy on a repaired ring should cover all stable members: %+v", anti)
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	bc := &Broadcast{}
+	w, _ := cycleWorld(bc, 3)
+	for name, f := range map[string]func(){
+		"absent source": func() { bc.Launch(w, 99, 1) },
+		"double launch": func() {
+			bc.Launch(w, 1, 1)
+			bc.Launch(w, 2, 2)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

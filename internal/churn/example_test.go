@@ -1,0 +1,36 @@
+package churn_test
+
+import (
+	"fmt"
+
+	"repro/internal/churn"
+)
+
+// An M^b stream: infinitely many arrivals, concurrency capped at b.
+func Example() {
+	gen := churn.New(1, churn.Config{
+		InitialPopulation: 5,
+		ArrivalRate:       1,
+		Session:           churn.ExpSessions(20),
+		MaxConcurrent:     5, // the b of M^b
+	})
+	events := gen.Collect(400)
+
+	cur, peak, arrivals := 0, 0, 0
+	for _, ev := range events {
+		if ev.Join {
+			cur++
+			arrivals++
+		} else {
+			cur--
+		}
+		if cur > peak {
+			peak = cur
+		}
+	}
+	fmt.Println("peak concurrency:", peak)
+	fmt.Println("many more arrivals than the cap:", arrivals > 5*5)
+	// Output:
+	// peak concurrency: 5
+	// many more arrivals than the cap: true
+}

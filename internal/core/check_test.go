@@ -1,0 +1,250 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// staticRingTrace builds a static ring of n entities, quiescent after t=0.
+func staticRingTrace(n int, end Time) *Trace {
+	tr := &Trace{}
+	for i := 0; i < n; i++ {
+		tr.Join(0, graph.NodeID(i))
+	}
+	for i := 0; i < n; i++ {
+		tr.EdgeUp(0, graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	tr.Close(end)
+	return tr
+}
+
+func TestCheckStaticOK(t *testing.T) {
+	tr := staticRingTrace(8, 100)
+	c := Class{Size: SizeStatic, B: 8, Geo: GeoDiameterKnown, D: 4, EventuallyStable: true}
+	rep := CheckClass(tr, c)
+	if !rep.OK() {
+		t.Fatalf("static ring rejected: %v", rep.Violations)
+	}
+	if rep.ObservedConcurrency != 8 {
+		t.Errorf("ObservedConcurrency = %d", rep.ObservedConcurrency)
+	}
+	if rep.ObservedDiameter != 4 {
+		t.Errorf("ObservedDiameter = %d, want 4", rep.ObservedDiameter)
+	}
+}
+
+func TestCheckStaticRejectsChurn(t *testing.T) {
+	tr := &Trace{}
+	tr.Join(0, 1)
+	tr.Join(0, 2)
+	tr.EdgeUp(0, 1, 2)
+	tr.Join(5, 3) // mid-run join
+	tr.EdgeUp(5, 1, 3)
+	tr.Leave(9, 2) // leave
+	tr.Close(100)
+	rep := CheckClass(tr, Class{Size: SizeStatic, Geo: GeoUnconstrained})
+	if rep.OK() {
+		t.Fatal("churning trace accepted as static")
+	}
+	var sawJoin, sawLeave bool
+	for _, v := range rep.Violations {
+		if strings.Contains(v.Msg, "joined mid-run") {
+			sawJoin = true
+		}
+		if strings.Contains(v.Msg, "left in a static class") {
+			sawLeave = true
+		}
+	}
+	if !sawJoin || !sawLeave {
+		t.Fatalf("expected join+leave violations, got %v", rep.Violations)
+	}
+}
+
+func TestCheckStaticCount(t *testing.T) {
+	tr := staticRingTrace(8, 100)
+	rep := CheckClass(tr, Class{Size: SizeStatic, B: 10, Geo: GeoUnconstrained, EventuallyStable: true})
+	if rep.OK() {
+		t.Fatal("wrong n accepted")
+	}
+	if !strings.Contains(rep.Violations[0].Msg, "n=10") {
+		t.Fatalf("violation %v does not mention declared n", rep.Violations[0])
+	}
+}
+
+func TestCheckConcurrencyBound(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 5; i++ {
+		tr.Join(Time(i), graph.NodeID(i))
+	}
+	tr.Close(10)
+	ok := CheckClass(tr, Class{Size: SizeBoundedKnown, B: 5, Geo: GeoUnconstrained})
+	if !ok.OK() {
+		t.Fatalf("b=5 with concurrency 5 rejected: %v", ok.Violations)
+	}
+	bad := CheckClass(tr, Class{Size: SizeBoundedKnown, B: 4, Geo: GeoUnconstrained})
+	if bad.OK() {
+		t.Fatal("b=4 with concurrency 5 accepted")
+	}
+}
+
+func TestCheckUnboundedNeverViolates(t *testing.T) {
+	tr := buildChurnTrace()
+	for _, size := range []SizeModel{SizeBoundedUnknown, SizeUnbounded} {
+		rep := CheckClass(tr, Class{Size: size, Geo: GeoUnconstrained})
+		if !rep.OK() {
+			t.Errorf("size model %v produced violations on a finite trace: %v", size, rep.Violations)
+		}
+	}
+}
+
+func TestCheckGeoComplete(t *testing.T) {
+	tr := &Trace{}
+	tr.Join(0, 1)
+	tr.Join(0, 2)
+	tr.Join(0, 3)
+	tr.EdgeUp(0, 1, 2)
+	tr.EdgeUp(0, 1, 3)
+	tr.EdgeUp(0, 2, 3)
+	tr.Close(40)
+	rep := CheckClass(tr, Class{Size: SizeStatic, B: 3, Geo: GeoComplete, EventuallyStable: true})
+	if !rep.OK() {
+		t.Fatalf("complete triangle rejected: %v", rep.Violations)
+	}
+
+	tr2 := &Trace{}
+	tr2.Join(0, 1)
+	tr2.Join(0, 2)
+	tr2.Join(0, 3)
+	tr2.EdgeUp(0, 1, 2)
+	tr2.EdgeUp(0, 2, 3) // missing 1-3
+	tr2.Close(40)
+	rep = CheckClass(tr2, Class{Size: SizeStatic, B: 3, Geo: GeoComplete, EventuallyStable: true})
+	if rep.OK() {
+		t.Fatal("incomplete graph accepted as complete")
+	}
+}
+
+func TestCheckGeoDisconnection(t *testing.T) {
+	tr := &Trace{}
+	tr.Join(0, 1)
+	tr.Join(0, 2)
+	tr.EdgeUp(0, 1, 2)
+	tr.Join(3, 3) // isolated joiner disconnects the snapshot
+	tr.Close(40)
+	rep := CheckClass(tr, Class{Size: SizeBoundedUnknown, Geo: GeoDiameterBounded})
+	if rep.OK() {
+		t.Fatal("disconnected snapshot accepted in always-connected class")
+	}
+	if rep.DiameterDefined {
+		t.Error("DiameterDefined should be false after a partition")
+	}
+}
+
+func TestCheckGeoDiameterBound(t *testing.T) {
+	tr := staticRingTrace(12, 100) // diameter 6
+	rep := CheckClass(tr, Class{Size: SizeStatic, B: 12, Geo: GeoDiameterKnown, D: 6, EventuallyStable: true})
+	if !rep.OK() {
+		t.Fatalf("ring(12) rejected with D=6: %v", rep.Violations)
+	}
+	rep = CheckClass(tr, Class{Size: SizeStatic, B: 12, Geo: GeoDiameterKnown, D: 5, EventuallyStable: true})
+	if rep.OK() {
+		t.Fatal("ring(12) accepted with D=5")
+	}
+}
+
+func TestCheckEventualStability(t *testing.T) {
+	// Topology change at t=90 with end=100: only 10% quiescent — fails.
+	tr := staticRingTrace(4, 0)
+	tr2 := &Trace{}
+	for _, ev := range tr.Events() {
+		tr2.Record(ev)
+	}
+	tr2.Join(90, 99)
+	tr2.EdgeUp(90, 99, 0)
+	tr2.Close(100)
+	rep := CheckClass(tr2, Class{Size: SizeBoundedUnknown, Geo: GeoUnconstrained, EventuallyStable: true})
+	if rep.OK() {
+		t.Fatal("late churn accepted as eventually stable")
+	}
+	// Same change but the run continues to t=400: 310 quiescent — passes.
+	tr3 := &Trace{}
+	for _, ev := range tr.Events() {
+		tr3.Record(ev)
+	}
+	tr3.Join(90, 99)
+	tr3.EdgeUp(90, 99, 0)
+	tr3.Close(400)
+	rep = CheckClass(tr3, Class{Size: SizeBoundedUnknown, Geo: GeoUnconstrained, EventuallyStable: true})
+	if !rep.OK() {
+		t.Fatalf("long quiescent suffix rejected: %v", rep.Violations)
+	}
+}
+
+func TestInferClassStaticRing(t *testing.T) {
+	tr := staticRingTrace(10, 100)
+	c := InferClass(tr)
+	if c.Size != SizeStatic || c.B != 10 {
+		t.Errorf("inferred size %v[%d], want static[10]", c.Size, c.B)
+	}
+	if c.Geo != GeoDiameterKnown || c.D != 5 {
+		t.Errorf("inferred geo %v D=%d, want diam<=5", c.Geo, c.D)
+	}
+	if !c.EventuallyStable {
+		t.Error("quiescent run not inferred stable")
+	}
+}
+
+func TestInferClassChurn(t *testing.T) {
+	tr := buildChurnTrace()
+	c := InferClass(tr)
+	if c.Size != SizeBoundedKnown || c.B != 3 {
+		t.Errorf("inferred %v[%d], want M^b[3]", c.Size, c.B)
+	}
+}
+
+func TestInferClassComplete(t *testing.T) {
+	tr := &Trace{}
+	tr.Join(0, 1)
+	tr.Join(0, 2)
+	tr.EdgeUp(0, 1, 2)
+	tr.Close(50)
+	if c := InferClass(tr); c.Geo != GeoComplete {
+		t.Errorf("two connected nodes inferred as %v, want complete", c.Geo)
+	}
+}
+
+func TestInferClassPartitioned(t *testing.T) {
+	tr := &Trace{}
+	tr.Join(0, 1)
+	tr.Join(0, 2)
+	tr.Join(0, 3)
+	tr.EdgeUp(0, 1, 2)
+	tr.Close(50)
+	if c := InferClass(tr); c.Geo != GeoUnconstrained {
+		t.Errorf("partitioned trace inferred as %v, want unconstrained", c.Geo)
+	}
+}
+
+// Property: a trace always satisfies its own inferred class.
+func TestInferredClassSelfConsistent(t *testing.T) {
+	traces := []*Trace{
+		staticRingTrace(6, 50),
+		buildChurnTrace(),
+	}
+	for i, tr := range traces {
+		c := InferClass(tr)
+		rep := CheckClass(tr, c)
+		if !rep.OK() {
+			t.Errorf("trace %d violates its inferred class %v: %v", i, c, rep.Violations)
+		}
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{At: 7, Msg: "boom"}
+	if s := v.String(); !strings.Contains(s, "t=7") || !strings.Contains(s, "boom") {
+		t.Errorf("Violation.String() = %q", s)
+	}
+}

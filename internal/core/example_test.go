@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Classify a recorded run along the paper's two dimensions and ask the
+// oracle whether the One-Time Query problem is solvable there.
+func Example() {
+	tr := &core.Trace{}
+	// Four entities; one joins late and one leaves: a dynamic run.
+	tr.Join(0, 1)
+	tr.Join(0, 2)
+	tr.EdgeUp(0, 1, 2)
+	tr.Join(10, 3)
+	tr.EdgeUp(10, 2, 3)
+	tr.Leave(40, 2)
+	tr.EdgeUp(40, 1, 3)
+	tr.Close(200)
+
+	class := core.InferClass(tr)
+	fmt.Println("inferred:", class)
+	verdict, _ := core.OTQSolvability(class)
+	fmt.Println("one-time query:", verdict)
+
+	// The run violates a static declaration.
+	rep := core.CheckClass(tr, core.Class{Size: core.SizeStatic, B: 2, Geo: core.GeoUnconstrained})
+	fmt.Println("admissible as static:", rep.OK())
+
+	// Output:
+	// inferred: (M^b[3], diam<=2 known, ev-stable)
+	// one-time query: solvable
+	// admissible as static: false
+}
+
+func ExampleClass_Refines() {
+	static := core.StaticSystem(8)
+	wild := core.Class{Size: core.SizeUnbounded, Geo: core.GeoUnconstrained}
+	fmt.Println(static.Refines(wild), wild.Refines(static))
+	// Output: true false
+}
+
+func ExampleOTQSolvability() {
+	c := core.Class{Size: core.SizeBoundedUnknown, Geo: core.GeoDiameterBounded}
+	v, _ := core.OTQSolvability(c)
+	fmt.Println(v)
+	c.EventuallyStable = true
+	v, _ = core.OTQSolvability(c)
+	fmt.Println(v)
+	// Output:
+	// unsolvable
+	// eventually-solvable
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := buildChurnTrace()
+	var buf bytes.Buffer
+	if err := EncodeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.End() != tr.End() {
+		t.Fatalf("End = %d, want %d", got.End(), tr.End())
+	}
+	a, b := tr.Events(), got.Events()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// The decoded trace supports analysis directly.
+	if got.MaxConcurrency() != tr.MaxConcurrency() {
+		t.Fatal("analysis differs after round trip")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeTrace(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestDecodeRejectsOutOfOrder(t *testing.T) {
+	in := `{"end": 10, "events": [
+		{"At": 5, "Kind": 0, "P": 1, "Q": 0, "Tag": ""},
+		{"At": 3, "Kind": 0, "P": 2, "Q": 0, "Tag": ""}
+	]}`
+	if _, err := DecodeTrace(strings.NewReader(in)); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+}
+
+func TestDecodeEmptyTrace(t *testing.T) {
+	tr, err := DecodeTrace(strings.NewReader(`{"end": 0, "events": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}

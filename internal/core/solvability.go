@@ -1,0 +1,156 @@
+package core
+
+import "fmt"
+
+// Verdict is the oracle's answer for a (problem, class) pair.
+type Verdict uint8
+
+// Verdicts, ordered from strongest to weakest guarantee.
+const (
+	// Solvable: a protocol exists guaranteeing both Termination and
+	// Validity in every run of the class.
+	Solvable Verdict = iota
+	// SolvableEventually: Termination and Validity are guaranteed only
+	// because every run eventually stabilizes; no bound on response time
+	// exists before stabilization.
+	SolvableEventually
+	// ApproximateOnly: no protocol guarantees exact Validity, but
+	// convergent approximations (gossip-style) exist whose error vanishes
+	// as churn does.
+	ApproximateOnly
+	// Unsolvable: Termination and Validity cannot both be guaranteed;
+	// there are runs of the class defeating every protocol.
+	Unsolvable
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Solvable:
+		return "solvable"
+	case SolvableEventually:
+		return "eventually-solvable"
+	case ApproximateOnly:
+		return "approximate-only"
+	case Unsolvable:
+		return "unsolvable"
+	default:
+		return fmt.Sprintf("Verdict(%d)", uint8(v))
+	}
+}
+
+// OTQSolvability encodes the paper's analysis of the canonical One-Time
+// Query problem: for each system class, whether a protocol can guarantee
+// both Termination and Validity. The returned reason cites the structural
+// argument.
+//
+// The decision structure follows the paper's two dimensions:
+//
+//   - complete knowledge neutralizes the geography dimension: the querier
+//     can address every present entity directly, so OTQ is solvable for
+//     any size model;
+//   - a known diameter bound D lets a flooding wave provably cover every
+//     stable participant within D hops, so OTQ is solvable;
+//   - a bounded-but-unknown diameter gives no point at which a terminating
+//     protocol can know its wave covered the system — unless runs
+//     eventually stabilize, in which case knowledge-free waves (echo)
+//     terminate after stabilization;
+//   - an unconstrained geography (partitions / unbounded diameter) under
+//     perpetual churn defeats every exact protocol; only approximate
+//     aggregation remains, and even that needs eventual connectivity.
+func OTQSolvability(c Class) (Verdict, string) {
+	switch c.Geo {
+	case GeoComplete:
+		return Solvable, "complete knowledge: querier addresses all present entities directly; stable ones answer"
+	case GeoDiameterKnown:
+		return Solvable, fmt.Sprintf("known diameter bound D=%d: a TTL-%d flooding wave reaches every stable participant", c.D, c.D)
+	case GeoDiameterBounded:
+		if c.EventuallyStable {
+			return SolvableEventually, "diameter bound unknown: fixed-depth waves can be fooled, but echo waves terminate once the run stabilizes"
+		}
+		return Unsolvable, "diameter bound unknown and churn perpetual: any terminating protocol halts while a stable participant may sit beyond its horizon"
+	case GeoUnconstrained:
+		if c.EventuallyStable {
+			return SolvableEventually, "partitions may isolate participants, but eventual stability lets an echo wave cover the final component of the querier"
+		}
+		return Unsolvable, "perpetual churn with unconstrained geography: the adversary grows the frontier faster than any wave; only approximate gossip degrades gracefully"
+	default:
+		return Unsolvable, "unknown geography model"
+	}
+}
+
+// ProtocolID names the One-Time Query protocols implemented in
+// internal/otq; the oracle also predicts per-protocol behaviour so that
+// experiment E2 can compare prediction against measurement.
+type ProtocolID string
+
+// Implemented OTQ protocols.
+const (
+	ProtoFloodTTL      ProtocolID = "flood-ttl"
+	ProtoRepeatedFlood ProtocolID = "flood-repeat"
+	ProtoEchoWave      ProtocolID = "echo-wave"
+	ProtoTreeEcho      ProtocolID = "tree-echo"
+	ProtoExpandingRing ProtocolID = "expanding-ring"
+	ProtoGossip        ProtocolID = "gossip-push-sum"
+)
+
+// ProtocolPrediction is what the theory says a protocol achieves in a
+// class.
+type ProtocolPrediction struct {
+	Terminates bool
+	// Valid means exact Validity is guaranteed (every stable participant
+	// covered, no fabricated values). Gossip is never Valid in this exact
+	// sense; its prediction is approximate convergence.
+	Valid bool
+	Note  string
+}
+
+// PredictOTQ returns the expected behaviour of protocol p in class c.
+func PredictOTQ(p ProtocolID, c Class) ProtocolPrediction {
+	connected := c.Geo == GeoComplete || c.Geo == GeoDiameterKnown || c.Geo == GeoDiameterBounded
+	switch p {
+	case ProtoFloodTTL, ProtoRepeatedFlood:
+		// FloodTTL is instantiated with the class's declared D (or the
+		// static diameter). It terminates by construction (TTL exhausts).
+		if c.Geo == GeoComplete {
+			return ProtocolPrediction{Terminates: true, Valid: true, Note: "TTL 1 covers a complete graph"}
+		}
+		if c.Geo == GeoDiameterKnown {
+			return ProtocolPrediction{Terminates: true, Valid: true, Note: "TTL=D covers every stable participant"}
+		}
+		return ProtocolPrediction{Terminates: true, Valid: false, Note: "no sound TTL exists without a known diameter bound"}
+	case ProtoTreeEcho:
+		// The textbook echo wave (with departure detection, the library's
+		// default): the wave always collapses, but a relay that departs
+		// mid-wave takes its collected subtree with it, so exactness
+		// survives only in a static membership.
+		if c.Size == SizeStatic {
+			return ProtocolPrediction{Terminates: true, Valid: connected,
+				Note: "exact and message-optimal in a static system"}
+		}
+		return ProtocolPrediction{Terminates: true, Valid: false,
+			Note: "a departing relay silently swallows its subtree's contributions"}
+	case ProtoEchoWave:
+		// The echo wave terminates when every branch acknowledged; under
+		// perpetual churn an adversary can keep branches growing, and a
+		// leaving node can swallow an acknowledgment.
+		if c.EventuallyStable || c.Size == SizeStatic {
+			return ProtocolPrediction{Terminates: true, Valid: connected || c.EventuallyStable, Note: "wave quiesces after stabilization"}
+		}
+		return ProtocolPrediction{Terminates: false, Valid: true, Note: "never answers wrongly, but churn can starve its acknowledgments"}
+	case ProtoExpandingRing:
+		// Expanding ring stops when two successive radii return identical
+		// participant sets; without a diameter bound that test can lie.
+		if c.Geo == GeoComplete || c.Geo == GeoDiameterKnown {
+			return ProtocolPrediction{Terminates: true, Valid: true, Note: "ring growth is capped by the known bound"}
+		}
+		if c.EventuallyStable {
+			return ProtocolPrediction{Terminates: true, Valid: true, Note: "fixed-point test is sound once the run stabilizes"}
+		}
+		return ProtocolPrediction{Terminates: true, Valid: false, Note: "fixed-point test can be fooled by churn between probes"}
+	case ProtoGossip:
+		return ProtocolPrediction{Terminates: true, Valid: false, Note: "converges to the exact aggregate only as churn vanishes; error degrades gracefully"}
+	default:
+		return ProtocolPrediction{}
+	}
+}

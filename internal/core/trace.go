@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Time is virtual time, in the simulator's ticks. It aliases int64 so
+// traces can be analyzed without importing the simulation kernel.
+type Time = int64
+
+// TraceEventKind discriminates recorded run events.
+type TraceEventKind uint8
+
+// Trace event kinds. Join/Leave/EdgeUp/EdgeDown are topology events;
+// Send/Deliver/Drop are message events; Mark is protocol-defined.
+const (
+	TJoin TraceEventKind = iota
+	TLeave
+	TEdgeUp
+	TEdgeDown
+	TSend
+	TDeliver
+	TDrop
+	TMark
+)
+
+// String returns the event kind name.
+func (k TraceEventKind) String() string {
+	names := [...]string{"join", "leave", "edge-up", "edge-down", "send", "deliver", "drop", "mark"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("TraceEventKind(%d)", uint8(k))
+}
+
+// TraceEvent is one recorded occurrence in a run. P is the subject entity;
+// Q is the peer for edge and message events (zero otherwise). Tag carries
+// the message type or mark label.
+type TraceEvent struct {
+	At   Time
+	Kind TraceEventKind
+	P, Q graph.NodeID
+	Tag  string
+}
+
+// Trace is the ground-truth record of a run: every membership change,
+// topology change and message, in order. Specification checkers (e.g. the
+// One-Time Query validity checker) work exclusively on traces, so a
+// protocol cannot self-certify its answers.
+//
+// The zero value is an empty, usable trace.
+type Trace struct {
+	events []TraceEvent
+	end    Time
+	closed bool
+}
+
+// Record appends an event. Events must be recorded in non-decreasing time
+// order (the simulator guarantees this); out-of-order recording panics.
+func (tr *Trace) Record(ev TraceEvent) {
+	if tr.closed {
+		panic("core: Record on closed trace")
+	}
+	if n := len(tr.events); n > 0 && ev.At < tr.events[n-1].At {
+		panic(fmt.Sprintf("core: trace event at %d after event at %d", ev.At, tr.events[n-1].At))
+	}
+	tr.events = append(tr.events, ev)
+	if ev.At > tr.end {
+		tr.end = ev.At
+	}
+}
+
+// Join records entity p joining at time t.
+func (tr *Trace) Join(t Time, p graph.NodeID) {
+	tr.Record(TraceEvent{At: t, Kind: TJoin, P: p})
+}
+
+// Leave records entity p leaving at time t.
+func (tr *Trace) Leave(t Time, p graph.NodeID) {
+	tr.Record(TraceEvent{At: t, Kind: TLeave, P: p})
+}
+
+// EdgeUp records link {p, q} appearing at time t.
+func (tr *Trace) EdgeUp(t Time, p, q graph.NodeID) {
+	tr.Record(TraceEvent{At: t, Kind: TEdgeUp, P: p, Q: q})
+}
+
+// EdgeDown records link {p, q} disappearing at time t.
+func (tr *Trace) EdgeDown(t Time, p, q graph.NodeID) {
+	tr.Record(TraceEvent{At: t, Kind: TEdgeDown, P: p, Q: q})
+}
+
+// Send records p sending a tag-message to q at time t.
+func (tr *Trace) Send(t Time, p, q graph.NodeID, tag string) {
+	tr.Record(TraceEvent{At: t, Kind: TSend, P: p, Q: q, Tag: tag})
+}
+
+// Deliver records q's tag-message being delivered to p at time t.
+func (tr *Trace) Deliver(t Time, p, q graph.NodeID, tag string) {
+	tr.Record(TraceEvent{At: t, Kind: TDeliver, P: p, Q: q, Tag: tag})
+}
+
+// Drop records a tag-message from p to q being lost at time t.
+func (tr *Trace) Drop(t Time, p, q graph.NodeID, tag string) {
+	tr.Record(TraceEvent{At: t, Kind: TDrop, P: p, Q: q, Tag: tag})
+}
+
+// Mark records a protocol-defined event labeled tag at entity p.
+func (tr *Trace) Mark(t Time, p graph.NodeID, tag string) {
+	tr.Record(TraceEvent{At: t, Kind: TMark, P: p, Tag: tag})
+}
+
+// Close fixes the trace's end time. Recording after Close panics.
+func (tr *Trace) Close(t Time) {
+	if t > tr.end {
+		tr.end = t
+	}
+	tr.closed = true
+}
+
+// End returns the trace's end time: the Close time if closed, otherwise
+// the time of the last event.
+func (tr *Trace) End() Time { return tr.end }
+
+// Len returns the number of recorded events.
+func (tr *Trace) Len() int { return len(tr.events) }
+
+// Events returns a copy of the recorded events.
+func (tr *Trace) Events() []TraceEvent {
+	out := make([]TraceEvent, len(tr.events))
+	copy(out, tr.events)
+	return out
+}
+
+// EventsSince returns a copy of the events recorded from index start on
+// (incremental consumers keep a cursor instead of re-copying the whole
+// trace). A start beyond the log returns nil.
+func (tr *Trace) EventsSince(start int) []TraceEvent {
+	if start < 0 {
+		start = 0
+	}
+	if start >= len(tr.events) {
+		return nil
+	}
+	out := make([]TraceEvent, len(tr.events)-start)
+	copy(out, tr.events[start:])
+	return out
+}
+
+// Interval is a half-open presence interval [From, To). To is the trace
+// end for sessions still open at the end of the run.
+type Interval struct {
+	From, To Time
+}
+
+// Covers reports whether the interval contains [t1, t2] entirely.
+func (iv Interval) Covers(t1, t2 Time) bool { return iv.From <= t1 && t2 < iv.To }
+
+// Sessions returns, per entity, its presence intervals in time order.
+// A session open at the end of the trace is closed at End()+1 so that
+// Covers(t, End()) holds for entities present to the very end.
+func (tr *Trace) Sessions() map[graph.NodeID][]Interval {
+	open := make(map[graph.NodeID]Time)
+	out := make(map[graph.NodeID][]Interval)
+	for _, ev := range tr.events {
+		switch ev.Kind {
+		case TJoin:
+			if _, ok := open[ev.P]; !ok {
+				open[ev.P] = ev.At
+			}
+		case TLeave:
+			if from, ok := open[ev.P]; ok {
+				out[ev.P] = append(out[ev.P], Interval{From: from, To: ev.At})
+				delete(open, ev.P)
+			}
+		}
+	}
+	for p, from := range open {
+		out[p] = append(out[p], Interval{From: from, To: tr.end + 1})
+	}
+	return out
+}
+
+// Entities returns every entity that ever joined, in ascending order.
+func (tr *Trace) Entities() []graph.NodeID {
+	seen := make(map[graph.NodeID]bool)
+	for _, ev := range tr.events {
+		if ev.Kind == TJoin {
+			seen[ev.P] = true
+		}
+	}
+	out := make([]graph.NodeID, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PresentAt returns the entities present at time t, ascending.
+func (tr *Trace) PresentAt(t Time) []graph.NodeID {
+	var out []graph.NodeID
+	for p, ivs := range tr.Sessions() {
+		for _, iv := range ivs {
+			if iv.From <= t && t < iv.To {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MaxConcurrency returns the maximum number of simultaneously present
+// entities over the run — the observed concurrency level that places the
+// run within an infinite arrival model.
+func (tr *Trace) MaxConcurrency() int {
+	cur, max := 0, 0
+	for _, ev := range tr.events {
+		switch ev.Kind {
+		case TJoin:
+			cur++
+			if cur > max {
+				max = cur
+			}
+		case TLeave:
+			cur--
+		}
+	}
+	return max
+}
+
+// StableBetween returns the entities present during the whole closed
+// interval [t1, t2]: exactly the processes whose values a valid One-Time
+// Query issued over that interval must account for.
+func (tr *Trace) StableBetween(t1, t2 Time) []graph.NodeID {
+	var out []graph.NodeID
+	for p, ivs := range tr.Sessions() {
+		for _, iv := range ivs {
+			if iv.Covers(t1, t2) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EverPresentBetween returns the entities present at any point of
+// [t1, t2]: the only processes whose values may legitimately appear in a
+// One-Time Query answer over that interval.
+func (tr *Trace) EverPresentBetween(t1, t2 Time) []graph.NodeID {
+	var out []graph.NodeID
+	for p, ivs := range tr.Sessions() {
+		for _, iv := range ivs {
+			if iv.From <= t2 && t1 < iv.To {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Temporal converts the trace's topology events into an evolving graph.
+func (tr *Trace) Temporal() *graph.Temporal {
+	tg := graph.NewTemporal()
+	for _, ev := range tr.events {
+		switch ev.Kind {
+		case TJoin:
+			tg.Record(graph.TemporalEvent{At: ev.At, Kind: graph.NodeJoin, U: ev.P})
+		case TLeave:
+			tg.Record(graph.TemporalEvent{At: ev.At, Kind: graph.NodeLeave, U: ev.P})
+		case TEdgeUp:
+			tg.Record(graph.TemporalEvent{At: ev.At, Kind: graph.EdgeUp, U: ev.P, V: ev.Q})
+		case TEdgeDown:
+			tg.Record(graph.TemporalEvent{At: ev.At, Kind: graph.EdgeDown, U: ev.P, V: ev.Q})
+		}
+	}
+	return tg
+}
+
+// LastTopologyChange returns the time of the last join/leave/edge event,
+// or 0 if there is none.
+func (tr *Trace) LastTopologyChange() Time {
+	last := Time(0)
+	for _, ev := range tr.events {
+		switch ev.Kind {
+		case TJoin, TLeave, TEdgeUp, TEdgeDown:
+			if ev.At > last {
+				last = ev.At
+			}
+		}
+	}
+	return last
+}
+
+// SessionStats summarizes membership dynamics: how many sessions the run
+// saw, how long they lasted, and the implied churn intensity.
+type SessionStats struct {
+	// Sessions is the total number of presence intervals.
+	Sessions int
+	// Completed counts sessions that ended before the trace did.
+	Completed int
+	// MeanLength and MaxLength are over COMPLETED sessions (open sessions
+	// have no length yet); both 0 when nothing completed.
+	MeanLength float64
+	MaxLength  Time
+	// EventsPerTick is (joins+leaves)/duration: the churn intensity.
+	EventsPerTick float64
+}
+
+// SessionStatistics computes SessionStats from the trace.
+func (tr *Trace) SessionStatistics() SessionStats {
+	var st SessionStats
+	events := 0
+	for _, ev := range tr.events {
+		if ev.Kind == TJoin || ev.Kind == TLeave {
+			events++
+		}
+	}
+	var sum Time
+	for _, ivs := range tr.Sessions() {
+		for _, iv := range ivs {
+			st.Sessions++
+			if iv.To <= tr.end { // closed before the run ended
+				st.Completed++
+				length := iv.To - iv.From
+				sum += length
+				if length > st.MaxLength {
+					st.MaxLength = length
+				}
+			}
+		}
+	}
+	if st.Completed > 0 {
+		st.MeanLength = float64(sum) / float64(st.Completed)
+	}
+	if tr.end > 0 {
+		st.EventsPerTick = float64(events) / float64(tr.end)
+	}
+	return st
+}
+
+// MessageStats summarizes message events in the trace.
+type MessageStats struct {
+	Sent, Delivered, Dropped int
+}
+
+// Messages counts message events, optionally filtered by tag ("" = all).
+func (tr *Trace) Messages(tag string) MessageStats {
+	var ms MessageStats
+	for _, ev := range tr.events {
+		if tag != "" && ev.Tag != tag {
+			continue
+		}
+		switch ev.Kind {
+		case TSend:
+			ms.Sent++
+		case TDeliver:
+			ms.Delivered++
+		case TDrop:
+			ms.Dropped++
+		}
+	}
+	return ms
+}

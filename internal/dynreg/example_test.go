@@ -1,0 +1,41 @@
+package dynreg_test
+
+import (
+	"fmt"
+
+	"repro/internal/dynreg"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// A register replicated inside the system: the writer updates, a joiner
+// acquires state before serving reads, and the checker judges regularity.
+func Example() {
+	engine := sim.New()
+	reg := &dynreg.Register{SpreadInterval: 3, WriteWindow: 40}
+	world := node.NewWorld(engine, topology.NewRing(1), reg.Factory(), node.Config{
+		MinLatency: 1, MaxLatency: 2, Seed: 1,
+	})
+	for i := 1; i <= 8; i++ {
+		world.Join(graph.NodeID(i))
+	}
+	reg.Bootstrap(world, 0)
+
+	reg.Write(world, 1, 42)
+	engine.RunUntil(100)
+
+	world.Join(99) // the joiner must acquire state first
+	fmt.Println("joiner active immediately:", reg.Active(world, 99))
+	engine.RunUntil(200)
+	v, served := reg.Read(world, 99)
+	fmt.Println("joiner reads:", v, served)
+
+	world.Close()
+	fmt.Println("run regular:", dynreg.Check(world.Trace).OK())
+	// Output:
+	// joiner active immediately: false
+	// joiner reads: 42 true
+	// run regular: true
+}

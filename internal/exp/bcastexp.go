@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"repro/internal/broadcast"
+	"repro/internal/churn"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// E15 — reliable broadcast under churn and loss: forward-once flooding
+// against acknowledged anti-entropy dissemination, swept over the message
+// loss rate with churn held at a fixed rate. On a redundant overlay
+// flooding rides out churn alone (every stable member has two live
+// directions around the repaired ring — a measured finding of its own),
+// but it has no answer to lost messages: forward-once means a drop is
+// forever. Acknowledged anti-entropy re-offers until confirmation and
+// keeps the delivery obligation intact under loss and churn combined,
+// paying in messages and latency.
+func E15(cfg Config) *Report {
+	losses := []float64{0, 0.05, 0.15, 0.3}
+	tb := stats.NewTable("loss rate",
+		"flood coverage", "flood msgs", "anti coverage", "anti msgs", "anti p90 latency")
+	for _, loss := range losses {
+		run := func(anti bool, seed uint64) (broadcast.Report, int) {
+			bc := &broadcast.Broadcast{AntiEntropy: anti, SpreadInterval: 4}
+			engine := sim.New()
+			w := node.NewWorld(engine, ringOverlay(seed), bc.Factory(), node.Config{
+				MinLatency: 1, MaxLatency: 2, LossRate: loss, Seed: seed,
+			})
+			c := churn.Config{
+				InitialPopulation: cfg.scale(24), Immortal: true,
+				ArrivalRate: 0.1, Session: churn.ExpSessions(60),
+			}
+			horizon := cfg.horizon(1200)
+			w.ApplyChurn(churn.New(seed^0xbca, c), horizon)
+			engine.RunUntil(100)
+			bc.Launch(w, w.Present()[0], 1)
+			engine.RunUntil(horizon)
+			w.Close()
+			return broadcast.Check(w.Trace), w.Trace.Messages("bcast.msg").Sent
+		}
+		var fCover, fMsgs, aCover, aMsgs, aLat stats.Sample
+		for s := 0; s < cfg.seeds(); s++ {
+			rep, msgs := run(false, uint64(s+1))
+			fCover.Add(rep.Coverage())
+			fMsgs.Add(float64(msgs))
+			rep, msgs = run(true, uint64(s+1))
+			aCover.Add(rep.Coverage())
+			aMsgs.Add(float64(msgs))
+			if l := rep.LatencyP(90); l >= 0 {
+				aLat.Add(float64(l))
+			}
+		}
+		tb.AddRow(loss, fCover.Mean(), fMsgs.Mean(), aCover.Mean(), aMsgs.Mean(), aLat.Mean())
+	}
+	return &Report{
+		ID:    "E15",
+		Title: "reliable broadcast: flood vs acknowledged anti-entropy",
+		Claim: "forward-once flooding loses stable members once messages can drop; acknowledged anti-entropy holds full stable coverage under loss and churn combined, at a message cost",
+		Table: tb,
+		Notes: []string{
+			"churn fixed at arrival rate 0.1 (immortal core 24, exp sessions 60) on the repairing ring; sweep is over the loss rate",
+			"at loss 0 flooding is fully covered despite churn: the repaired ring always offers a second direction - redundancy in space; anti-entropy adds redundancy in time",
+		},
+	}
+}

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"repro/internal/churn"
+	"repro/internal/node"
+	"repro/internal/otq"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// E18 — standing queries: a continuous flood re-answers every epoch while
+// the system churns underneath. Where the class supplies a sound bound
+// (the star's known diameter), every epoch is valid at every churn rate
+// and the answers track membership closely; with a guessed TTL on the
+// ring, the per-epoch validity rate collapses with churn and each answer
+// increasingly describes a system that no longer exists.
+func E18(cfg Config) *Report {
+	rates := []float64{0, 0.05, 0.1, 0.2}
+	tb := stats.NewTable("arrival rate",
+		"star valid epochs", "star count lag", "ring valid epochs", "ring count lag", "epochs/run")
+	for _, rate := range rates {
+		run := func(star bool, seed uint64) otq.ContinuousOutcome {
+			var proto *otq.ContinuousFlood
+			var w *node.World
+			engine := sim.New()
+			if star {
+				proto = &otq.ContinuousFlood{TTL: 2, MaxLatency: 2, Epoch: 60, MaxEpochs: 20}
+				w = node.NewWorld(engine, starOverlay(seed), proto.Factory(), node.Config{
+					MinLatency: 1, MaxLatency: 2, Seed: seed,
+				})
+			} else {
+				// The ring gets the bound that was true at launch time
+				// (initial population's diameter): churn is what breaks it.
+				proto = &otq.ContinuousFlood{TTL: cfg.scale(24) / 2, MaxLatency: 2, Epoch: 60, MaxEpochs: 20}
+				w = node.NewWorld(engine, ringOverlay(seed), proto.Factory(), node.Config{
+					MinLatency: 1, MaxLatency: 2, Seed: seed,
+				})
+			}
+			c := churn.Config{InitialPopulation: cfg.scale(24), Immortal: true}
+			if rate > 0 {
+				c.ArrivalRate = rate
+				c.Session = churn.ExpSessions(60)
+			}
+			horizon := cfg.horizon(1600)
+			w.ApplyChurn(churn.New(seed^0x77, c), horizon)
+			engine.RunUntil(100)
+			idx := 0
+			if star {
+				idx = 1 // a leaf queries; the wave genuinely needs two hops
+			}
+			present := w.Present()
+			if idx >= len(present) {
+				idx = len(present) - 1
+			}
+			r := proto.Launch(w, present[idx])
+			engine.RunUntil(horizon)
+			w.Close()
+			return otq.CheckContinuous(w.Trace, r)
+		}
+		var starValid, starLag, ringValid, ringLag, epochs stats.Sample
+		for s := 0; s < cfg.seeds(); s++ {
+			out := run(true, uint64(s+1))
+			starValid.Add(out.ValidRate())
+			starLag.Add(out.MeanAbsCountLag)
+			epochs.Add(float64(out.Epochs))
+			out = run(false, uint64(s+1))
+			ringValid.Add(out.ValidRate())
+			ringLag.Add(out.MeanAbsCountLag)
+		}
+		tb.AddRow(rate, starValid.Mean(), starLag.Mean(), ringValid.Mean(), ringLag.Mean(), epochs.Mean())
+	}
+	return &Report{
+		ID:    "E18",
+		Title: "standing queries: per-epoch validity under churn",
+		Claim: "with a sound bound (star, D=2) every epoch of the standing query stays valid at every churn rate; the ring's bound was true at launch but churn grows the diameter past it, so the per-epoch validity rate collapses and answers lag the living membership",
+		Table: tb,
+		Notes: []string{"count lag = mean |epoch answer size - true membership at answer time|; 20 epochs of period 60 per run"},
+	}
+}

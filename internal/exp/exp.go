@@ -1,0 +1,196 @@
+// Package exp is the experiment harness: it assembles worlds out of the
+// substrates (sim, churn, topology, node, otq), executes runs, judges them
+// with the specification checkers, and renders the result tables recorded
+// in EXPERIMENTS.md.
+//
+// The paper is a position paper with no numbered tables or figures; each
+// experiment here operationalizes one of its qualitative claims (C1-C6 in
+// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E19 are
+// ours and are indexed in DESIGN.md.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/churn"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/otq"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Scenario describes one simulated run end to end.
+type Scenario struct {
+	Seed uint64
+	// Overlay builds the topology maintenance policy for this run.
+	Overlay func(seed uint64) topology.Overlay
+	// Churn configures membership dynamics; ignored when Script is set
+	// and Churn is the zero Config.
+	Churn churn.Config
+	// Script, when set, runs right after world construction (at t=0); use
+	// it for manual population and staged interventions.
+	Script func(w *node.World, e *sim.Engine)
+	// Protocol builds the (single-use) query protocol for this run.
+	Protocol func() otq.Protocol
+	// Latency bounds per-hop delay; zero means [1, 1].
+	MinLatency, MaxLatency sim.Time
+	// LossRate drops messages independently.
+	LossRate float64
+	// QueryAt is when the query launches; the querier is the entity at
+	// QuerierIndex in the ascending list of entities present then.
+	QueryAt sim.Time
+	// QuerierIndex selects the querier among the present entities
+	// (clamped to the population). 0 picks the lowest-numbered one.
+	QuerierIndex int
+	// Horizon is when the run stops.
+	Horizon sim.Time
+	// ValueOf overrides the default id-valued assignment.
+	ValueOf func(graph.NodeID) float64
+}
+
+// RunResult is everything a single execution produces.
+type RunResult struct {
+	Outcome  otq.Outcome
+	Trace    *core.Trace
+	Run      *otq.Run
+	Inferred core.Class
+	Messages core.MessageStats
+	Querier  graph.NodeID
+}
+
+// Execute runs a scenario to completion and judges it.
+func Execute(sc Scenario) RunResult {
+	if sc.Horizon <= 0 {
+		panic("exp: scenario needs a positive horizon")
+	}
+	engine := sim.New()
+	proto := sc.Protocol()
+	valueOf := sc.ValueOf
+	w := node.NewWorld(engine, sc.Overlay(sc.Seed), proto.Factory(), node.Config{
+		MinLatency: sc.MinLatency,
+		MaxLatency: sc.MaxLatency,
+		LossRate:   sc.LossRate,
+		Seed:       sc.Seed ^ 0xdddd,
+		ValueOf:    valueOf,
+	})
+	if sc.Script != nil {
+		sc.Script(w, engine)
+	}
+	if sc.Churn.InitialPopulation > 0 || sc.Churn.ArrivalRate > 0 {
+		gen := churn.New(sc.Seed^0xcccc, sc.Churn)
+		w.ApplyChurn(gen, sc.Horizon)
+	}
+	engine.RunUntil(sc.QueryAt)
+	present := w.Present()
+	if len(present) == 0 {
+		panic("exp: no entity present at query time")
+	}
+	idx := sc.QuerierIndex
+	if idx >= len(present) {
+		idx = len(present) - 1
+	}
+	querier := present[idx]
+	run := proto.Launch(w, querier)
+	engine.RunUntil(sc.Horizon)
+	w.Close()
+	if valueOf == nil {
+		valueOf = func(id graph.NodeID) float64 { return float64(id) }
+	}
+	return RunResult{
+		Outcome:  otq.Check(w.Trace, run, valueOf),
+		Trace:    w.Trace,
+		Run:      run,
+		Inferred: core.InferClass(w.Trace),
+		Messages: w.Trace.Messages(""),
+		Querier:  querier,
+	}
+}
+
+// Report is one experiment's rendered result.
+type Report struct {
+	ID    string
+	Title string
+	Claim string
+	Table *stats.Table
+	Notes []string
+}
+
+// String renders the report as the plain text recorded in EXPERIMENTS.md.
+func (r *Report) String() string {
+	out := fmt.Sprintf("== %s: %s ==\nClaim: %s\n\n%s", r.ID, r.Title, r.Claim, r.Table)
+	for _, n := range r.Notes {
+		out += fmt.Sprintf("note: %s\n", n)
+	}
+	return out
+}
+
+// Config scales the experiment suite.
+type Config struct {
+	// Seeds is the number of independent repetitions per cell.
+	Seeds int
+	// Quick shrinks populations and horizons (CI-sized runs).
+	Quick bool
+}
+
+// DefaultConfig is the configuration the recorded EXPERIMENTS.md numbers
+// were produced with.
+var DefaultConfig = Config{Seeds: 5}
+
+func (c Config) seeds() int {
+	if c.Seeds <= 0 {
+		return 5
+	}
+	return c.Seeds
+}
+
+// scale halves sizes in quick mode.
+func (c Config) scale(n int) int {
+	if c.Quick && n > 8 {
+		return n / 2
+	}
+	return n
+}
+
+// horizon halves run lengths in quick mode.
+func (c Config) horizon(t sim.Time) sim.Time {
+	if c.Quick {
+		return t / 2
+	}
+	return t
+}
+
+// Experiment is a named, runnable experiment.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(Config) *Report
+}
+
+// All returns every experiment in suite order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "static baseline: flooding solves OTQ", E1},
+		{"E2", "solvability matrix: protocols x classes", E2},
+		{"E3", "fixed TTL vs actual diameter", E3},
+		{"E4", "churn-rate sweep: known-D vs unknown-D overlays", E4},
+		{"E5", "arrival models and class checking", E5},
+		{"E6", "gossip: graceful degradation vs exact failure", E6},
+		{"E7", "reliable registers from unreliable ones", E7},
+		{"E8", "consensus self-implementation", E8},
+		{"E9", "temporal reachability under churn", E9},
+		{"E10", "message loss: single vs repeated flooding", E10},
+		{"E11", "cost of scale: exact protocols on growing static cycles", E11},
+		{"E12", "ablation: the echo wave's quiescence window", E12},
+		{"E13", "a register in the dynamic system: regularity vs churn", E13},
+		{"E14", "structured overlays restore the known-diameter class", E14},
+		{"E15", "reliable broadcast: flood vs anti-entropy under churn", E15},
+		{"E16", "exact identity sets vs duplicate-insensitive sketches", E16},
+		{"E17", "greedy key lookup on the structured overlay", E17},
+		{"E18", "standing queries: per-epoch validity under churn", E18},
+		{"E19", "eventual leader election under churn", E19},
+		{"E20", "link flapping: geography dynamics with frozen membership", E20},
+	}
+}

@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/churn"
+	"repro/internal/otq"
+)
+
+var quick = Config{Seeds: 2, Quick: true}
+
+func TestExecuteDeterministic(t *testing.T) {
+	sc := func() Scenario {
+		return Scenario{
+			Seed:    7,
+			Overlay: ringOverlay,
+			Churn: churn.Config{InitialPopulation: 12, Immortal: true,
+				ArrivalRate: 0.1, Session: churn.ExpSessions(60)},
+			Protocol: func() otq.Protocol {
+				return &otq.EchoWave{RescanInterval: 3, QuietFor: 40, MaxRescans: 500}
+			},
+			MinLatency: 1, MaxLatency: 2,
+			QueryAt: 50, Horizon: 800,
+		}
+	}
+	a := Execute(sc())
+	b := Execute(sc())
+	if a.Outcome.String() != b.Outcome.String() {
+		t.Fatalf("replays differ: %v vs %v", a.Outcome, b.Outcome)
+	}
+	if a.Messages != b.Messages {
+		t.Fatalf("message stats differ: %+v vs %+v", a.Messages, b.Messages)
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-horizon scenario did not panic")
+		}
+	}()
+	Execute(Scenario{})
+}
+
+func TestQuerierIndexClamped(t *testing.T) {
+	res := Execute(Scenario{
+		Seed:    1,
+		Overlay: meshOverlay,
+		Churn:   churn.Config{InitialPopulation: 3, Immortal: true},
+		Protocol: func() otq.Protocol {
+			return &otq.FloodTTL{TTL: 1, MaxLatency: 2}
+		},
+		QueryAt: 5, Horizon: 100, QuerierIndex: 99,
+	})
+	if res.Querier != 3 {
+		t.Fatalf("clamped querier = %d, want 3 (highest present)", res.Querier)
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite in -short mode")
+	}
+	for _, ex := range All() {
+		ex := ex
+		t.Run(ex.ID, func(t *testing.T) {
+			rep := ex.Run(quick)
+			if rep.ID != ex.ID {
+				t.Fatalf("report ID %q, want %q", rep.ID, ex.ID)
+			}
+			out := rep.String()
+			if !strings.Contains(out, rep.Title) || !strings.Contains(out, "Claim:") {
+				t.Fatalf("report rendering incomplete:\n%s", out)
+			}
+			if len(strings.Split(out, "\n")) < 5 {
+				t.Fatalf("report suspiciously short:\n%s", out)
+			}
+			if strings.Contains(out, "UNEXPECTED") {
+				t.Fatalf("experiment reported an unexpected outcome:\n%s", out)
+			}
+		})
+	}
+}
+
+// Headline shape assertions on the cheap experiments.
+
+func TestE1AllValid(t *testing.T) {
+	rep := E1(quick)
+	for _, line := range strings.Split(rep.Table.String(), "\n")[2:] {
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Column 4 (0-based) is the ok rate.
+		if fields[4] != "1" {
+			t.Fatalf("E1 row not fully valid: %q", line)
+		}
+	}
+}
+
+func TestE3CrossoverAtTTL(t *testing.T) {
+	rep := E3(quick)
+	lines := strings.Split(strings.TrimRight(rep.Table.String(), "\n"), "\n")[2:]
+	for _, line := range lines {
+		f := strings.Fields(line)
+		d, valid := f[0], f[3]
+		switch d {
+		case "4", "6", "8":
+			if valid != "1" {
+				t.Errorf("diameter %s <= TTL should be valid: %q", d, line)
+			}
+		case "10", "12", "16":
+			if valid != "0" {
+				t.Errorf("diameter %s > TTL should be invalid: %q", d, line)
+			}
+		}
+	}
+}
+
+func TestE5ExpectationsMet(t *testing.T) {
+	rep := E5(quick)
+	lines := strings.Split(strings.TrimRight(rep.Table.String(), "\n"), "\n")[2:]
+	for _, ln := range lines {
+		fields := strings.Fields(ln)
+		// The measured ok rate directly follows the expect column, which
+		// holds the only "true"/"false" token in the row.
+		for i, f := range fields {
+			if (f == "true" || f == "false") && i+1 < len(fields) {
+				rate := fields[i+1]
+				if f == "true" && rate != "1" {
+					t.Errorf("E5 expected-OK row has rate %s: %q", rate, ln)
+				}
+				if f == "false" && rate != "0" {
+					t.Errorf("E5 expected-violation row has rate %s: %q", rate, ln)
+				}
+				break
+			}
+		}
+	}
+}

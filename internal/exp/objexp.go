@@ -1,0 +1,222 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/object/consensus"
+	"repro/internal/object/register"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// E7 — reliable registers from unreliable ones (claim C6): the
+// responsive-crash construction (t+1 base registers) and the majority
+// construction (2t+1) against increasing failure counts, including one
+// failure beyond the tolerance.
+func E7(cfg Config) *Report {
+	const tol = 2
+	ops := cfg.scale(2000)
+	tb := stats.NewTable("construction", "bases", "crash style", "f", "result")
+
+	// Responsive construction, responsive crashes, f = 0..t+1.
+	for f := 0; f <= tol+1; f++ {
+		r, bases := register.NewResponsive(tol)
+		for i := 0; i < f && i < len(bases); i++ {
+			bases[i].CrashAfter(int64(10+i*7), true)
+		}
+		tb.AddRow("sequential t+1", tol+1, "responsive", f, registerWorkload(ops, r.Write, r.NewReader().Read, f <= tol))
+	}
+	// Majority construction, non-responsive (silent) crashes, f = 0..t.
+	for f := 0; f <= tol; f++ {
+		r, bases := register.NewNonResponsive(tol)
+		for i := 0; i < f; i++ {
+			bases[i].CrashNonResponsive()
+		}
+		res := registerWorkload(ops, r.Write, r.NewReader().Read, true)
+		for i := 0; i < f; i++ {
+			bases[i].Release()
+		}
+		tb.AddRow("majority 2t+1", 2*tol+1, "non-responsive", f, res)
+	}
+	// Majority construction, one silent crash too many: blocks.
+	{
+		r, bases := register.NewNonResponsive(tol)
+		for i := 0; i <= tol; i++ {
+			bases[i].CrashNonResponsive()
+		}
+		done := make(chan error, 1)
+		go func() { done <- r.Write(1) }()
+		var res string
+		select {
+		case err := <-done:
+			res = fmt.Sprintf("UNEXPECTED return: %v", err)
+		case <-time.After(100 * time.Millisecond):
+			res = "blocked (as the model predicts)"
+		}
+		for i := 0; i <= tol; i++ {
+			bases[i].Release()
+		}
+		tb.AddRow("majority 2t+1", 2*tol+1, "non-responsive", tol+1, res)
+	}
+	// The sequential construction cannot cope with even one silent crash.
+	{
+		r, bases := register.NewResponsive(tol)
+		bases[0].CrashNonResponsive()
+		done := make(chan error, 1)
+		go func() { done <- r.Write(1) }()
+		var res string
+		select {
+		case err := <-done:
+			res = fmt.Sprintf("UNEXPECTED return: %v", err)
+		case <-time.After(100 * time.Millisecond):
+			res = "blocked (needs the majority construction)"
+		}
+		bases[0].Release()
+		tb.AddRow("sequential t+1", tol+1, "non-responsive", 1, res)
+	}
+	return &Report{
+		ID:    "E7",
+		Title: "reliable registers from unreliable ones",
+		Claim: "C6 — t+1 base registers suffice under responsive crashes, 2t+1 under non-responsive ones; beyond tolerance the failure is detected (responsive) or blocks (non-responsive)",
+		Table: tb,
+	}
+}
+
+// registerWorkload drives sequential write/read pairs and judges the run.
+func registerWorkload(ops int, write func(int64) error, read func() (int64, error), expectOK bool) string {
+	var firstErr error
+	lastWritten := int64(-1)
+	regressions := 0
+	lastRead := int64(-1)
+	for i := 0; i < ops; i++ {
+		v := int64(i)
+		if err := write(v); err != nil {
+			firstErr = err
+			break
+		}
+		lastWritten = v
+		got, err := read()
+		if err != nil {
+			firstErr = err
+			break
+		}
+		if got < lastRead {
+			regressions++
+		}
+		lastRead = got
+		if got != v {
+			regressions++ // read-your-write violated in sequential use
+		}
+	}
+	switch {
+	case regressions > 0:
+		return fmt.Sprintf("ATOMICITY VIOLATED (%d regressions)", regressions)
+	case firstErr == nil && expectOK:
+		return fmt.Sprintf("ok (%d ops, final=%d)", ops, lastWritten)
+	case firstErr == nil && !expectOK:
+		return "UNEXPECTED success beyond tolerance"
+	case errors.Is(firstErr, register.ErrCrashed) && !expectOK:
+		return "failure detected (beyond tolerance)"
+	default:
+		return fmt.Sprintf("UNEXPECTED error: %v", firstErr)
+	}
+}
+
+// E8 — consensus self-implementation (claim C6): agreement and validity
+// across concurrent proposers under staggered responsive crashes, the
+// beyond-tolerance behaviour, and the non-responsive blocking witness.
+func E8(cfg Config) *Report {
+	const tol = 2
+	const procs = 8
+	trials := cfg.scale(100)
+	tb := stats.NewTable("scenario", "trials", "agreement", "validity", "note")
+
+	run := func(crashes int) (agree, valid stats.Sample) {
+		r := rng.New(123)
+		for trial := 0; trial < trials; trial++ {
+			c, bases := consensus.NewResponsive(tol)
+			picked := r.Perm(tol + 1)[:crashes]
+			for _, idx := range picked {
+				bases[idx].CrashAfter(int64(1+r.Intn(12)), true)
+			}
+			out := make([]int64, procs)
+			errs := make([]error, procs)
+			done := make(chan int, procs)
+			for i := 0; i < procs; i++ {
+				i := i
+				go func() {
+					out[i], errs[i] = c.Propose(int64(trial*100 + i))
+					done <- i
+				}()
+			}
+			for i := 0; i < procs; i++ {
+				<-done
+			}
+			ag := true
+			vd := true
+			for i := 0; i < procs; i++ {
+				if errs[i] != nil {
+					ag = false
+				}
+				if out[i] != out[0] {
+					ag = false
+				}
+				if out[i] < int64(trial*100) || out[i] >= int64(trial*100+procs) {
+					vd = false
+				}
+			}
+			agree.AddBool(ag)
+			valid.AddBool(vd)
+		}
+		return agree, valid
+	}
+
+	for _, f := range []int{0, 1, tol} {
+		agree, valid := run(f)
+		tb.AddRow(fmt.Sprintf("responsive crashes f=%d (t=%d)", f, tol),
+			trials, agree.Mean(), valid.Mean(), "t+1 objects, fixed traversal order")
+	}
+
+	// Beyond tolerance: all base objects crash before any access —
+	// processes keep their own estimates and the construction reports it.
+	{
+		detected := 0
+		for trial := 0; trial < trials; trial++ {
+			c, bases := consensus.NewResponsive(tol)
+			for _, b := range bases {
+				b.CrashResponsive()
+			}
+			_, err := c.Propose(int64(trial))
+			if errors.Is(err, consensus.ErrCrashed) {
+				detected++
+			}
+		}
+		tb.AddRow(fmt.Sprintf("responsive crashes f=%d (beyond t)", tol+1),
+			trials, "-", "-", fmt.Sprintf("failure detected in %d/%d trials", detected, trials))
+	}
+
+	// Non-responsive: the traversal blocks — the impossibility witness.
+	{
+		c, bases := consensus.NewResponsive(tol)
+		bases[0].CrashNonResponsive()
+		done := make(chan struct{})
+		go func() { c.Propose(1); close(done) }() //nolint:errcheck
+		var note string
+		select {
+		case <-done:
+			note = "UNEXPECTED return"
+		case <-time.After(100 * time.Millisecond):
+			note = "blocked (no wait-free construction exists in this model)"
+		}
+		bases[0].Release()
+		tb.AddRow("non-responsive crash f=1", 1, "-", "-", note)
+	}
+	return &Report{
+		ID:    "E8",
+		Title: "consensus self-implementation",
+		Claim: "C6 — t+1 responsive-crash consensus objects give wait-free agreement; non-responsive crashes admit no wait-free construction",
+		Table: tb,
+	}
+}

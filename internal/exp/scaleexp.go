@@ -1,0 +1,197 @@
+package exp
+
+import (
+	"repro/internal/churn"
+	"repro/internal/otq"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// E10 — unreliable channels: a single flood loses contributions to
+// message drops; repeating the same TTL-bounded flood and answering with
+// the union recovers them (redundancy in time). The knowledge the
+// protocol needs (the TTL) is unchanged — loss is an orthogonal
+// impairment to the paper's dynamicity dimensions.
+func E10(cfg Config) *Report {
+	n := cfg.scale(24)
+	losses := []float64{0, 0.05, 0.1, 0.2, 0.3}
+	tb := stats.NewTable("loss rate", "flood valid", "flood coverage", "repeat valid", "repeat coverage", "repeat msgs")
+	for _, loss := range losses {
+		mk := func(proto func() otq.Protocol) func(seed uint64) Scenario {
+			return func(seed uint64) Scenario {
+				return Scenario{
+					Seed:     seed,
+					Overlay:  meshOverlay,
+					Churn:    churn.Config{InitialPopulation: n, Immortal: true},
+					Protocol: proto, MinLatency: 1, MaxLatency: 2,
+					LossRate: loss,
+					QueryAt:  10, Horizon: 1000,
+				}
+			}
+		}
+		floodSc := mk(func() otq.Protocol { return &otq.FloodTTL{TTL: 1, MaxLatency: 2} })
+		repeatSc := mk(func() otq.Protocol {
+			return &otq.RepeatedFlood{TTL: 1, MaxLatency: 2, MaxRounds: 20, QuietRounds: 4}
+		})
+		var fValid, fCover, rValid, rCover, rMsgs stats.Sample
+		for s := 0; s < cfg.seeds(); s++ {
+			res := Execute(floodSc(uint64(s + 1)))
+			fValid.AddBool(res.Outcome.Valid())
+			fCover.Add(coverage(res.Outcome))
+			res = Execute(repeatSc(uint64(s + 1)))
+			rValid.AddBool(res.Outcome.Valid())
+			rCover.Add(coverage(res.Outcome))
+			rMsgs.Add(float64(res.Messages.Sent))
+		}
+		tb.AddRow(loss, fValid.Mean(), fCover.Mean(), rValid.Mean(), rCover.Mean(), rMsgs.Mean())
+	}
+	return &Report{
+		ID:    "E10",
+		Title: "message loss: single vs repeated flooding",
+		Claim: "channel loss degrades a single flood's coverage smoothly; repeating the flood and answering with the union restores validity at a message cost",
+		Table: tb,
+	}
+}
+
+// E12 — ablation of the echo wave's one tunable: the quiescence window.
+// The window is the protocol's substitute for the knowledge it does not
+// have (a diameter or churn bound), and no value of it is right: short
+// windows answer fast and wrong, long windows answer right and rarely.
+func E12(cfg Config) *Report {
+	tb := stats.NewTable("QuietFor", "term rate", "valid rate", "valid|term", "mean answer ticks")
+	for _, quiet := range []sim.Time{3, 5, 10, 40, 80, 160} {
+		var term, valid, validTerm, dur stats.Sample
+		for s := 0; s < cfg.seeds(); s++ {
+			res := Execute(Scenario{
+				Seed:    uint64(s + 1),
+				Overlay: ringOverlay,
+				Churn: churn.Config{InitialPopulation: cfg.scale(32), Immortal: true,
+					ArrivalRate: 0.05, Session: churn.ExpSessions(80)},
+				Protocol: func() otq.Protocol {
+					return &otq.EchoWave{RescanInterval: 3, QuietFor: quiet, MaxRescans: 3000}
+				},
+				MinLatency: 1, MaxLatency: 2,
+				QueryAt: 100, Horizon: cfg.horizon(2000),
+			})
+			term.AddBool(res.Outcome.Terminated)
+			valid.AddBool(res.Outcome.Valid())
+			if res.Outcome.Terminated {
+				validTerm.AddBool(res.Outcome.Valid())
+				dur.Add(float64(res.Outcome.Duration))
+			}
+		}
+		tb.AddRow(int64(quiet), term.Mean(), valid.Mean(), validTerm.Mean(), dur.Mean())
+	}
+	return &Report{
+		ID:    "E12",
+		Title: "ablation: the echo wave's quiescence window",
+		Claim: "the window trades Termination against Validity and no value buys both under churn — tuning cannot replace the knowledge the class withholds",
+		Table: tb,
+	}
+}
+
+// E14 — structured overlays: a finger ring keeps its diameter within
+// 2*ceil(log2 b) for any membership bounded by b, so an M^b system
+// regains the known-diameter class — flooding with the logarithmic TTL
+// is exactly valid under churn, where the same TTL on a plain ring is
+// hopeless. This is how deployed dynamic systems buy back the knowledge
+// the paper shows the One-Time Query needs.
+func E14(cfg Config) *Report {
+	tb := stats.NewTable("b (cap)", "ring diam", "finger diam", "log TTL", "finger+flood valid", "ring+flood valid")
+	sizes := []int{16, 32, 64}
+	if !cfg.Quick {
+		sizes = append(sizes, 128)
+	}
+	for _, b := range sizes {
+		ringDiam, _ := topology.BuildRing(b).Diameter()
+		fingerDiam, _ := topology.BuildFingerRing(b).Diameter()
+		ttl := topology.FingerDiameterBound(b)
+		mk := func(overlay func(uint64) topology.Overlay) func(seed uint64) Scenario {
+			return func(seed uint64) Scenario {
+				return Scenario{
+					Seed: seed, Overlay: overlay,
+					Churn: churn.Config{
+						// A 2-member immortal core (the querier must outlive
+						// its own query) plus arrivals churning at the cap.
+						InitialPopulation: 2, Immortal: true, ArrivalRate: 0.5,
+						Session: churn.ExpSessions(float64(b) * 10), MaxConcurrent: b,
+					},
+					Protocol: func() otq.Protocol {
+						return &otq.RepeatedFlood{TTL: ttl, MaxLatency: 2, MaxRounds: 6, QuietRounds: 2}
+					},
+					MinLatency: 1, MaxLatency: 2,
+					QueryAt: 100, Horizon: cfg.horizon(1500),
+				}
+			}
+		}
+		fingerSc := mk(func(uint64) topology.Overlay { return topology.NewFingerRing() })
+		ringSc := mk(ringOverlay)
+		var fingerValid, ringValid stats.Sample
+		for s := 0; s < cfg.seeds(); s++ {
+			res := Execute(fingerSc(uint64(s + 1)))
+			fingerValid.AddBool(res.Outcome.Valid())
+			res = Execute(ringSc(uint64(s + 1)))
+			ringValid.AddBool(res.Outcome.Valid())
+		}
+		tb.AddRow(b, ringDiam, fingerDiam, ttl, fingerValid.Mean(), ringValid.Mean())
+	}
+	return &Report{
+		ID:    "E14",
+		Title: "structured overlays restore the known-diameter class",
+		Claim: "with membership capped at b (M^b), the finger ring's diameter stays within 2*ceil(log2 b): the logarithmic TTL floods exactly, while the same TTL on a plain ring misses most of the system once b outgrows it",
+		Table: tb,
+		Notes: []string{"churn: Poisson arrivals at the M^b cap with exponential sessions; static diameters shown for reference"},
+	}
+}
+
+// E11 — the size dimension's cost: message complexity and answer latency
+// of the exact protocols as the (static) system grows. On a cycle,
+// hop-by-hop report relaying makes flooding's message count grow
+// quadratically while the echo wave stays linear and is the latency
+// optimum; the expanding ring pays its probing rounds.
+func E11(cfg Config) *Report {
+	sizes := []int{16, 32, 64, 128}
+	if cfg.Quick {
+		sizes = []int{16, 32, 64}
+	}
+	tb := stats.NewTable("n", "flood msgs", "flood ticks", "tree-echo msgs", "tree-echo ticks", "exp-ring msgs", "exp-ring ticks")
+	for _, n := range sizes {
+		run := func(proto func() otq.Protocol) (msgs, ticks float64, allValid bool) {
+			var ms, tk stats.Sample
+			allValid = true
+			for s := 0; s < cfg.seeds(); s++ {
+				res := Execute(Scenario{
+					Seed:     uint64(s + 1),
+					Overlay:  manualOverlay,
+					Script:   cycleScript(n),
+					Protocol: proto, MinLatency: 1, MaxLatency: 2,
+					QueryAt: 10, Horizon: sim.Time(40*n + 1000),
+				})
+				ms.Add(float64(res.Messages.Sent))
+				tk.Add(float64(res.Outcome.Duration))
+				if !res.Outcome.Valid() {
+					allValid = false
+				}
+			}
+			return ms.Mean(), tk.Mean(), allValid
+		}
+		fm, ft, fv := run(func() otq.Protocol { return &otq.FloodTTL{TTL: n / 2, MaxLatency: 2} })
+		tm, tt, tv := run(func() otq.Protocol { return &otq.TreeEcho{} })
+		rm, rt, rv := run(func() otq.Protocol { return &otq.ExpandingRing{MaxLatency: 2, MaxTTL: 2 * n} })
+		if !fv || !tv || !rv {
+			// Static runs: every protocol must be exact; a failure here is
+			// a bug, not an expected shape.
+			tb.AddRow(n, "INVALID RUN", "", "", "", "", "")
+			continue
+		}
+		tb.AddRow(n, fm, ft, tm, tt, rm, rt)
+	}
+	return &Report{
+		ID:    "E11",
+		Title: "cost of scale: exact protocols on growing static cycles",
+		Claim: "flooding's relayed reports cost O(n^2) messages on a cycle; the echo wave stays O(n) and answers fastest; the expanding ring multiplies flooding by its probing rounds",
+		Table: tb,
+		Notes: []string{"all runs are static and exactly valid; columns are means over seeds"},
+	}
+}

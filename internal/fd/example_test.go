@@ -1,0 +1,38 @@
+package fd_test
+
+import (
+	"fmt"
+
+	"repro/internal/fd"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// The failure detector suspects a silently crashed neighbor — whose
+// edges are still in the overlay — by its missing heartbeats.
+func Example() {
+	engine := sim.New()
+	detector := &fd.Detector{HeartbeatEvery: 5, Timeout: 20}
+	monitors := map[graph.NodeID]*fd.Monitor{}
+	world := node.NewWorld(engine, topology.NewMesh(), func(id graph.NodeID) node.Behavior {
+		m := detector.Behavior()
+		monitors[id] = m
+		return m
+	}, node.Config{MinLatency: 1, MaxLatency: 2, Seed: 1})
+	for i := 1; i <= 4; i++ {
+		world.Join(graph.NodeID(i))
+	}
+	engine.RunUntil(100)
+
+	world.Crash(3) // silent: the overlay keeps its stale edges
+	engine.RunUntil(200)
+
+	fmt.Println("edge to the crashed entity still exists:",
+		world.Overlay.Graph().HasEdge(1, 3))
+	fmt.Println("entity 1 suspects it anyway:", monitors[1].Suspected(3))
+	// Output:
+	// edge to the crashed entity still exists: true
+	// entity 1 suspects it anyway: true
+}

@@ -1,0 +1,166 @@
+// Package fd implements a heartbeat failure detector for the simulated
+// dynamic system: each entity periodically heartbeats its neighbors and
+// suspects a neighbor whose heartbeats stop arriving.
+//
+// In the paper's setting this is the message-level mechanism behind
+// "knowing one's neighbors": an entity has no membership service to
+// consult, only what its neighbors send it. The detector is of the
+// eventually-perfect family: a suspicion raised because a heartbeat was
+// merely slow is revoked when the heartbeat arrives, and that neighbor's
+// timeout is increased, so false suspicions stop recurring; a neighbor
+// that actually departed stops heartbeating and stays suspected.
+//
+// The module composes with query protocols via node.Compose: it consumes
+// only "fd.heartbeat" messages and ignores everything else.
+package fd
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// TagHeartbeat is the detector's message tag.
+const TagHeartbeat = "fd.heartbeat"
+
+// Detector is the factory-level configuration. Use Behavior (or a
+// node.BehaviorFactory wrapping it) to instantiate per-entity monitors.
+type Detector struct {
+	// HeartbeatEvery is the heartbeat period. Default 5.
+	HeartbeatEvery sim.Time
+	// Timeout is the initial silence threshold before suspecting a
+	// neighbor. Default 3x the heartbeat period.
+	Timeout sim.Time
+	// TimeoutIncrement is added to a neighbor's threshold each time a
+	// suspicion against it proves false. Default = HeartbeatEvery.
+	TimeoutIncrement sim.Time
+	// MaxTicks bounds each monitor's activity (safety valve). Default
+	// 100000.
+	MaxTicks int
+}
+
+func (d *Detector) heartbeatEvery() sim.Time {
+	if d.HeartbeatEvery > 0 {
+		return d.HeartbeatEvery
+	}
+	return 5
+}
+
+func (d *Detector) timeout() sim.Time {
+	if d.Timeout > 0 {
+		return d.Timeout
+	}
+	return 3 * d.heartbeatEvery()
+}
+
+func (d *Detector) timeoutIncrement() sim.Time {
+	if d.TimeoutIncrement > 0 {
+		return d.TimeoutIncrement
+	}
+	return d.heartbeatEvery()
+}
+
+func (d *Detector) maxTicks() int {
+	if d.MaxTicks > 0 {
+		return d.MaxTicks
+	}
+	return 100000
+}
+
+// Monitor is one entity's failure detector module.
+type Monitor struct {
+	cfg       *Detector
+	lastHeard map[graph.NodeID]sim.Time
+	timeout   map[graph.NodeID]sim.Time
+	suspected map[graph.NodeID]bool
+	// falseSuspicions counts revoked suspicions (accuracy metric).
+	falseSuspicions int
+	ticks           int
+}
+
+// Behavior returns a fresh per-entity monitor.
+func (d *Detector) Behavior() *Monitor {
+	return &Monitor{
+		cfg:       d,
+		lastHeard: make(map[graph.NodeID]sim.Time),
+		timeout:   make(map[graph.NodeID]sim.Time),
+		suspected: make(map[graph.NodeID]bool),
+	}
+}
+
+// Factory returns a node.BehaviorFactory running only the detector (for
+// worlds whose entities need nothing else).
+func (d *Detector) Factory() node.BehaviorFactory {
+	return func(graph.NodeID) node.Behavior { return d.Behavior() }
+}
+
+// Init implements node.Behavior: start heartbeating.
+func (m *Monitor) Init(p *node.Proc) { m.tick(p) }
+
+// Receive implements node.Behavior: refresh the sender's liveness.
+func (m *Monitor) Receive(p *node.Proc, msg node.Message) {
+	if msg.Tag != TagHeartbeat {
+		return
+	}
+	m.lastHeard[msg.From] = p.Now()
+	if m.suspected[msg.From] {
+		// False suspicion: revoke and become more patient with this
+		// neighbor (the eventually-perfect adaptation).
+		delete(m.suspected, msg.From)
+		m.timeout[msg.From] += m.cfg.timeoutIncrement()
+		m.falseSuspicions++
+	}
+}
+
+func (m *Monitor) tick(p *node.Proc) {
+	m.ticks++
+	if m.ticks > m.cfg.maxTicks() {
+		return
+	}
+	now := p.Now()
+	current := make(map[graph.NodeID]bool)
+	for _, u := range p.Neighbors() {
+		current[u] = true
+		p.Send(u, TagHeartbeat, nil)
+		if _, ok := m.lastHeard[u]; !ok {
+			// Grace period starts when the neighbor first appears.
+			m.lastHeard[u] = now
+		}
+		to, ok := m.timeout[u]
+		if !ok {
+			to = m.cfg.timeout()
+			m.timeout[u] = to
+		}
+		if now-m.lastHeard[u] > to {
+			m.suspected[u] = true
+		}
+	}
+	// Forget state about entities that are no longer neighbors: the
+	// overlay edge is gone, so there is nothing left to monitor.
+	for u := range m.lastHeard {
+		if !current[u] {
+			delete(m.lastHeard, u)
+			delete(m.timeout, u)
+			delete(m.suspected, u)
+		}
+	}
+	p.After(m.cfg.heartbeatEvery(), func() { m.tick(p) })
+}
+
+// Suspected reports whether the monitor currently suspects u.
+func (m *Monitor) Suspected(u graph.NodeID) bool { return m.suspected[u] }
+
+// Suspects returns the currently suspected neighbors, ascending.
+func (m *Monitor) Suspects() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(m.suspected))
+	for u := range m.suspected {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FalseSuspicions returns how many suspicions this monitor revoked.
+func (m *Monitor) FalseSuspicions() int { return m.falseSuspicions }

@@ -1,0 +1,159 @@
+package fd
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// fdWorld builds a mesh of n entities, each running only a Monitor, and
+// returns the monitors by entity.
+func fdWorld(d *Detector, n int, cfg node.Config) (*node.World, *sim.Engine, map[graph.NodeID]*Monitor) {
+	e := sim.New()
+	monitors := map[graph.NodeID]*Monitor{}
+	factory := func(id graph.NodeID) node.Behavior {
+		m := d.Behavior()
+		monitors[id] = m
+		return m
+	}
+	w := node.NewWorld(e, topology.NewMesh(), factory, cfg)
+	for i := 1; i <= n; i++ {
+		w.Join(graph.NodeID(i))
+	}
+	return w, e, monitors
+}
+
+func TestNoFalseSuspicionsInSteadyState(t *testing.T) {
+	d := &Detector{HeartbeatEvery: 5, Timeout: 15}
+	_, e, monitors := fdWorld(d, 6, node.Config{MinLatency: 1, MaxLatency: 2, Seed: 1})
+	e.RunUntil(500)
+	for id, m := range monitors {
+		if n := len(m.Suspects()); n != 0 {
+			t.Errorf("monitor %d suspects %v in a steady mesh", id, m.Suspects())
+		}
+		if m.FalseSuspicions() != 0 {
+			t.Errorf("monitor %d raised %d false suspicions", id, m.FalseSuspicions())
+		}
+	}
+}
+
+func TestCrashedNeighborSuspected(t *testing.T) {
+	d := &Detector{HeartbeatEvery: 5, Timeout: 15}
+	w, e, monitors := fdWorld(d, 4, node.Config{MinLatency: 1, MaxLatency: 2, Seed: 2})
+	e.At(100, func() { w.Crash(2) })
+	e.RunUntil(200)
+	for _, id := range []graph.NodeID{1, 3, 4} {
+		if !monitors[id].Suspected(2) {
+			t.Errorf("monitor %d does not suspect the crashed entity", id)
+		}
+	}
+	// Completeness is permanent: still suspected much later.
+	e.RunUntil(600)
+	if !monitors[1].Suspected(2) {
+		t.Error("suspicion of a crashed entity was dropped")
+	}
+	// Crash is reflected in the ground truth...
+	if got := w.Trace.PresentAt(300); len(got) != 3 {
+		t.Fatalf("trace PresentAt(300) = %v", got)
+	}
+	// ...but not in the overlay: the stale edge persists.
+	if !w.Overlay.Graph().HasNode(2) {
+		t.Fatal("crash should leave the overlay untouched")
+	}
+}
+
+func TestSuspicionLatencyBounded(t *testing.T) {
+	d := &Detector{HeartbeatEvery: 5, Timeout: 15}
+	w, e, monitors := fdWorld(d, 3, node.Config{MinLatency: 1, MaxLatency: 2, Seed: 3})
+	var suspectedAt sim.Time = -1
+	e.At(100, func() { w.Crash(3) })
+	probe := e.Every(1, func() {
+		if suspectedAt < 0 && monitors[1].Suspected(3) {
+			suspectedAt = e.Now()
+		}
+	})
+	e.RunUntil(300)
+	probe.Stop()
+	if suspectedAt < 0 {
+		t.Fatal("crash never suspected")
+	}
+	// Detection cannot beat the timeout, and should land within timeout
+	// plus one heartbeat period plus latency slack.
+	if suspectedAt < 100+15 || suspectedAt > 100+15+5+5 {
+		t.Fatalf("suspected at %d, want within [115, 125]", suspectedAt)
+	}
+}
+
+func TestLeftNeighborForgottenNotSuspected(t *testing.T) {
+	d := &Detector{HeartbeatEvery: 5, Timeout: 15}
+	w, e, monitors := fdWorld(d, 3, node.Config{MinLatency: 1, MaxLatency: 2, Seed: 4})
+	e.At(100, func() { w.Leave(2) })
+	e.RunUntil(300)
+	if monitors[1].Suspected(2) {
+		t.Error("an announced departure (edge gone) should be forgotten, not suspected")
+	}
+}
+
+func TestEventualAccuracyAdaptation(t *testing.T) {
+	// A timeout below the heartbeat period guarantees false suspicions at
+	// first; each revocation widens the timeout, so suspicion churn dies
+	// out: the eventually-perfect property.
+	d := &Detector{HeartbeatEvery: 6, Timeout: 2, TimeoutIncrement: 4}
+	_, e, monitors := fdWorld(d, 3, node.Config{MinLatency: 1, MaxLatency: 2, Seed: 5})
+	e.RunUntil(400)
+	m := monitors[1]
+	if m.FalseSuspicions() == 0 {
+		t.Fatal("fixture too lenient: no false suspicions at all")
+	}
+	early := m.FalseSuspicions()
+	// After adaptation, a long further run must add no false suspicions
+	// and end unsuspicious.
+	e.RunUntil(1600)
+	if m.FalseSuspicions() != early {
+		t.Errorf("false suspicions kept accruing: %d then %d", early, m.FalseSuspicions())
+	}
+	if len(m.Suspects()) != 0 {
+		t.Errorf("still suspecting %v after adaptation", m.Suspects())
+	}
+}
+
+func TestComposesWithOtherBehavior(t *testing.T) {
+	d := &Detector{HeartbeatEvery: 5, Timeout: 15}
+	type pinger struct {
+		node.Nop
+		got int
+	}
+	pings := map[graph.NodeID]*pinger{}
+	e := sim.New()
+	factory := func(id graph.NodeID) node.Behavior {
+		pg := &pinger{}
+		pings[id] = pg
+		return node.Compose(d.Behavior(), pg)
+	}
+	w := node.NewWorld(e, topology.NewMesh(), factory, node.Config{Seed: 6})
+	w.Join(1)
+	w.Join(2)
+	e.RunUntil(100)
+	// Both parts must be reachable through FindBehavior.
+	if _, ok := node.FindBehavior[*Monitor](w.Proc(1).Behavior()); !ok {
+		t.Fatal("monitor not findable in composite")
+	}
+	if _, ok := node.FindBehavior[*pinger](w.Proc(1).Behavior()); !ok {
+		t.Fatal("pinger not findable in composite")
+	}
+	// Heartbeats flowed despite composition.
+	m, _ := node.FindBehavior[*Monitor](w.Proc(1).Behavior())
+	if len(m.Suspects()) != 0 {
+		t.Fatalf("composed monitor suspects %v", m.Suspects())
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	d := &Detector{}
+	if d.heartbeatEvery() != 5 || d.timeout() != 15 || d.timeoutIncrement() != 5 {
+		t.Fatalf("defaults = %d/%d/%d", d.heartbeatEvery(), d.timeout(), d.timeoutIncrement())
+	}
+}

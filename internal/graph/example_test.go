@@ -1,0 +1,33 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Temporal reachability: information can only travel along edges in the
+// order they exist — the formal core of "an entity may never be able to
+// know the whole system".
+func Example() {
+	tg := graph.NewTemporal()
+	for _, v := range []graph.NodeID{1, 2, 3} {
+		tg.Record(graph.TemporalEvent{At: 0, Kind: graph.NodeJoin, U: v})
+	}
+	// Edge 1-2 exists first, then disappears; edge 2-3 appears later.
+	tg.Record(graph.TemporalEvent{At: 1, Kind: graph.EdgeUp, U: 1, V: 2})
+	tg.Record(graph.TemporalEvent{At: 5, Kind: graph.EdgeDown, U: 1, V: 2})
+	tg.Record(graph.TemporalEvent{At: 8, Kind: graph.EdgeUp, U: 2, V: 3})
+
+	forward := tg.ReachableFrom(1, 0, 10)  // 1 -> 2 -> 3 respects time
+	backward := tg.ReachableFrom(3, 0, 10) // 3 -> 2 -> 1 would go back in time
+	fmt.Println("1 reaches 3:", forward[3])
+	fmt.Println("3 reaches 1:", backward[1])
+
+	arrivals := tg.EarliestArrival(1, 0, 10)
+	fmt.Println("earliest at 3:", arrivals[3])
+	// Output:
+	// 1 reaches 3: true
+	// 3 reaches 1: false
+	// earliest at 3: 8
+}

@@ -1,0 +1,257 @@
+// Package graph provides the graph-theoretic substrate of the dynamic
+// system model: an undirected graph with node/edge dynamics, shortest
+// paths, connectivity, exact diameter, and temporal (time-respecting)
+// reachability over evolving graphs.
+//
+// The paper models a dynamic system as an evolving graph G(t) = (P(t),
+// E(t)); the geography dimension of a system class is expressed through
+// properties of these graphs (connectivity, diameter bounds), so the
+// checkers in internal/core lean on this package. All iteration orders are
+// deterministic (sorted by node ID) so that simulations replay exactly.
+package graph
+
+import "sort"
+
+// NodeID identifies a process/entity. IDs are assigned by the arrival
+// model and never reused within a run.
+type NodeID int64
+
+// Graph is an undirected simple graph. The zero value is not usable;
+// construct with New. Self-loops are rejected.
+type Graph struct {
+	adj map[NodeID]map[NodeID]bool
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{adj: make(map[NodeID]map[NodeID]bool)} }
+
+// AddNode inserts an isolated node. Adding an existing node is a no-op.
+func (g *Graph) AddNode(v NodeID) {
+	if _, ok := g.adj[v]; !ok {
+		g.adj[v] = make(map[NodeID]bool)
+	}
+}
+
+// RemoveNode deletes a node and all incident edges. Removing an absent
+// node is a no-op.
+func (g *Graph) RemoveNode(v NodeID) {
+	for u := range g.adj[v] {
+		delete(g.adj[u], v)
+	}
+	delete(g.adj, v)
+}
+
+// AddEdge inserts the undirected edge {u, v}, adding missing endpoints.
+// Self-loops panic: the system model has no use for them and silently
+// accepting one would corrupt diameter computations.
+func (g *Graph) AddEdge(u, v NodeID) {
+	if u == v {
+		panic("graph: self-loop")
+	}
+	g.AddNode(u)
+	g.AddNode(v)
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+}
+
+// RemoveEdge deletes the undirected edge {u, v} if present.
+func (g *Graph) RemoveEdge(u, v NodeID) {
+	if _, ok := g.adj[u]; ok {
+		delete(g.adj[u], v)
+	}
+	if _, ok := g.adj[v]; ok {
+		delete(g.adj[v], u)
+	}
+}
+
+// HasNode reports whether v is in the graph.
+func (g *Graph) HasNode(v NodeID) bool {
+	_, ok := g.adj[v]
+	return ok
+}
+
+// HasEdge reports whether the undirected edge {u, v} is in the graph.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	return g.adj[u][v]
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// Degree returns the number of neighbors of v (0 if absent).
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// Nodes returns all node IDs in ascending order.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(g.adj))
+	for v := range g.adj {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Neighbors returns the neighbors of v in ascending order.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	nbrs := g.adj[v]
+	out := make([]NodeID, 0, len(nbrs))
+	for u := range nbrs {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for v, nbrs := range g.adj {
+		c.AddNode(v)
+		for u := range nbrs {
+			c.adj[v][u] = true
+		}
+	}
+	return c
+}
+
+// BFS returns the hop distance from src to every reachable node
+// (including src at distance 0). An absent src yields an empty map.
+func (g *Graph) BFS(src NodeID) map[NodeID]int {
+	dist := make(map[NodeID]int)
+	if !g.HasNode(src) {
+		return dist
+	}
+	dist[src] = 0
+	frontier := []NodeID{src}
+	for len(frontier) > 0 {
+		var next []NodeID
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(v) {
+				if _, seen := dist[u]; !seen {
+					dist[u] = dist[v] + 1
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// ShortestPath returns one shortest path from src to dst (inclusive) and
+// true, or nil and false if dst is unreachable.
+func (g *Graph) ShortestPath(src, dst NodeID) ([]NodeID, bool) {
+	if !g.HasNode(src) || !g.HasNode(dst) {
+		return nil, false
+	}
+	if src == dst {
+		return []NodeID{src}, true
+	}
+	parent := map[NodeID]NodeID{src: src}
+	frontier := []NodeID{src}
+	found := false
+	for len(frontier) > 0 && !found {
+		var next []NodeID
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(v) {
+				if _, seen := parent[u]; !seen {
+					parent[u] = v
+					if u == dst {
+						found = true
+					}
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	if !found {
+		return nil, false
+	}
+	var rev []NodeID
+	for v := dst; ; v = parent[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	path := make([]NodeID, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	return path, true
+}
+
+// Connected reports whether the graph is connected. The empty graph and
+// singletons are connected by convention.
+func (g *Graph) Connected() bool {
+	if len(g.adj) <= 1 {
+		return true
+	}
+	src := g.Nodes()[0]
+	return len(g.BFS(src)) == len(g.adj)
+}
+
+// Components returns the connected components, each sorted ascending,
+// ordered by their smallest node ID.
+func (g *Graph) Components() [][]NodeID {
+	seen := make(map[NodeID]bool)
+	var comps [][]NodeID
+	for _, v := range g.Nodes() {
+		if seen[v] {
+			continue
+		}
+		var comp []NodeID
+		for u := range g.BFS(v) {
+			seen[u] = true
+			comp = append(comp, u)
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Eccentricity returns the greatest hop distance from v to any node, and
+// false if some node is unreachable from v or v is absent.
+func (g *Graph) Eccentricity(v NodeID) (int, bool) {
+	dist := g.BFS(v)
+	if len(dist) != len(g.adj) || len(dist) == 0 {
+		return 0, false
+	}
+	ecc := 0
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, true
+}
+
+// Diameter returns the exact diameter (max eccentricity) via all-pairs
+// BFS, and false if the graph is disconnected or empty.
+func (g *Graph) Diameter() (int, bool) {
+	if len(g.adj) == 0 {
+		return 0, false
+	}
+	diam := 0
+	for _, v := range g.Nodes() {
+		ecc, ok := g.Eccentricity(v)
+		if !ok {
+			return 0, false
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam, true
+}

@@ -1,0 +1,275 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The temporal layer captures the paper's second dimension: an entity only
+// ever observes its neighbors, and what it can learn about the whole
+// system is bounded by time-respecting (journey) reachability over the
+// evolving graph G(t). A node v is temporally reachable from u starting at
+// time t0 if information leaving u at t0 can reach v by hopping only over
+// edges that exist when the hop is taken.
+
+// EventKind discriminates temporal graph events.
+type EventKind uint8
+
+// Temporal graph event kinds.
+const (
+	NodeJoin EventKind = iota
+	NodeLeave
+	EdgeUp
+	EdgeDown
+)
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	switch k {
+	case NodeJoin:
+		return "join"
+	case NodeLeave:
+		return "leave"
+	case EdgeUp:
+		return "edge-up"
+	case EdgeDown:
+		return "edge-down"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// TemporalEvent is one change to the evolving graph. For node events V is
+// unused (zero).
+type TemporalEvent struct {
+	At   int64
+	Kind EventKind
+	U, V NodeID
+}
+
+// Temporal is an evolving graph represented as an event log. Events are
+// kept sorted by time; ties are resolved in append order, matching the
+// simulator's deterministic tie-breaking.
+type Temporal struct {
+	events []TemporalEvent
+	sorted bool
+}
+
+// NewTemporal returns an empty evolving graph.
+func NewTemporal() *Temporal { return &Temporal{sorted: true} }
+
+// Record appends an event to the log.
+func (tg *Temporal) Record(ev TemporalEvent) {
+	if n := len(tg.events); n > 0 && ev.At < tg.events[n-1].At {
+		tg.sorted = false
+	}
+	tg.events = append(tg.events, ev)
+}
+
+// Events returns the event log sorted by time (stable within a time).
+func (tg *Temporal) Events() []TemporalEvent {
+	tg.ensureSorted()
+	out := make([]TemporalEvent, len(tg.events))
+	copy(out, tg.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (tg *Temporal) Len() int { return len(tg.events) }
+
+func (tg *Temporal) ensureSorted() {
+	if !tg.sorted {
+		sort.SliceStable(tg.events, func(i, j int) bool {
+			return tg.events[i].At < tg.events[j].At
+		})
+		tg.sorted = true
+	}
+}
+
+// apply mutates g according to ev.
+func apply(g *Graph, ev TemporalEvent) {
+	switch ev.Kind {
+	case NodeJoin:
+		g.AddNode(ev.U)
+	case NodeLeave:
+		g.RemoveNode(ev.U)
+	case EdgeUp:
+		g.AddEdge(ev.U, ev.V)
+	case EdgeDown:
+		g.RemoveEdge(ev.U, ev.V)
+	}
+}
+
+// Snapshot returns the graph state immediately after all events with
+// time <= t have been applied.
+func (tg *Temporal) Snapshot(t int64) *Graph {
+	tg.ensureSorted()
+	g := New()
+	for _, ev := range tg.events {
+		if ev.At > t {
+			break
+		}
+		apply(g, ev)
+	}
+	return g
+}
+
+// ReachableFrom computes the set of nodes temporally reachable from src in
+// the window [start, end]. The propagation model is "fast information,
+// slow churn": within each stable period of the graph, information spreads
+// through the whole connected component of the reached set before the next
+// topology change (hop latency is negligible compared to churn). This is
+// the standard fluid limit used when reasoning about what an entity can
+// ever learn; a node that has left the system stops relaying but remains
+// in the returned set (it learned the information while present).
+//
+// src must be present at some point during the window for the result to
+// be non-empty; if src is not in the graph at start, propagation begins
+// when it joins.
+func (tg *Temporal) ReachableFrom(src NodeID, start, end int64) map[NodeID]bool {
+	tg.ensureSorted()
+	reached := make(map[NodeID]bool)
+	g := New()
+	i := 0
+	// Bring the graph to its state at `start` (events at exactly start are
+	// part of the window's first stable period, handled below).
+	for ; i < len(tg.events) && tg.events[i].At < start; i++ {
+		apply(g, tg.events[i])
+	}
+	spread := func() {
+		if !reached[src] && g.HasNode(src) {
+			reached[src] = true
+		}
+		// Flood from every reached node still present.
+		frontier := make([]NodeID, 0, len(reached))
+		for v := range reached {
+			if g.HasNode(v) {
+				frontier = append(frontier, v)
+			}
+		}
+		sort.Slice(frontier, func(a, b int) bool { return frontier[a] < frontier[b] })
+		for len(frontier) > 0 {
+			var next []NodeID
+			for _, v := range frontier {
+				for _, u := range g.Neighbors(v) {
+					if !reached[u] {
+						reached[u] = true
+						next = append(next, u)
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+	// Information spreads during the initial stable period before the
+	// first in-window event.
+	spread()
+	for ; i < len(tg.events) && tg.events[i].At <= end; i++ {
+		// Apply all events that share this timestamp, then let information
+		// spread during the stable period that follows.
+		t := tg.events[i].At
+		for i < len(tg.events) && tg.events[i].At == t {
+			apply(g, tg.events[i])
+			i++
+		}
+		i--
+		spread()
+	}
+	spread()
+	return reached
+}
+
+// EarliestArrival computes, for every node temporally reachable from src
+// in [start, end], the earliest time information leaving src at start can
+// have reached it under the same propagation model as ReachableFrom
+// (spreading completes within each stable period). src maps to start.
+func (tg *Temporal) EarliestArrival(src NodeID, start, end int64) map[NodeID]int64 {
+	tg.ensureSorted()
+	arrival := make(map[NodeID]int64)
+	g := New()
+	i := 0
+	for ; i < len(tg.events) && tg.events[i].At < start; i++ {
+		apply(g, tg.events[i])
+	}
+	spread := func(now int64) {
+		if _, ok := arrival[src]; !ok && g.HasNode(src) {
+			arrival[src] = now
+		}
+		frontier := make([]NodeID, 0, len(arrival))
+		for v := range arrival {
+			if g.HasNode(v) {
+				frontier = append(frontier, v)
+			}
+		}
+		sort.Slice(frontier, func(a, b int) bool { return frontier[a] < frontier[b] })
+		for len(frontier) > 0 {
+			var next []NodeID
+			for _, v := range frontier {
+				for _, u := range g.Neighbors(v) {
+					if _, seen := arrival[u]; !seen {
+						arrival[u] = now
+						next = append(next, u)
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+	spread(start)
+	for ; i < len(tg.events) && tg.events[i].At <= end; i++ {
+		t := tg.events[i].At
+		for i < len(tg.events) && tg.events[i].At == t {
+			apply(g, tg.events[i])
+			i++
+		}
+		i--
+		spread(t)
+	}
+	return arrival
+}
+
+// ReachabilityFraction returns, averaged over all nodes ever present in
+// [start, end], the fraction of ever-present nodes each node can
+// temporally reach. 1.0 means every member could in principle learn about
+// the whole system; low values witness the paper's point that a member of
+// a dynamic system may never be able to know the system it belongs to.
+func (tg *Temporal) ReachabilityFraction(start, end int64) float64 {
+	tg.ensureSorted()
+	present := make(map[NodeID]bool)
+	g := tg.Snapshot(start - 1)
+	for _, v := range g.Nodes() {
+		present[v] = true
+	}
+	for _, ev := range tg.events {
+		if ev.At < start || ev.At > end {
+			continue
+		}
+		if ev.Kind == NodeJoin {
+			present[ev.U] = true
+		}
+		if ev.Kind == EdgeUp {
+			present[ev.U] = true
+			present[ev.V] = true
+		}
+	}
+	if len(present) == 0 {
+		return 0
+	}
+	ids := make([]NodeID, 0, len(present))
+	for v := range present {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	total := 0.0
+	for _, v := range ids {
+		reach := tg.ReachableFrom(v, start, end)
+		n := 0
+		for u := range reach {
+			if present[u] {
+				n++
+			}
+		}
+		total += float64(n) / float64(len(present))
+	}
+	return total / float64(len(present))
+}

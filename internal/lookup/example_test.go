@@ -1,0 +1,35 @@
+package lookup_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/lookup"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Resolve a key to its owner over the structured overlay, from purely
+// local knowledge.
+func Example() {
+	engine := sim.New()
+	l := &lookup.Lookup{}
+	world := node.NewWorld(engine, topology.NewFingerRing(), l.Factory(), node.Config{Seed: 1})
+	for i := 1; i <= 32; i++ {
+		world.Join(graph.NodeID(i))
+	}
+
+	const key = 0xfeedbeefcafef00d
+	run := l.Launch(world, 5, key)
+	engine.RunUntil(200)
+
+	res := run.Result()
+	fmt.Println("resolved:", res != nil)
+	fmt.Println("true owner:", res.Owner == lookup.TrueOwner(world.Present(), key))
+	fmt.Println("hops within log2(32)+2:", res.Hops <= 7)
+	// Output:
+	// resolved: true
+	// true owner: true
+	// hops within log2(32)+2: true
+}

@@ -1,0 +1,318 @@
+// Package node is the process runtime of the simulator: it ties together
+// the event kernel (internal/sim), an overlay (internal/topology), a churn
+// stream (internal/churn) and the ground-truth trace (internal/core), and
+// runs a protocol behaviour on every present entity.
+//
+// The runtime enforces the paper's locality discipline: a process can only
+// send to its current neighbors, learns about the system exclusively
+// through received messages, and disappears with its timers when it
+// leaves. Protocol code therefore cannot cheat by peeking at global state;
+// the global view exists only in the recorded trace, where the
+// specification checkers use it.
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/churn"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Message is what travels between neighbors.
+type Message struct {
+	From, To graph.NodeID
+	Tag      string
+	Payload  any
+}
+
+// Behavior is the per-entity protocol logic. Each entity gets its own
+// Behavior instance, created by the factory passed to NewWorld.
+type Behavior interface {
+	// Init runs when the entity joins (after its overlay edges exist).
+	Init(p *Proc)
+	// Receive runs on each message delivery.
+	Receive(p *Proc, m Message)
+}
+
+// BehaviorFactory builds the Behavior for a joining entity.
+type BehaviorFactory func(id graph.NodeID) Behavior
+
+// Nop is a Behavior that does nothing: a plain member holding a value.
+type Nop struct{}
+
+// Init implements Behavior.
+func (Nop) Init(*Proc) {}
+
+// Receive implements Behavior.
+func (Nop) Receive(*Proc, Message) {}
+
+// Config parameterizes the runtime.
+type Config struct {
+	// MinLatency and MaxLatency bound per-message delivery delay; each
+	// message draws uniformly from [MinLatency, MaxLatency]. Defaults to
+	// [1, 1] when both are zero.
+	MinLatency, MaxLatency sim.Time
+	// LossRate drops each message independently with this probability.
+	LossRate float64
+	// FIFO forces per-(sender, receiver) channel order: a message never
+	// overtakes an earlier one on the same directed pair. Off by default —
+	// jittered latency may reorder, which is the weaker (and more
+	// adversarial) channel the paper's model permits.
+	FIFO bool
+	// ValueOf assigns the local value an entity contributes to queries.
+	// Defaults to float64(id).
+	ValueOf func(id graph.NodeID) float64
+	// Seed drives latency and loss draws.
+	Seed uint64
+}
+
+// Proc is one running entity.
+type Proc struct {
+	ID    graph.NodeID
+	Value float64
+
+	world    *World
+	behavior Behavior
+	timers   []*sim.Event
+	alive    bool
+}
+
+// World is a simulated dynamic system.
+type World struct {
+	Engine  *sim.Engine
+	Overlay topology.Overlay
+	Trace   *core.Trace
+
+	cfg     Config
+	r       *rng.Rand
+	factory BehaviorFactory
+	procs   map[graph.NodeID]*Proc
+	// lastDelivery tracks, per directed pair, the latest scheduled
+	// delivery time (FIFO enforcement).
+	lastDelivery map[[2]graph.NodeID]sim.Time
+}
+
+// NewWorld assembles a runtime over the given engine and overlay. The
+// factory may be nil, in which case every entity runs Nop.
+func NewWorld(engine *sim.Engine, overlay topology.Overlay, factory BehaviorFactory, cfg Config) *World {
+	if cfg.MinLatency == 0 && cfg.MaxLatency == 0 {
+		cfg.MinLatency, cfg.MaxLatency = 1, 1
+	}
+	if cfg.MinLatency < 1 || cfg.MaxLatency < cfg.MinLatency {
+		panic(fmt.Sprintf("node: invalid latency range [%d, %d]", cfg.MinLatency, cfg.MaxLatency))
+	}
+	if cfg.ValueOf == nil {
+		cfg.ValueOf = func(id graph.NodeID) float64 { return float64(id) }
+	}
+	if factory == nil {
+		factory = func(graph.NodeID) Behavior { return Nop{} }
+	}
+	return &World{
+		Engine:       engine,
+		Overlay:      overlay,
+		Trace:        &core.Trace{},
+		cfg:          cfg,
+		r:            rng.New(cfg.Seed),
+		factory:      factory,
+		procs:        make(map[graph.NodeID]*Proc),
+		lastDelivery: make(map[[2]graph.NodeID]sim.Time),
+	}
+}
+
+// Proc returns the running entity with the given ID, or nil if absent.
+func (w *World) Proc(id graph.NodeID) *Proc { return w.procs[id] }
+
+// Present returns the IDs of currently present entities, ascending.
+func (w *World) Present() []graph.NodeID { return w.Overlay.Graph().Nodes() }
+
+// Join brings an entity into the system now: overlay attachment, trace
+// recording, behaviour start. Joining a present entity panics.
+func (w *World) Join(id graph.NodeID) *Proc {
+	if _, ok := w.procs[id]; ok {
+		panic(fmt.Sprintf("node: entity %d joined twice", id))
+	}
+	now := int64(w.Engine.Now())
+	w.Trace.Join(now, id)
+	w.recordChanges(now, w.Overlay.AddNode(id))
+	p := &Proc{
+		ID:       id,
+		Value:    w.cfg.ValueOf(id),
+		world:    w,
+		behavior: w.factory(id),
+		alive:    true,
+	}
+	w.procs[id] = p
+	p.behavior.Init(p)
+	return p
+}
+
+// Leave removes a present entity now: its timers die with it, in-flight
+// messages to it will be dropped on arrival. Leaving twice is a no-op
+// (the entity may have been removed by churn already).
+func (w *World) Leave(id graph.NodeID) {
+	p, ok := w.procs[id]
+	if !ok {
+		return
+	}
+	now := int64(w.Engine.Now())
+	w.recordChanges(now, w.Overlay.RemoveNode(id))
+	w.Trace.Leave(now, id)
+	for _, ev := range p.timers {
+		ev.Cancel()
+	}
+	p.timers = nil
+	p.alive = false
+	delete(w.procs, id)
+}
+
+// Crash removes a present entity WITHOUT telling the overlay: the entity
+// stops executing (its timers die, messages to it are dropped) and the
+// ground-truth trace records its departure, but its edges linger in the
+// communication graph — neighbors keep stale knowledge until they detect
+// the silence themselves (see internal/fd). This models unannounced
+// failure as opposed to an (overlay-visible) leave. Crashing an absent
+// entity is a no-op.
+func (w *World) Crash(id graph.NodeID) {
+	p, ok := w.procs[id]
+	if !ok {
+		return
+	}
+	now := int64(w.Engine.Now())
+	w.Trace.Mark(now, id, "crash")
+	w.Trace.Leave(now, id)
+	for _, ev := range p.timers {
+		ev.Cancel()
+	}
+	p.timers = nil
+	p.alive = false
+	delete(w.procs, id)
+}
+
+func (w *World) recordChanges(now core.Time, chs []topology.Change) {
+	for _, c := range chs {
+		if c.Up {
+			w.Trace.EdgeUp(now, c.U, c.V)
+		} else {
+			w.Trace.EdgeDown(now, c.U, c.V)
+		}
+	}
+}
+
+// SetLink flips a single edge now, for overlays that support direct edge
+// control (topology.LinkController) — the hook experiment scripts use to
+// stage partitions. It panics if the overlay does not support it.
+func (w *World) SetLink(u, v graph.NodeID, up bool) {
+	lc, ok := w.Overlay.(topology.LinkController)
+	if !ok {
+		panic(fmt.Sprintf("node: overlay %s does not support direct link control", w.Overlay.Name()))
+	}
+	now := int64(w.Engine.Now())
+	if up {
+		w.recordChanges(now, lc.Link(u, v))
+	} else {
+		w.recordChanges(now, lc.Unlink(u, v))
+	}
+}
+
+// ApplyChurn schedules a churn stream onto the engine, bounded by the
+// horizon. Events beyond the horizon are left in the generator.
+func (w *World) ApplyChurn(g *churn.Generator, horizon sim.Time) {
+	for _, ev := range g.Collect(int64(horizon)) {
+		ev := ev
+		w.Engine.At(sim.Time(ev.At), func() {
+			if ev.Join {
+				w.Join(ev.Node)
+			} else {
+				w.Leave(ev.Node)
+			}
+		})
+	}
+}
+
+// Close finalizes the trace at the current virtual time.
+func (w *World) Close() { w.Trace.Close(int64(w.Engine.Now())) }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() sim.Time { return p.world.Engine.Now() }
+
+// Behavior returns the entity's protocol instance; drivers use it to
+// launch operations (e.g. issue a query) on a specific entity.
+func (p *Proc) Behavior() Behavior { return p.behavior }
+
+// Alive reports whether the entity is still in the system.
+func (p *Proc) Alive() bool { return p.alive }
+
+// Neighbors returns the entity's current neighbors, ascending.
+func (p *Proc) Neighbors() []graph.NodeID {
+	if !p.alive {
+		return nil
+	}
+	return p.world.Overlay.Graph().Neighbors(p.ID)
+}
+
+// Send transmits a message to a current neighbor. Sending to a non-
+// neighbor (stale knowledge) or from a departed entity records a drop.
+// Delivery is delayed by a random latency; the message is dropped if the
+// recipient is absent at delivery time or loses an independent coin flip.
+func (p *Proc) Send(to graph.NodeID, tag string, payload any) {
+	w := p.world
+	now := int64(w.Engine.Now())
+	if !p.alive || !w.Overlay.Graph().HasEdge(p.ID, to) {
+		w.Trace.Drop(now, p.ID, to, tag)
+		return
+	}
+	w.Trace.Send(now, p.ID, to, tag)
+	if w.cfg.LossRate > 0 && w.r.Bool(w.cfg.LossRate) {
+		w.Trace.Drop(now, p.ID, to, tag)
+		return
+	}
+	delay := w.cfg.MinLatency
+	if span := w.cfg.MaxLatency - w.cfg.MinLatency; span > 0 {
+		delay += sim.Time(w.r.Intn(int(span) + 1))
+	}
+	if w.cfg.FIFO {
+		pair := [2]graph.NodeID{p.ID, to}
+		at := w.Engine.Now() + delay
+		if last := w.lastDelivery[pair]; at < last {
+			delay = last - w.Engine.Now()
+		}
+		w.lastDelivery[pair] = w.Engine.Now() + delay
+	}
+	m := Message{From: p.ID, To: to, Tag: tag, Payload: payload}
+	w.Engine.After(delay, func() {
+		q, ok := w.procs[to]
+		if !ok {
+			w.Trace.Drop(int64(w.Engine.Now()), p.ID, to, tag)
+			return
+		}
+		w.Trace.Deliver(int64(w.Engine.Now()), to, p.ID, tag)
+		q.behavior.Receive(q, m)
+	})
+}
+
+// Broadcast sends the message to every current neighbor.
+func (p *Proc) Broadcast(tag string, payload any) {
+	for _, u := range p.Neighbors() {
+		p.Send(u, tag, payload)
+	}
+}
+
+// After schedules f to run on this entity d ticks from now; the timer is
+// silently canceled if the entity leaves first.
+func (p *Proc) After(d sim.Time, f func()) {
+	ev := p.world.Engine.After(d, func() {
+		if p.alive {
+			f()
+		}
+	})
+	p.timers = append(p.timers, ev)
+}
+
+// Mark records a protocol-defined trace event at this entity.
+func (p *Proc) Mark(tag string) {
+	p.world.Trace.Mark(int64(p.world.Engine.Now()), p.ID, tag)
+}

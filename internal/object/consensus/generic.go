@@ -1,0 +1,93 @@
+package consensus
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/object/objfail"
+)
+
+// Generic counterparts of Base/Responsive, deciding values of any
+// comparable type. The universal construction (internal/object/universal)
+// needs consensus over command records, not bare int64s; the algorithms
+// are identical.
+
+// ObjectOf is the typed consensus API.
+type ObjectOf[T comparable] interface {
+	Propose(v T) (T, error)
+}
+
+// BaseOf is an unreliable one-shot consensus object over T with crash
+// injection: the first proposal wins.
+type BaseOf[T comparable] struct {
+	objfail.Injector
+	decided atomic.Pointer[T]
+}
+
+// NewBaseOf returns a healthy, undecided typed base consensus object.
+func NewBaseOf[T comparable]() *BaseOf[T] { return &BaseOf[T]{} }
+
+// Propose implements ObjectOf.
+func (b *BaseOf[T]) Propose(v T) (T, error) {
+	var zero T
+	if err := b.Enter(); err != nil {
+		return zero, err
+	}
+	val := v
+	if b.decided.CompareAndSwap(nil, &val) {
+		return v, nil
+	}
+	return *b.decided.Load(), nil
+}
+
+// Decided returns the decided value, if any (test inspection).
+func (b *BaseOf[T]) Decided() (T, bool) {
+	p := b.decided.Load()
+	if p == nil {
+		var zero T
+		return zero, false
+	}
+	return *p, true
+}
+
+// ResponsiveOf is the typed t-tolerant consensus self-implementation for
+// the responsive-crash model (same fixed-order traversal as Responsive).
+type ResponsiveOf[T comparable] struct {
+	bases []ObjectOf[T]
+}
+
+// NewResponsiveOf builds the construction over t+1 fresh typed base
+// objects and returns them for crash injection. t must be >= 0.
+func NewResponsiveOf[T comparable](t int) (*ResponsiveOf[T], []*BaseOf[T]) {
+	if t < 0 {
+		panic("consensus: negative t")
+	}
+	bases := make([]*BaseOf[T], t+1)
+	objs := make([]ObjectOf[T], t+1)
+	for i := range bases {
+		bases[i] = NewBaseOf[T]()
+		objs[i] = bases[i]
+	}
+	return &ResponsiveOf[T]{bases: objs}, bases
+}
+
+// Tolerance returns t, the number of base crashes tolerated.
+func (c *ResponsiveOf[T]) Tolerance() int { return len(c.bases) - 1 }
+
+// Propose runs the traversal; see Responsive.Propose.
+func (c *ResponsiveOf[T]) Propose(v T) (T, error) {
+	est := v
+	ok := 0
+	for _, o := range c.bases {
+		if d, err := o.Propose(est); err == nil {
+			est = d
+			ok++
+		}
+	}
+	if ok == 0 {
+		return est, fmt.Errorf("all %d base objects crashed: %w", len(c.bases), ErrCrashed)
+	}
+	return est, nil
+}
+
+var _ ObjectOf[int] = (*ResponsiveOf[int])(nil)

@@ -1,0 +1,92 @@
+// Package objfail implements the object failure model shared by the
+// unreliable base objects (registers, consensus): an object can suffer a
+// responsive crash — after which every operation fails fast — or a
+// non-responsive crash — after which operations never return.
+package objfail
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrCrashed is the fast failure of a responsively-crashed object (also
+// returned by parked operations force-released during test cleanup).
+var ErrCrashed = errors.New("object: crashed")
+
+// Crash states.
+const (
+	healthy int32 = iota
+	responsive
+	nonResponsive
+)
+
+// Injector gates every operation of an unreliable object. The zero value
+// is a healthy injector.
+type Injector struct {
+	state atomic.Int32
+
+	blockOnce sync.Once
+	block     chan struct{}
+	released  atomic.Bool
+
+	ops        atomic.Int64
+	crashAfter atomic.Int64
+	crashKind  atomic.Int32
+}
+
+// CrashResponsive makes every future operation fail fast.
+func (in *Injector) CrashResponsive() { in.state.Store(responsive) }
+
+// CrashNonResponsive makes every future operation block forever (until
+// Release).
+func (in *Injector) CrashNonResponsive() { in.state.Store(nonResponsive) }
+
+// CrashAfter arms a crash that triggers once n more operations have
+// started: responsive style if responsiveStyle, non-responsive otherwise.
+func (in *Injector) CrashAfter(n int64, responsiveStyle bool) {
+	kind := nonResponsive
+	if responsiveStyle {
+		kind = responsive
+	}
+	in.crashKind.Store(kind)
+	in.ops.Store(0)
+	in.crashAfter.Store(n)
+}
+
+// Crashed reports whether the object has crashed in either style.
+func (in *Injector) Crashed() bool { return in.state.Load() != healthy }
+
+// Release unblocks operations parked by a non-responsive crash; they
+// return ErrCrashed. Intended for test cleanup only — semantically those
+// operations never return.
+func (in *Injector) Release() {
+	in.ensureBlock()
+	if in.released.CompareAndSwap(false, true) {
+		close(in.block)
+	}
+}
+
+func (in *Injector) ensureBlock() {
+	in.blockOnce.Do(func() { in.block = make(chan struct{}) })
+}
+
+// Enter performs crash bookkeeping at the start of an operation: it
+// returns ErrCrashed after a responsive crash and parks the caller after
+// a non-responsive one.
+func (in *Injector) Enter() error {
+	if n := in.crashAfter.Load(); n > 0 {
+		if in.ops.Add(1) > n {
+			in.state.CompareAndSwap(healthy, in.crashKind.Load())
+		}
+	}
+	switch in.state.Load() {
+	case responsive:
+		return ErrCrashed
+	case nonResponsive:
+		in.ensureBlock()
+		<-in.block
+		return ErrCrashed
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package objfail
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestHealthyEnter(t *testing.T) {
+	var in Injector
+	for i := 0; i < 10; i++ {
+		if err := in.Enter(); err != nil {
+			t.Fatalf("healthy Enter failed: %v", err)
+		}
+	}
+	if in.Crashed() {
+		t.Fatal("healthy injector reports crashed")
+	}
+}
+
+func TestResponsiveCrash(t *testing.T) {
+	var in Injector
+	in.CrashResponsive()
+	if err := in.Enter(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Enter after responsive crash: %v", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("Crashed() false")
+	}
+}
+
+func TestNonResponsiveParksUntilRelease(t *testing.T) {
+	var in Injector
+	in.CrashNonResponsive()
+	done := make(chan error, 1)
+	go func() { done <- in.Enter() }()
+	select {
+	case err := <-done:
+		t.Fatalf("Enter returned %v; should park", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	in.Release()
+	if err := <-done; !errors.Is(err, ErrCrashed) {
+		t.Fatalf("released Enter: %v", err)
+	}
+	// Entering after release still reports the crash.
+	if err := in.Enter(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Enter after release: %v", err)
+	}
+	in.Release() // double release is a no-op
+}
+
+func TestCrashAfterCountsOperations(t *testing.T) {
+	var in Injector
+	in.CrashAfter(3, true)
+	for i := 0; i < 3; i++ {
+		if err := in.Enter(); err != nil {
+			t.Fatalf("op %d failed early: %v", i+1, err)
+		}
+	}
+	if err := in.Enter(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op 4 should crash: %v", err)
+	}
+}
+
+func TestCrashAfterRearm(t *testing.T) {
+	var in Injector
+	in.CrashAfter(100, true)
+	_ = in.Enter()
+	in.CrashAfter(1, true) // re-arm resets the counter
+	if err := in.Enter(); err != nil {
+		t.Fatalf("first op after re-arm: %v", err)
+	}
+	if err := in.Enter(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("second op after re-arm should crash: %v", err)
+	}
+}
+
+func TestExplicitCrashWinsOverCrashAfter(t *testing.T) {
+	var in Injector
+	in.CrashAfter(100, false)
+	in.CrashResponsive()
+	if err := in.Enter(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("explicit crash ignored: %v", err)
+	}
+}

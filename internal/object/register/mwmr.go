@@ -1,0 +1,135 @@
+package register
+
+import (
+	"fmt"
+	"math"
+)
+
+// Multi-writer extension of the majority construction. Writers no longer
+// own the timestamp sequence: before writing, a client reads a majority
+// to learn the highest timestamp, then writes with a strictly larger one.
+// Ties between concurrent writers are broken by the writer identity,
+// packed into the low bits of the Seq field so that the single-word base
+// registers are reused unchanged:
+//
+//	Seq = round<<16 | writerID
+//
+// Two majorities always intersect, so the read phase sees every completed
+// write and the new timestamp beats it — the classic two-phase (ABD-style)
+// write. Reads are atomic per client handle, as in the single-writer
+// constructions.
+
+// writerBits is the width of the writer identity inside a timestamp.
+const writerBits = 16
+
+// maxRound is the largest round representable next to a writer identity.
+const maxRound = math.MaxUint64 >> writerBits
+
+// packTS builds a timestamp word from a round and a writer identity.
+func packTS(round uint64, writer uint16) uint64 {
+	return round<<writerBits | uint64(writer)
+}
+
+// roundOf extracts the round from a timestamp word.
+func roundOf(ts uint64) uint64 { return ts >> writerBits }
+
+// MWMR is a multi-writer multi-reader register over 2t+1 unreliable base
+// registers under non-responsive crashes. Create one MWClient per
+// goroutine; each client may both read and write.
+type MWMR struct {
+	inner *NonResponsive
+}
+
+// NewMWMR builds the construction over 2t+1 fresh base registers and
+// returns them for crash injection. t must be >= 0.
+func NewMWMR(t int) (*MWMR, []*Base) {
+	inner, bases := NewNonResponsive(t)
+	return &MWMR{inner: inner}, bases
+}
+
+// Tolerance returns t, the number of base crashes tolerated.
+func (m *MWMR) Tolerance() int { return m.inner.t }
+
+// MWClient is one reader/writer of an MWMR register.
+type MWClient struct {
+	reg  *MWMR
+	id   uint16
+	last TimestampedValue
+}
+
+// NewClient returns a handle for the given writer identity. Identities
+// must be unique across concurrent clients; reuse breaks tie-breaking.
+func (m *MWMR) NewClient(id uint16) *MWClient {
+	return &MWClient{reg: m, id: id}
+}
+
+// collect reads a majority of base registers and returns the freshest
+// value found, merged with the handle's monotone cache.
+func (c *MWClient) collect() (TimestampedValue, error) {
+	inner := c.reg.inner
+	results := make(chan readResult, len(inner.bases))
+	for _, b := range inner.bases {
+		b := b
+		go func() {
+			tv, err := b.Read()
+			results <- readResult{tv: tv, err: err}
+		}()
+	}
+	need := inner.t + 1
+	best := c.last
+	ok, failed := 0, 0
+	for ok < need {
+		res := <-results
+		if res.err != nil {
+			failed++
+			if failed > inner.t {
+				return best, fmt.Errorf("collect saw %d base failures (tolerance %d): %w",
+					failed, inner.t, ErrCrashed)
+			}
+			continue
+		}
+		ok++
+		if res.tv.Seq > best.Seq {
+			best = res.tv
+		}
+	}
+	c.last = best
+	return best, nil
+}
+
+// Write performs the two-phase multi-writer write: collect the highest
+// timestamp from a majority, then store data under a strictly larger one
+// in a majority.
+func (c *MWClient) Write(data int64) error {
+	cur, err := c.collect()
+	if err != nil {
+		return err
+	}
+	round := roundOf(cur.Seq) + 1
+	if round > maxRound {
+		return fmt.Errorf("register: timestamp round overflow")
+	}
+	tv := TimestampedValue{Seq: packTS(round, c.id), Data: data}
+	results := make(chan error, len(c.reg.inner.bases))
+	for _, b := range c.reg.inner.bases {
+		b := b
+		go func() { results <- b.Write(tv) }()
+	}
+	if err := c.reg.inner.await(results, "mw-write"); err != nil {
+		return err
+	}
+	if tv.Seq > c.last.Seq {
+		c.last = tv
+	}
+	return nil
+}
+
+// Read returns the freshest value in a majority, never older than what
+// this handle saw before.
+func (c *MWClient) Read() (int64, error) {
+	tv, err := c.collect()
+	if err != nil {
+		return 0, err
+	}
+	return tv.Data, nil
+}

@@ -1,0 +1,170 @@
+package register
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMWMRBasic(t *testing.T) {
+	m, _ := NewMWMR(2)
+	if m.Tolerance() != 2 {
+		t.Fatalf("Tolerance = %d", m.Tolerance())
+	}
+	a := m.NewClient(1)
+	b := m.NewClient(2)
+	if v, err := a.Read(); err != nil || v != 0 {
+		t.Fatalf("initial read = %v, %v", v, err)
+	}
+	if err := a.Write(11); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := b.Read(); err != nil || v != 11 {
+		t.Fatalf("cross-client read = %v, %v", v, err)
+	}
+	// The second writer's write must supersede the first's.
+	if err := b.Write(22); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := a.Read(); err != nil || v != 22 {
+		t.Fatalf("read after second writer = %v, %v", v, err)
+	}
+}
+
+func TestMWMRTimestampPacking(t *testing.T) {
+	ts := packTS(5, 9)
+	if roundOf(ts) != 5 {
+		t.Fatalf("roundOf(packTS(5,9)) = %d", roundOf(ts))
+	}
+	// Same round, higher writer id wins the tie (strictly larger word).
+	if packTS(5, 9) <= packTS(5, 8) {
+		t.Fatal("writer tie-break not monotone")
+	}
+	// A higher round always beats any writer id.
+	if packTS(6, 0) <= packTS(5, 0xffff) {
+		t.Fatal("round does not dominate writer id")
+	}
+}
+
+func TestMWMRSurvivesSilentCrashes(t *testing.T) {
+	m, bases := NewMWMR(2)
+	bases[0].CrashNonResponsive()
+	bases[3].CrashNonResponsive()
+	defer bases[0].Release()
+	defer bases[3].Release()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		a := m.NewClient(1)
+		if err := a.Write(5); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		if v, err := m.NewClient(2).Read(); err != nil || v != 5 {
+			t.Errorf("read = %v, %v", v, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("MWMR blocked despite <= t silent crashes")
+	}
+}
+
+func TestMWMRFailsBeyondResponsiveTolerance(t *testing.T) {
+	m, bases := NewMWMR(1)
+	bases[0].CrashResponsive()
+	bases[1].CrashResponsive()
+	c := m.NewClient(1)
+	if err := c.Write(1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write beyond tolerance: %v", err)
+	}
+	if _, err := c.Read(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read beyond tolerance: %v", err)
+	}
+}
+
+func TestMWMRConcurrentWritersConverge(t *testing.T) {
+	m, _ := NewMWMR(2)
+	const writers = 6
+	const rounds = 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := m.NewClient(uint16(w + 1))
+			for i := 0; i < rounds; i++ {
+				if err := c.Write(int64(w*1000 + i)); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// All writers done: every fresh reader agrees on one final value,
+	// and it is some writer's last write.
+	v1, err1 := m.NewClient(100).Read()
+	v2, err2 := m.NewClient(101).Read()
+	if err1 != nil || err2 != nil || v1 != v2 {
+		t.Fatalf("final reads disagree: %v/%v, %v/%v", v1, err1, v2, err2)
+	}
+	if v1%1000 != rounds-1 {
+		t.Fatalf("final value %d is not some writer's last write", v1)
+	}
+}
+
+func TestMWMRReaderMonotonePerHandle(t *testing.T) {
+	m, _ := NewMWMR(1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := m.NewClient(1)
+		for i := int64(0); i < 500; i++ {
+			if err := c.Write(i); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+		close(stop)
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rd := m.NewClient(uint16(10 + g))
+			last := int64(-1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, err := rd.Read()
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if v < last {
+					t.Errorf("handle regressed: %d after %d", v, last)
+					return
+				}
+				last = v
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkMWMRWrite(b *testing.B) {
+	m, _ := NewMWMR(2)
+	c := m.NewClient(1)
+	for i := 0; i < b.N; i++ {
+		_ = c.Write(int64(i))
+	}
+}

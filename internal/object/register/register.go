@@ -1,0 +1,82 @@
+// Package register builds reliable atomic registers out of unreliable
+// ones — the self-implementation question of the companion tutorial
+// (Guerraoui & Raynal, same proceedings) that the paper's research
+// programme uses as its "what can be computed" substrate.
+//
+// The object failure model (internal/object/objfail) distinguishes
+// responsive crashes (operations fail fast forever after) from
+// non-responsive crashes (operations never return). The package provides
+// a t-tolerant wait-free self-implementation for each model:
+//
+//   - Responsive: t+1 base registers accessed sequentially;
+//   - NonResponsive: 2t+1 base registers accessed in parallel, waiting
+//     for a majority of responses.
+//
+// Both constructions provide single-writer registers whose reads are
+// atomic per reader handle (the classical SWSR self-implementations; a
+// reader handle carries the monotone timestamp cache that rules out
+// new/old inversion). The tests also witness the negative side: with only
+// t+1 base registers, a single non-responsive crash can block a reader
+// forever.
+//
+// Unlike the rest of the repository, this package runs on real goroutines
+// and sync/atomic — wait-freedom is a property of genuine concurrency,
+// not of a simulated schedule.
+package register
+
+import (
+	"sync/atomic"
+
+	"repro/internal/object/objfail"
+)
+
+// ErrCrashed is returned by a crashed base register and by reliable
+// constructions that lost more base objects than they tolerate.
+var ErrCrashed = objfail.ErrCrashed
+
+// TimestampedValue is what the reliable constructions store in base
+// registers: the writer's sequence number makes values comparable.
+type TimestampedValue struct {
+	Seq  uint64
+	Data int64
+}
+
+// Register is the minimal register API the constructions build on.
+type Register interface {
+	Write(tv TimestampedValue) error
+	Read() (TimestampedValue, error)
+}
+
+// Base is an unreliable atomic register with crash injection. Construct
+// with NewBase.
+type Base struct {
+	objfail.Injector
+	val atomic.Pointer[TimestampedValue]
+}
+
+// NewBase returns a healthy base register holding the zero value.
+func NewBase() *Base {
+	b := &Base{}
+	b.val.Store(&TimestampedValue{})
+	return b
+}
+
+// Write implements Register.
+func (b *Base) Write(tv TimestampedValue) error {
+	if err := b.Enter(); err != nil {
+		return err
+	}
+	v := tv
+	b.val.Store(&v)
+	return nil
+}
+
+// Read implements Register.
+func (b *Base) Read() (TimestampedValue, error) {
+	if err := b.Enter(); err != nil {
+		return TimestampedValue{}, err
+	}
+	return *b.val.Load(), nil
+}
+
+var _ Register = (*Base)(nil)

@@ -1,0 +1,115 @@
+// Package snapshot implements the wait-free atomic snapshot object of
+// Afek, Attiya, Dolev, Gafni, Merritt and Shavit: n single-writer cells
+// that can be read all-at-once atomically, built from atomic registers
+// only. It rounds out the reliable-object substrate (claim C6): snapshots
+// are the standard stepping stone between bare registers and higher
+// objects, and — per the tutorial this substrate follows — they are
+// register-implementable, unlike consensus.
+//
+// The construction is the classic double collect with helping. A scanner
+// repeatedly collects all cells; two identical consecutive collects are a
+// valid snapshot (nothing moved in between). A writer that could starve
+// scanners embeds a snapshot of its own into every update; a scanner that
+// sees some cell move twice borrows that embedded snapshot, which was
+// taken entirely within the scanner's window. Either way Scan returns a
+// linearizable cut after at most n+2 collects.
+package snapshot
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// cell is one writer's register contents: the value, the writer's update
+// sequence number, and the snapshot embedded for helping.
+type cell struct {
+	value    int64
+	seq      uint64
+	embedded []int64
+}
+
+// Snapshot is an n-cell atomic snapshot object. Construct with New.
+// Cell i must be updated by a single writer; Scan may run from any
+// goroutine concurrently.
+type Snapshot struct {
+	cells []atomic.Pointer[cell]
+}
+
+// New returns a snapshot object with n zero-valued cells.
+func New(n int) *Snapshot {
+	if n <= 0 {
+		panic("snapshot: non-positive n")
+	}
+	s := &Snapshot{cells: make([]atomic.Pointer[cell], n)}
+	for i := range s.cells {
+		s.cells[i].Store(&cell{embedded: make([]int64, n)})
+	}
+	return s
+}
+
+// N returns the number of cells.
+func (s *Snapshot) N() int { return len(s.cells) }
+
+// collect reads every cell once.
+func (s *Snapshot) collect() []*cell {
+	out := make([]*cell, len(s.cells))
+	for i := range s.cells {
+		out[i] = s.cells[i].Load()
+	}
+	return out
+}
+
+func values(cs []*cell) []int64 {
+	out := make([]int64, len(cs))
+	for i, c := range cs {
+		out[i] = c.value
+	}
+	return out
+}
+
+func same(a, b []*cell) bool {
+	for i := range a {
+		if a[i].seq != b[i].seq {
+			return false
+		}
+	}
+	return true
+}
+
+// Scan returns an atomic view of all cells: the values coexisted at some
+// instant within the call.
+func (s *Snapshot) Scan() []int64 {
+	moved := make([]int, len(s.cells))
+	prev := s.collect()
+	for {
+		cur := s.collect()
+		if same(prev, cur) {
+			return values(cur) // clean double collect
+		}
+		for i := range cur {
+			if cur[i].seq != prev[i].seq {
+				moved[i]++
+				if moved[i] >= 2 {
+					// Cell i's writer performed two complete updates
+					// inside our window; its second embedded snapshot
+					// was taken entirely within it.
+					out := make([]int64, len(cur[i].embedded))
+					copy(out, cur[i].embedded)
+					return out
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+// Update sets cell i (single writer per cell). Each update embeds a scan
+// to help concurrent scanners terminate.
+func (s *Snapshot) Update(i int, v int64) {
+	if i < 0 || i >= len(s.cells) {
+		panic(fmt.Sprintf("snapshot: cell %d out of range [0, %d)", i, len(s.cells)))
+	}
+	embedded := s.Scan()
+	old := s.cells[i].Load()
+	s.cells[i].Store(&cell{value: v, seq: old.seq + 1, embedded: embedded})
+}

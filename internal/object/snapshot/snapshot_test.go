@@ -1,0 +1,185 @@
+package snapshot
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSequential(t *testing.T) {
+	s := New(3)
+	if s.N() != 3 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Scan(); got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("fresh scan = %v", got)
+	}
+	s.Update(0, 10)
+	s.Update(2, 30)
+	got := s.Scan()
+	if got[0] != 10 || got[1] != 0 || got[2] != 30 {
+		t.Fatalf("scan = %v, want [10 0 30]", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Update(5) did not panic")
+		}
+	}()
+	s.Update(5, 1)
+}
+
+func TestZeroCellsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+// Each writer i writes an ever-increasing counter into its cell. Scans
+// must be monotone per cell over time (a later scan never shows an older
+// value) and internally consistent.
+func TestConcurrentScansMonotone(t *testing.T) {
+	const writers = 4
+	s := New(writers)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := int64(1); v <= 300; v++ {
+				s.Update(w, v)
+			}
+		}()
+	}
+	var scanners sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		scanners.Add(1)
+		go func() {
+			defer scanners.Done()
+			last := make([]int64, writers)
+			for !stop.Load() {
+				got := s.Scan()
+				for i := range got {
+					if got[i] < last[i] {
+						t.Errorf("cell %d regressed: %d after %d", i, got[i], last[i])
+						return
+					}
+					last[i] = got[i]
+				}
+			}
+		}()
+	}
+	wg.Wait() // writers done
+	stop.Store(true)
+	scanners.Wait()
+	if got := s.Scan(); got[0] != 300 {
+		t.Fatalf("final scan = %v", got)
+	}
+}
+
+// The atomicity witness: writers keep an invariant (cells always sum to
+// 0 after each pair of updates is complete... instead use paired writers
+// below), scans must never observe a torn intermediate state for the
+// double-collect path. We use two cells updated by one writer through a
+// helper goroutine pair: writer A writes x to cell 0 then -x to cell 1;
+// the sum of a scan is 0 or x-in-flight. Since atomic snapshots
+// linearize, the observed (c0, c1) pair must equal some prefix state:
+// c0's value is either c1's negation or one step ahead.
+func TestScanObservesConsistentCut(t *testing.T) {
+	s := New(2)
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for x := int64(1); x <= 500; x++ {
+			s.Update(0, x)
+			s.Update(1, -x)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			got := s.Scan()
+			sum := got[0] + got[1]
+			// Valid cuts: between iterations (sum 0) or mid-iteration
+			// (cell 0 one step ahead: sum 1).
+			if sum != 0 && sum != 1 {
+				t.Errorf("torn scan %v (sum %d)", got, sum)
+				return
+			}
+		}
+	}()
+	// Stop the scanner once the writer finished.
+	go func() {
+		for {
+			got := s.Scan()
+			if got[0] == 500 && got[1] == -500 {
+				stop.Store(true)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestEmbeddedSnapshotHelping(t *testing.T) {
+	// Force the helping path: a writer that updates twice between a
+	// scanner's collects hands over its embedded snapshot. Hard to force
+	// deterministically without hooks; instead hammer a single cell from
+	// one writer while scanning and assert scans stay well-formed.
+	s := New(2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := int64(1); v <= 2000; v++ {
+			s.Update(0, v)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := int64(0)
+		for i := 0; i < 2000; i++ {
+			got := s.Scan()
+			if len(got) != 2 {
+				t.Errorf("scan length %d", len(got))
+				return
+			}
+			if got[0] < last {
+				t.Errorf("helping path returned stale snapshot: %d after %d", got[0], last)
+				return
+			}
+			last = got[0]
+		}
+	}()
+	wg.Wait()
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	s := New(4)
+	for i := 0; i < b.N; i++ {
+		s.Update(0, int64(i))
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	s := New(8)
+	for i := 0; i < 8; i++ {
+		s.Update(i, int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Scan()
+	}
+}

@@ -1,0 +1,164 @@
+// Package universal implements Herlihy's universal construction: any
+// object defined by a sequential specification, made wait-free and
+// linearizable out of consensus objects. It is the capstone of the
+// reliable-object substrate (claim C6): together with
+// internal/object/consensus it shows that once reliable consensus has
+// been self-implemented from unreliable parts, *every* sequentially
+// specified object follows.
+//
+// The construction is the classic consensus-per-log-cell one: clients
+// race to decide their command into the next log cell; losers apply the
+// winning command to their local replica and retry in the next cell.
+// Commands carry a (client, sequence) identity so an identical argument
+// proposed by two invocations is never confused. Every client replays the
+// same decided prefix, so replicas agree at every position —
+// linearizability for free, wait-freedom inherited from the consensus
+// objects (each retry advances the log by one decided command; a capacity
+// bound backstops the log).
+//
+// ObjectOf is generic in the replica state: any Go type driven by a pure
+// apply function works — counters, ledgers, logs, sets. Object/Client are
+// the int64 instantiation most callers need.
+package universal
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/object/consensus"
+)
+
+// ErrCapacity is returned when the pre-allocated log is exhausted.
+var ErrCapacity = errors.New("universal: log capacity exhausted")
+
+// Command is one invocation: identity plus argument.
+type Command struct {
+	Client uint64
+	Seq    uint64
+	Arg    int64
+}
+
+// Apply is the int64 object's sequential specification.
+type Apply func(state, arg int64) int64
+
+// ObjectOf is a wait-free linearizable object with replica state S, built
+// from consensus cells. The apply function must be pure — every replica
+// replays it.
+type ObjectOf[S any] struct {
+	apply   func(S, int64) S
+	initial S
+	cells   []*consensus.ResponsiveOf[Command]
+	bases   [][]*consensus.BaseOf[Command]
+	clients atomic.Uint64
+}
+
+// NewOf builds an object over state type S: sequential specification
+// apply, initial state, a log capacity of capacity commands, and each log
+// cell's consensus tolerating t responsive base-object crashes.
+func NewOf[S any](apply func(S, int64) S, initial S, capacity, t int) *ObjectOf[S] {
+	if apply == nil {
+		panic("universal: nil apply")
+	}
+	if capacity <= 0 {
+		panic("universal: non-positive capacity")
+	}
+	o := &ObjectOf[S]{apply: apply, initial: initial}
+	o.cells = make([]*consensus.ResponsiveOf[Command], capacity)
+	o.bases = make([][]*consensus.BaseOf[Command], capacity)
+	for i := range o.cells {
+		o.cells[i], o.bases[i] = consensus.NewResponsiveOf[Command](t)
+	}
+	return o
+}
+
+// Object is the int64 instantiation of ObjectOf.
+type Object = ObjectOf[int64]
+
+// New builds an int64-state object; see NewOf.
+func New(apply Apply, initial int64, capacity, t int) *Object {
+	if apply == nil {
+		panic("universal: nil apply")
+	}
+	return NewOf[int64](func(s, a int64) int64 { return apply(s, a) }, initial, capacity, t)
+}
+
+// CellBases exposes cell i's base consensus objects for crash injection
+// in tests and experiments.
+func (o *ObjectOf[S]) CellBases(i int) []*consensus.BaseOf[Command] { return o.bases[i] }
+
+// Capacity returns the log capacity.
+func (o *ObjectOf[S]) Capacity() int { return len(o.cells) }
+
+// ClientOf is one invoker with its local replica. Clients are not safe
+// for concurrent use; create one per goroutine.
+type ClientOf[S any] struct {
+	obj   *ObjectOf[S]
+	id    uint64
+	seq   uint64
+	pos   int
+	state S
+}
+
+// Client is the int64 instantiation of ClientOf.
+type Client = ClientOf[int64]
+
+// NewClient returns a fresh client with a unique identity.
+func (o *ObjectOf[S]) NewClient() *ClientOf[S] {
+	return &ClientOf[S]{obj: o, id: o.clients.Add(1), state: o.initial}
+}
+
+// State returns the client's current replica state (the state after the
+// log prefix it has replayed).
+func (c *ClientOf[S]) State() S { return c.state }
+
+// Invoke appends arg to the object's history and returns the state right
+// after this invocation took effect. Concurrent invocations by other
+// clients may be ordered before it; all replicas apply them identically.
+func (c *ClientOf[S]) Invoke(arg int64) (S, error) {
+	c.seq++
+	cmd := Command{Client: c.id, Seq: c.seq, Arg: arg}
+	for {
+		if c.pos >= len(c.obj.cells) {
+			return c.state, fmt.Errorf("invoke at position %d: %w", c.pos, ErrCapacity)
+		}
+		decided, err := c.obj.cells[c.pos].Propose(cmd)
+		if err != nil {
+			return c.state, fmt.Errorf("log cell %d: %w", c.pos, err)
+		}
+		c.state = c.obj.apply(c.state, decided.Arg)
+		c.pos++
+		if decided == cmd {
+			return c.state, nil
+		}
+	}
+}
+
+// Sync replays any commands other clients have decided beyond this
+// client's position, without appending anything. It returns the state
+// after the longest decided prefix currently visible. Sync is
+// conservative: it can lag behind the true log when a cell's last base
+// object crashed before deciding (see peek); Invoke never lags.
+func (c *ClientOf[S]) Sync() S {
+	for c.pos < len(c.obj.cells) {
+		decided, ok := c.peek(c.pos)
+		if !ok {
+			break
+		}
+		c.state = c.obj.apply(c.state, decided.Arg)
+		c.pos++
+	}
+	return c.state
+}
+
+// peek returns cell i's agreed command without proposing anything. Only
+// the LAST base object's decision is trustworthy here: estimates converge
+// at the first never-crashing base, so any later base that decides —
+// including the last — decides the final value, whereas an earlier base
+// can hold a value decided mid-convergence that never became the
+// outcome. If the last base has not decided (or crashed undecided), peek
+// reports not-known-yet.
+func (c *ClientOf[S]) peek(i int) (Command, bool) {
+	bases := c.obj.bases[i]
+	return bases[len(bases)-1].Decided()
+}

@@ -1,0 +1,208 @@
+package universal
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func counter() Apply { return func(state, arg int64) int64 { return state + arg } }
+
+func TestSequentialCounter(t *testing.T) {
+	o := New(counter(), 0, 64, 2)
+	c := o.NewClient()
+	for i := int64(1); i <= 10; i++ {
+		got, err := c.Invoke(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := i * (i + 1) / 2
+		if got != want {
+			t.Fatalf("after invoking 1..%d: state %d, want %d", i, got, want)
+		}
+	}
+	if o.Capacity() != 64 {
+		t.Fatalf("Capacity = %d", o.Capacity())
+	}
+}
+
+func TestTwoClientsInterleaved(t *testing.T) {
+	o := New(counter(), 100, 64, 1)
+	a, b := o.NewClient(), o.NewClient()
+	if _, err := a.Invoke(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Invoke(10); err != nil {
+		t.Fatal(err)
+	}
+	// b raced past a's command: its state must include BOTH.
+	if b.State() != 111 {
+		t.Fatalf("b.State() = %d, want 111", b.State())
+	}
+	// a lags until it syncs or invokes again.
+	a.Sync()
+	if a.State() != 111 {
+		t.Fatalf("a.State() after Sync = %d, want 111", a.State())
+	}
+}
+
+func TestConcurrentClientsAgree(t *testing.T) {
+	const procs = 8
+	const opsEach = 20
+	o := New(counter(), 0, procs*opsEach+8, 2)
+	var wg sync.WaitGroup
+	clients := make([]*Client, procs)
+	for i := 0; i < procs; i++ {
+		clients[i] = o.NewClient()
+	}
+	for i := 0; i < procs; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < opsEach; k++ {
+				if _, err := clients[i].Invoke(int64(i + 1)); err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Total effect: sum of all increments, regardless of interleaving.
+	want := int64(0)
+	for i := 1; i <= procs; i++ {
+		want += int64(i) * opsEach
+	}
+	for i, c := range clients {
+		c.Sync()
+		if c.State() != want {
+			t.Fatalf("client %d converged to %d, want %d", i, c.State(), want)
+		}
+	}
+}
+
+func TestLinearizabilityNonCommutative(t *testing.T) {
+	// Apply is "state*10 + arg": order-sensitive. All replicas must end
+	// with the identical digit string.
+	apply := func(state, arg int64) int64 { return state*10 + arg }
+	o := New(apply, 0, 32, 1)
+	const procs = 6
+	clients := make([]*Client, procs)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		clients[i] = o.NewClient()
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := clients[i].Invoke(int64(i + 1)); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, c := range clients {
+		c.Sync()
+	}
+	for i := 1; i < procs; i++ {
+		if clients[i].State() != clients[0].State() {
+			t.Fatalf("replicas diverged: %d vs %d", clients[i].State(), clients[0].State())
+		}
+	}
+}
+
+func TestSurvivesBaseCrashes(t *testing.T) {
+	o := New(counter(), 0, 32, 2)
+	// Crash t=2 of 3 base objects in several cells, at staggered points.
+	r := rng.New(5)
+	for cell := 0; cell < 8; cell++ {
+		bases := o.CellBases(cell)
+		for k := 0; k < 2; k++ {
+			bases[r.Intn(len(bases))].CrashAfter(int64(1+r.Intn(4)), true)
+		}
+	}
+	const procs = 4
+	clients := make([]*Client, procs)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		clients[i] = o.NewClient()
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 3; k++ {
+				if _, err := clients[i].Invoke(1); err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, c := range clients {
+		c.Sync()
+		if c.State() != procs*3 {
+			t.Fatalf("state %d under crashes, want %d", c.State(), procs*3)
+		}
+	}
+}
+
+func TestCapacityExhaustion(t *testing.T) {
+	o := New(counter(), 0, 3, 1)
+	c := o.NewClient()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Invoke(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Invoke(1); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("beyond capacity: %v", err)
+	}
+}
+
+func TestIdenticalArgumentsNotConfused(t *testing.T) {
+	// Two invocations with the same argument are distinct commands: both
+	// must take effect.
+	o := New(counter(), 0, 16, 1)
+	a, b := o.NewClient(), o.NewClient()
+	done := make(chan struct{}, 2)
+	go func() { a.Invoke(5); done <- struct{}{} }() //nolint:errcheck
+	go func() { b.Invoke(5); done <- struct{}{} }() //nolint:errcheck
+	<-done
+	<-done
+	c := o.NewClient()
+	if got := c.Sync(); got != 10 {
+		t.Fatalf("state %d, want 10 (both identical-arg invocations applied)", got)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"nil apply":    func() { New(nil, 0, 4, 1) },
+		"zero cap":     func() { New(counter(), 0, 0, 1) },
+		"negative tol": func() { New(counter(), 0, 4, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkInvoke(b *testing.B) {
+	o := New(counter(), 0, b.N+1, 1)
+	c := o.NewClient()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Invoke(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

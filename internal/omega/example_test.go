@@ -1,0 +1,32 @@
+package omega_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/omega"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Members elect the smallest live identity and re-elect when it departs.
+func Example() {
+	engine := sim.New()
+	elector := &omega.Elector{Beat: 5, Timeout: 100}
+	world := node.NewWorld(engine, topology.NewRing(1), elector.Factory(), node.Config{Seed: 1})
+	for i := 1; i <= 10; i++ {
+		world.Join(graph.NodeID(i))
+	}
+	engine.RunUntil(300)
+	leader, agreement := omega.Agreement(world)
+	fmt.Printf("leader %d, agreement %.0f%%\n", leader, agreement*100)
+
+	world.Leave(1)
+	engine.RunUntil(700)
+	leader, agreement = omega.Agreement(world)
+	fmt.Printf("after it left: leader %d, agreement %.0f%%\n", leader, agreement*100)
+	// Output:
+	// leader 1, agreement 100%
+	// after it left: leader 2, agreement 100%
+}

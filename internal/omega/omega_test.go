@@ -1,0 +1,153 @@
+package omega
+
+import (
+	"testing"
+
+	"repro/internal/churn"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func electorWorld(e *Elector, overlay topology.Overlay, n int, seed uint64) (*node.World, *sim.Engine) {
+	engine := sim.New()
+	w := node.NewWorld(engine, overlay, e.Factory(), node.Config{
+		MinLatency: 1, MaxLatency: 2, Seed: seed,
+	})
+	for i := 1; i <= n; i++ {
+		w.Join(graph.NodeID(i))
+	}
+	return w, engine
+}
+
+func TestStaticConvergesToSmallestID(t *testing.T) {
+	// Ring of 16: diameter 8, so heartbeats age ~8 beats in diffusion;
+	// the timeout must comfortably exceed that.
+	e := &Elector{Beat: 5, Timeout: 100}
+	w, engine := electorWorld(e, topology.NewRing(3), 16, 1)
+	engine.RunUntil(300)
+	leader, frac := Agreement(w)
+	if leader != 1 || frac != 1 {
+		t.Fatalf("static election: leader %d with agreement %.2f, want 1 at 1.0", leader, frac)
+	}
+	// Per-member view matches.
+	for _, id := range w.Present() {
+		m, _ := node.FindBehavior[*Member](w.Proc(id).Behavior())
+		if l, ok := m.Leader(); !ok || l != 1 {
+			t.Fatalf("member %d elects %d (ok=%v)", id, l, ok)
+		}
+	}
+}
+
+func TestLeaderDeposedWhenItLeaves(t *testing.T) {
+	e := &Elector{Beat: 5, Timeout: 100}
+	w, engine := electorWorld(e, topology.NewRing(3), 12, 2)
+	engine.RunUntil(300)
+	w.Leave(1)
+	engine.RunUntil(600)
+	leader, frac := Agreement(w)
+	if leader != 2 || frac != 1 {
+		t.Fatalf("after leader left: leader %d at %.2f, want 2 at 1.0", leader, frac)
+	}
+}
+
+func TestCrashedLeaderDeposedBySilence(t *testing.T) {
+	// A crash leaves stale edges: only the heartbeat silence (not the
+	// overlay) can depose the leader.
+	e := &Elector{Beat: 5, Timeout: 40}
+	w, engine := electorWorld(e, topology.NewMesh(), 8, 3)
+	engine.RunUntil(300)
+	w.Crash(1)
+	engine.RunUntil(700)
+	leader, frac := Agreement(w)
+	if leader != 2 || frac != 1 {
+		t.Fatalf("after leader crashed: leader %d at %.2f, want 2 at 1.0", leader, frac)
+	}
+}
+
+func TestEventualAgreementAfterQuiescence(t *testing.T) {
+	// Population can reach ~40 on the ring (diameter ~20): heartbeats age
+	// ~20 beats crossing it, so the horizon must be much larger.
+	e := &Elector{Beat: 5, Timeout: 250}
+	engine := sim.New()
+	w := node.NewWorld(engine, topology.NewRing(7), e.Factory(), node.Config{
+		MinLatency: 1, MaxLatency: 2, Seed: 7,
+	})
+	gen := churn.New(7, churn.Config{
+		InitialPopulation: 16, ArrivalRate: 0.2,
+		Session: churn.ExpSessions(80), QuiesceAt: 1200,
+	})
+	w.ApplyChurn(gen, 4000)
+	engine.RunUntil(2000) // well past stabilization + diffusion
+	w.Close()
+	if len(w.Present()) == 0 {
+		t.Skip("population died out before quiescence (fixture artifact)")
+	}
+	leader, frac := Agreement(w)
+	if frac != 1 {
+		t.Fatalf("post-GST agreement %.2f on leader %d, want 1.0", frac, leader)
+	}
+	// The agreed leader is present.
+	if w.Proc(leader) == nil {
+		t.Fatalf("agreed leader %d is not present", leader)
+	}
+}
+
+func TestChurnCausesDemotions(t *testing.T) {
+	e := &Elector{Beat: 5, Timeout: 40}
+	engine := sim.New()
+	w := node.NewWorld(engine, topology.NewRing(9), e.Factory(), node.Config{
+		MinLatency: 1, MaxLatency: 2, Seed: 9,
+	})
+	// No immortal core: leaders keep dying.
+	gen := churn.New(9, churn.Config{
+		InitialPopulation: 16, ArrivalRate: 0.3, Session: churn.ExpSessions(60),
+	})
+	w.ApplyChurn(gen, 3000)
+	engine.RunUntil(3000)
+	total := 0
+	for _, id := range w.Present() {
+		m, _ := node.FindBehavior[*Member](w.Proc(id).Behavior())
+		total += m.Demotions()
+	}
+	if total == 0 {
+		t.Fatal("perpetual churn produced no leader demotions")
+	}
+}
+
+func TestTablesPruned(t *testing.T) {
+	e := &Elector{Beat: 5, Timeout: 20}
+	engine := sim.New()
+	w := node.NewWorld(engine, topology.NewRing(11), e.Factory(), node.Config{
+		MinLatency: 1, MaxLatency: 1, Seed: 11,
+	})
+	gen := churn.New(11, churn.Config{
+		InitialPopulation: 8, Immortal: true,
+		ArrivalRate: 0.5, Session: churn.ExpSessions(30),
+	})
+	w.ApplyChurn(gen, 2000)
+	engine.RunUntil(2000)
+	totalArrivals := len(w.Trace.Entities())
+	m, _ := node.FindBehavior[*Member](w.Proc(1).Behavior())
+	if len(m.lastSeen) >= totalArrivals/2 {
+		t.Fatalf("freshness table holds %d entries for %d total arrivals: not pruned",
+			len(m.lastSeen), totalArrivals)
+	}
+}
+
+func TestAgreementEmptyWorld(t *testing.T) {
+	e := &Elector{}
+	engine := sim.New()
+	w := node.NewWorld(engine, topology.NewMesh(), e.Factory(), node.Config{Seed: 1})
+	if l, f := Agreement(w); l != 0 || f != 0 {
+		t.Fatalf("empty world agreement = %d, %.2f", l, f)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	e := &Elector{}
+	if e.beat() != 5 || e.timeout() != 30 {
+		t.Fatalf("defaults = %d/%d", e.beat(), e.timeout())
+	}
+}

@@ -1,0 +1,205 @@
+package otq
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// ContinuousFlood is the standing-query counterpart of the One-Time
+// Query (the companion problem in the OTQ literature): the querier
+// re-floods every Epoch ticks and emits a fresh answer per epoch,
+// tracking the aggregate of a system that keeps changing underneath it.
+// Each epoch is an independent TTL-bounded flood (the members' flood
+// logic is already multi-query), so the per-epoch guarantees are exactly
+// FloodTTL's; what the continuous view adds — and what CheckContinuous
+// measures — is how validity behaves as a rate over time and how far each
+// answer lags the system it describes.
+//
+// A ContinuousFlood value drives a single world and a single standing
+// query.
+type ContinuousFlood struct {
+	// TTL is each epoch's wave depth (the known diameter bound).
+	TTL int
+	// MaxLatency is the known per-hop latency bound.
+	MaxLatency sim.Time
+	// Epoch is the re-evaluation period; it must exceed each flood's
+	// deadline (2*TTL*MaxLatency + Slack). Default: deadline + 10.
+	Epoch sim.Time
+	// Slack pads each epoch's deadline. Default 2.
+	Slack sim.Time
+	// MaxEpochs bounds the standing query. Default 50.
+	MaxEpochs int
+
+	run *ContinuousRun
+}
+
+// EpochAnswer is one epoch's result.
+type EpochAnswer struct {
+	Epoch        int
+	StartedAt    core.Time
+	At           core.Time
+	Contributors map[graph.NodeID]float64
+}
+
+// ContinuousRun collects the answer series.
+type ContinuousRun struct {
+	Querier graph.NodeID
+	answers []EpochAnswer
+	stopped bool
+}
+
+// Answers returns the epochs answered so far.
+func (r *ContinuousRun) Answers() []EpochAnswer {
+	out := make([]EpochAnswer, len(r.answers))
+	copy(out, r.answers)
+	return out
+}
+
+// Stop ends the standing query after the current epoch.
+func (r *ContinuousRun) Stop() { r.stopped = true }
+
+// Name identifies the protocol.
+func (*ContinuousFlood) Name() string { return "continuous-flood" }
+
+// Factory returns the member behaviour (the shared multi-query flood
+// logic).
+func (*ContinuousFlood) Factory() node.BehaviorFactory {
+	return func(graph.NodeID) node.Behavior { return &floodBehavior{} }
+}
+
+func (cf *ContinuousFlood) slack() sim.Time {
+	if cf.Slack > 0 {
+		return cf.Slack
+	}
+	return 2
+}
+
+func (cf *ContinuousFlood) deadline() sim.Time {
+	return 2*sim.Time(cf.TTL)*cf.MaxLatency + cf.slack()
+}
+
+func (cf *ContinuousFlood) epoch() sim.Time {
+	if cf.Epoch > 0 {
+		return cf.Epoch
+	}
+	return cf.deadline() + 10
+}
+
+func (cf *ContinuousFlood) maxEpochs() int {
+	if cf.MaxEpochs > 0 {
+		return cf.MaxEpochs
+	}
+	return 50
+}
+
+// Launch starts the standing query at the given present entity.
+func (cf *ContinuousFlood) Launch(w *node.World, querier graph.NodeID) *ContinuousRun {
+	if cf.TTL <= 0 || cf.MaxLatency <= 0 {
+		panic("otq: ContinuousFlood needs positive TTL and MaxLatency")
+	}
+	if cf.epoch() < cf.deadline() {
+		panic("otq: ContinuousFlood epoch shorter than its flood deadline")
+	}
+	if cf.run != nil {
+		panic("otq: ContinuousFlood launched twice")
+	}
+	p := w.Proc(querier)
+	if p == nil {
+		panic(fmt.Sprintf("otq: querier %d not present", querier))
+	}
+	b, ok := node.FindBehavior[*floodBehavior](p.Behavior())
+	if !ok {
+		panic("otq: world was not built with this protocol's factory")
+	}
+	cf.run = &ContinuousRun{Querier: querier}
+	b.acc = newAccumulator(p.Now)
+	b.core.parent = make(map[int]graph.NodeID)
+	cf.epochRound(p, b, 1)
+	return cf.run
+}
+
+func (cf *ContinuousFlood) epochRound(p *node.Proc, b *floodBehavior, epoch int) {
+	if !p.Alive() || cf.run.stopped || epoch > cf.maxEpochs() {
+		return
+	}
+	qid := epoch
+	started := int64(p.Now())
+	b.core.parent[qid] = p.ID
+	b.acc.absorb(qid, map[graph.NodeID]float64{p.ID: p.Value})
+	p.Broadcast(tagQuery, queryMsg{QID: qid, TTL: cf.TTL - 1})
+	p.After(cf.deadline(), func() {
+		p.Mark(fmt.Sprintf("otq.epoch-answer:%d", epoch))
+		cf.run.answers = append(cf.run.answers, EpochAnswer{
+			Epoch:        epoch,
+			StartedAt:    started,
+			At:           int64(p.Now()),
+			Contributors: copyContrib(b.acc.get(qid)),
+		})
+	})
+	p.After(cf.epoch(), func() { cf.epochRound(p, b, epoch+1) })
+}
+
+// ContinuousOutcome is CheckContinuous's judgment of a standing query.
+type ContinuousOutcome struct {
+	// Epochs is the number of answers emitted.
+	Epochs int
+	// ValidEpochs counts epochs whose answer satisfied the per-epoch OTQ
+	// Validity (stable participants of [start, answer] covered, nothing
+	// fabricated).
+	ValidEpochs int
+	// MeanAbsCountLag averages |answer count - true membership at answer
+	// time| over epochs: how far each answer trails the living system.
+	MeanAbsCountLag float64
+}
+
+// ValidRate returns ValidEpochs / Epochs (1 when no epochs ran).
+func (o ContinuousOutcome) ValidRate() float64 {
+	if o.Epochs == 0 {
+		return 1
+	}
+	return float64(o.ValidEpochs) / float64(o.Epochs)
+}
+
+// CheckContinuous judges every epoch of a standing query against the
+// recorded run.
+func CheckContinuous(tr *core.Trace, r *ContinuousRun) ContinuousOutcome {
+	var out ContinuousOutcome
+	lagSum := 0.0
+	for _, ans := range r.answers {
+		out.Epochs++
+		stable := tr.StableBetween(ans.StartedAt, ans.At)
+		ever := map[graph.NodeID]bool{}
+		for _, id := range tr.EverPresentBetween(ans.StartedAt, ans.At) {
+			ever[id] = true
+		}
+		valid := true
+		for _, id := range stable {
+			if _, ok := ans.Contributors[id]; !ok {
+				valid = false
+			}
+		}
+		for id := range ans.Contributors {
+			if !ever[id] {
+				valid = false
+			}
+		}
+		if valid {
+			out.ValidEpochs++
+		}
+		truth := float64(len(tr.PresentAt(ans.At)))
+		got := float64(len(ans.Contributors))
+		if got > truth {
+			lagSum += got - truth
+		} else {
+			lagSum += truth - got
+		}
+	}
+	if out.Epochs > 0 {
+		out.MeanAbsCountLag = lagSum / float64(out.Epochs)
+	}
+	return out
+}

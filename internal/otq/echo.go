@@ -1,0 +1,172 @@
+package otq
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+const tagEchoSet = "otq.echo-set"
+
+type echoSetMsg struct {
+	Contrib map[graph.NodeID]float64
+}
+
+// EchoWave is the knowledge-free wave protocol (claim C4): it needs no
+// diameter bound. Activated entities dissipate the growing contribution
+// set to every neighbor (anti-entropy: a neighbor is re-pushed whenever
+// the local set has grown past what it was last sent, which also covers
+// neighbors gained through churn repairs). The querier terminates by
+// quiescence detection: it answers once no new contributor has appeared
+// for QuietFor ticks.
+//
+// In an eventually-stable run the wave covers the querier's stable
+// component after stabilization and then quiesces: Termination and
+// Validity both hold. Under perpetual churn the quiescence test is
+// fallible — exactly the paper's point: the querier either answers too
+// early (Validity violated) or is starved forever by fresh arrivals
+// (Termination violated).
+//
+// An EchoWave value drives a single world and a single query.
+type EchoWave struct {
+	// RescanInterval is the anti-entropy period. Default 5.
+	RescanInterval sim.Time
+	// QuietFor is the quiescence window after which the querier answers.
+	// Default 60.
+	QuietFor sim.Time
+	// MaxRescans bounds each entity's anti-entropy ticks (a safety valve
+	// so a run cannot schedule events forever). Default 1000.
+	MaxRescans int
+
+	run *Run
+	// payloadEntries accumulates the total contributor-map entries sent,
+	// and maxPayload the largest single message, for cost accounting
+	// against sketch-based aggregation (E16).
+	payloadEntries int64
+	maxPayload     int64
+}
+
+// PayloadEntries returns the total contributor-map entries shipped.
+func (e *EchoWave) PayloadEntries() int64 { return e.payloadEntries }
+
+// MaxPayload returns the largest single message, in entries.
+func (e *EchoWave) MaxPayload() int64 { return e.maxPayload }
+
+// Name implements Protocol.
+func (*EchoWave) Name() string { return "echo-wave" }
+
+type echoWaveBehavior struct {
+	proto   *EchoWave
+	active  bool
+	known   map[graph.NodeID]float64
+	sentLen map[graph.NodeID]int // per neighbor: len(known) at last push
+	rescans int
+
+	// Querier-only state.
+	isQuerier bool
+	lastNew   sim.Time
+	started   sim.Time
+}
+
+// Factory implements Protocol.
+func (e *EchoWave) Factory() node.BehaviorFactory {
+	return func(graph.NodeID) node.Behavior { return &echoWaveBehavior{proto: e} }
+}
+
+func (e *EchoWave) rescanInterval() sim.Time {
+	if e.RescanInterval > 0 {
+		return e.RescanInterval
+	}
+	return 5
+}
+
+func (e *EchoWave) quietFor() sim.Time {
+	if e.QuietFor > 0 {
+		return e.QuietFor
+	}
+	return 60
+}
+
+func (e *EchoWave) maxRescans() int {
+	if e.MaxRescans > 0 {
+		return e.MaxRescans
+	}
+	return 1000
+}
+
+func (b *echoWaveBehavior) Init(*node.Proc) {}
+
+func (b *echoWaveBehavior) Receive(p *node.Proc, m node.Message) {
+	if m.Tag != tagEchoSet {
+		return
+	}
+	b.activate(p)
+	set := m.Payload.(echoSetMsg)
+	for id, v := range set.Contrib {
+		if _, ok := b.known[id]; !ok {
+			b.known[id] = v
+			b.lastNew = p.Now()
+		}
+	}
+}
+
+// activate starts participating: seed the set with my own value and begin
+// anti-entropy ticks.
+func (b *echoWaveBehavior) activate(p *node.Proc) {
+	if b.active {
+		return
+	}
+	b.active = true
+	b.known = map[graph.NodeID]float64{p.ID: p.Value}
+	b.sentLen = make(map[graph.NodeID]int)
+	b.lastNew = p.Now()
+	b.tick(p)
+}
+
+func (b *echoWaveBehavior) tick(p *node.Proc) {
+	for _, u := range p.Neighbors() {
+		if b.sentLen[u] < len(b.known) {
+			p.Send(u, tagEchoSet, echoSetMsg{Contrib: copyContrib(b.known)})
+			b.proto.payloadEntries += int64(len(b.known))
+			if n := int64(len(b.known)); n > b.proto.maxPayload {
+				b.proto.maxPayload = n
+			}
+			b.sentLen[u] = len(b.known)
+		}
+	}
+	if b.isQuerier && b.proto.run.Answer() == nil {
+		now := p.Now()
+		if now-b.lastNew >= b.proto.quietFor() && now-b.started >= b.proto.quietFor() {
+			p.Mark("otq.answer")
+			b.proto.run.resolve(int64(now), b.known)
+			return
+		}
+	}
+	b.rescans++
+	if b.rescans >= b.proto.maxRescans() {
+		return
+	}
+	p.After(b.proto.rescanInterval(), func() { b.tick(p) })
+}
+
+// Launch implements Protocol.
+func (e *EchoWave) Launch(w *node.World, querier graph.NodeID) *Run {
+	if e.run != nil {
+		panic("otq: EchoWave launched twice")
+	}
+	p := w.Proc(querier)
+	if p == nil {
+		panic(fmt.Sprintf("otq: querier %d not present", querier))
+	}
+	b, ok := node.FindBehavior[*echoWaveBehavior](p.Behavior())
+	if !ok {
+		panic("otq: world was not built with this protocol's factory")
+	}
+	e.run = &Run{Querier: querier, Started: int64(p.Now())}
+	b.isQuerier = true
+	b.started = p.Now()
+	b.activate(p)
+	return e.run
+}

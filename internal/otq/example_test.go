@@ -1,0 +1,63 @@
+package otq_test
+
+import (
+	"fmt"
+
+	"repro/internal/agg"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/otq"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Run a One-Time Query with the knowledge-free echo wave on a static ring
+// and judge it against the recorded ground truth.
+func Example() {
+	engine := sim.New()
+	proto := &otq.EchoWave{RescanInterval: 3, QuietFor: 40}
+	world := node.NewWorld(engine, topology.NewManual(), proto.Factory(), node.Config{Seed: 1})
+	const n = 8
+	for i := 1; i <= n; i++ {
+		world.Join(graph.NodeID(i))
+	}
+	for i := 1; i <= n; i++ {
+		world.SetLink(graph.NodeID(i), graph.NodeID(i%n+1), true)
+	}
+
+	run := proto.Launch(world, 1)
+	engine.RunUntil(2000)
+	world.Close()
+
+	out := otq.Check(world.Trace, run, nil)
+	fmt.Println("terminated:", out.Terminated, "valid:", out.Valid())
+	fmt.Println("count:", run.Answer().Result(agg.Count))
+	fmt.Println("sum:", run.Answer().Result(agg.Sum))
+	// Output:
+	// terminated: true valid: true
+	// count: 8
+	// sum: 36
+}
+
+// A TTL below the diameter terminates but misses stable participants —
+// claim C2 in two dozen lines.
+func ExampleFloodTTL() {
+	engine := sim.New()
+	proto := &otq.FloodTTL{TTL: 2, MaxLatency: 1}
+	world := node.NewWorld(engine, topology.NewGrowingPath(), proto.Factory(), node.Config{Seed: 1})
+	for i := 1; i <= 6; i++ {
+		world.Join(graph.NodeID(i)) // a path 1-2-3-4-5-6
+	}
+	run := proto.Launch(world, 1)
+	engine.RunUntil(500)
+	world.Close()
+
+	out := otq.Check(world.Trace, run, nil)
+	fmt.Println("terminated:", out.Terminated)
+	fmt.Println("covered:", out.CoveredStable, "of", out.StableCount)
+	fmt.Println("missed:", out.MissedStable)
+	// Output:
+	// terminated: true
+	// covered: 3 of 6
+	// missed: [4 5 6]
+}

@@ -1,0 +1,191 @@
+package otq
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// Message tags of the exact (flooding-family) protocols.
+const (
+	tagQuery  = "otq.query"
+	tagReport = "otq.report"
+)
+
+type queryMsg struct {
+	QID int
+	TTL int
+}
+
+type reportMsg struct {
+	QID     int
+	Contrib map[graph.NodeID]float64
+}
+
+// floodCore is the member-side logic shared by FloodTTL and ExpandingRing:
+// forward a TTL-bounded query wave outward, relay contributions back along
+// the parent pointers. It supports multiple query IDs (expanding ring
+// issues one per round).
+type floodCore struct {
+	parent map[int]graph.NodeID // per QID: who I first heard it from
+}
+
+func (f *floodCore) seen(qid int) bool {
+	_, ok := f.parent[qid]
+	return ok
+}
+
+// onQuery handles a query wave arrival; sink is non-nil at the querier.
+func (f *floodCore) onQuery(p *node.Proc, m node.Message, sink *accumulator) {
+	q := m.Payload.(queryMsg)
+	if f.parent == nil {
+		f.parent = make(map[int]graph.NodeID)
+	}
+	if f.seen(q.QID) {
+		return
+	}
+	f.parent[q.QID] = m.From
+	// Contribute my own value upstream.
+	f.sendUp(p, q.QID, map[graph.NodeID]float64{p.ID: p.Value}, sink)
+	if q.TTL > 0 {
+		fwd := queryMsg{QID: q.QID, TTL: q.TTL - 1}
+		for _, u := range p.Neighbors() {
+			if u != m.From {
+				p.Send(u, tagQuery, fwd)
+			}
+		}
+	}
+}
+
+// onReport relays a contribution bundle toward the querier.
+func (f *floodCore) onReport(p *node.Proc, m node.Message, sink *accumulator) {
+	r := m.Payload.(reportMsg)
+	f.sendUp(p, r.QID, r.Contrib, sink)
+}
+
+func (f *floodCore) sendUp(p *node.Proc, qid int, contrib map[graph.NodeID]float64, sink *accumulator) {
+	if sink != nil {
+		sink.absorb(qid, contrib)
+		return
+	}
+	parent, ok := f.parent[qid]
+	if !ok {
+		// A report for a wave I never saw (e.g. I joined mid-query and a
+		// straggler reply reached me): nowhere to route it.
+		return
+	}
+	p.Send(parent, tagReport, reportMsg{QID: qid, Contrib: copyContrib(contrib)})
+}
+
+// accumulator gathers contributions at the querier, per query ID.
+type accumulator struct {
+	byQID   map[int]map[graph.NodeID]float64
+	lastNew sim.Time
+	now     func() sim.Time
+}
+
+func newAccumulator(now func() sim.Time) *accumulator {
+	return &accumulator{byQID: make(map[int]map[graph.NodeID]float64), now: now}
+}
+
+func (a *accumulator) absorb(qid int, contrib map[graph.NodeID]float64) {
+	m := a.byQID[qid]
+	if m == nil {
+		m = make(map[graph.NodeID]float64)
+		a.byQID[qid] = m
+	}
+	for id, v := range contrib {
+		if _, dup := m[id]; !dup {
+			m[id] = v
+			a.lastNew = a.now()
+		}
+	}
+}
+
+func (a *accumulator) get(qid int) map[graph.NodeID]float64 { return a.byQID[qid] }
+
+// FloodTTL is the protocol that solves OTQ when a diameter bound is known
+// (claim C1): the querier floods a TTL-bounded wave, members relay
+// contributions back along parent pointers, and the querier answers after
+// a deadline computed from the known TTL and latency bound — the knowledge
+// that makes its termination sound.
+//
+// A FloodTTL value drives a single world and a single query; create a
+// fresh one per run.
+type FloodTTL struct {
+	// TTL is the wave depth: a sound choice is the class's diameter bound.
+	TTL int
+	// MaxLatency is the known per-hop latency bound used to size the
+	// answer deadline.
+	MaxLatency sim.Time
+	// Slack pads the deadline (scheduling margin). Default 2.
+	Slack sim.Time
+
+	run     *Run
+	querier graph.NodeID
+}
+
+// Name implements Protocol.
+func (*FloodTTL) Name() string { return "flood-ttl" }
+
+type floodBehavior struct {
+	proto *FloodTTL
+	core  floodCore
+	acc   *accumulator // non-nil at the querier
+}
+
+func (b *floodBehavior) Init(*node.Proc) {}
+
+func (b *floodBehavior) Receive(p *node.Proc, m node.Message) {
+	switch m.Tag {
+	case tagQuery:
+		b.core.onQuery(p, m, b.acc)
+	case tagReport:
+		b.core.onReport(p, m, b.acc)
+	}
+}
+
+// Factory implements Protocol.
+func (f *FloodTTL) Factory() node.BehaviorFactory {
+	return func(graph.NodeID) node.Behavior { return &floodBehavior{proto: f} }
+}
+
+// Launch implements Protocol. It panics if the querier is absent, the
+// behaviour factory was not this protocol's, or parameters are unset.
+func (f *FloodTTL) Launch(w *node.World, querier graph.NodeID) *Run {
+	if f.TTL <= 0 || f.MaxLatency <= 0 {
+		panic("otq: FloodTTL needs positive TTL and MaxLatency")
+	}
+	if f.run != nil {
+		panic("otq: FloodTTL launched twice")
+	}
+	p := w.Proc(querier)
+	if p == nil {
+		panic(fmt.Sprintf("otq: querier %d not present", querier))
+	}
+	b, ok := node.FindBehavior[*floodBehavior](p.Behavior())
+	if !ok {
+		panic("otq: world was not built with this protocol's factory")
+	}
+	slack := f.Slack
+	if slack == 0 {
+		slack = 2
+	}
+	f.querier = querier
+	f.run = &Run{Querier: querier, Started: int64(p.Now())}
+	b.acc = newAccumulator(p.Now)
+	const qid = 1
+	b.core.parent = map[int]graph.NodeID{qid: querier}
+	b.acc.absorb(qid, map[graph.NodeID]float64{querier: p.Value})
+	p.Broadcast(tagQuery, queryMsg{QID: qid, TTL: f.TTL - 1})
+	// Out in <= TTL hops, back in <= TTL hops, each at most MaxLatency.
+	deadline := 2*sim.Time(f.TTL)*f.MaxLatency + slack
+	run := f.run
+	p.After(deadline, func() {
+		p.Mark("otq.answer")
+		run.resolve(int64(p.Now()), b.acc.get(qid))
+	})
+	return f.run
+}

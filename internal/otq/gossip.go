@@ -1,0 +1,147 @@
+package otq
+
+import (
+	"fmt"
+
+	"repro/internal/agg"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+const tagGossip = "otq.push-sum"
+
+type gossipMsg struct {
+	S, W float64
+}
+
+// GossipPushSum is the approximate baseline (claim C5): instead of exact
+// Validity, every member continuously runs push-sum averaging — each round
+// it keeps half of its (sum, weight) mass and pushes the other half to a
+// random neighbor — and the querier reads its local estimate of the mean
+// after a fixed number of rounds.
+//
+// The protocol always terminates, never identifies contributors (its
+// answer carries an empty contributor set, so it can never be exactly
+// Valid), and its error grows gracefully with churn: departures carry
+// mass away and arrivals dilute it. Only the Mean aggregate is estimated;
+// that is the aggregate experiment E6 measures.
+//
+// A GossipPushSum value drives a single world and a single query.
+type GossipPushSum struct {
+	// RoundInterval is the per-member gossip period. Default 2.
+	RoundInterval sim.Time
+	// Rounds is how many of its own rounds the querier waits before
+	// reading its estimate. Default 50.
+	Rounds int
+	// MaxTicks bounds each member's gossip activity (safety valve).
+	// Default 5000.
+	MaxTicks int
+	// Seed drives each member's random neighbor choice.
+	Seed uint64
+
+	run *Run
+}
+
+// Name implements Protocol.
+func (*GossipPushSum) Name() string { return "gossip-push-sum" }
+
+type gossipBehavior struct {
+	proto *GossipPushSum
+	r     *rng.Rand
+	s, w  float64
+	ticks int
+}
+
+// Factory implements Protocol. Every member gossips from the moment it
+// joins; the query only decides when the estimate is read.
+func (g *GossipPushSum) Factory() node.BehaviorFactory {
+	return func(id graph.NodeID) node.Behavior {
+		return &gossipBehavior{
+			proto: g,
+			r:     rng.New(g.Seed ^ uint64(id)*0x9e3779b97f4a7c15),
+		}
+	}
+}
+
+func (g *GossipPushSum) roundInterval() sim.Time {
+	if g.RoundInterval > 0 {
+		return g.RoundInterval
+	}
+	return 2
+}
+
+func (g *GossipPushSum) rounds() int {
+	if g.Rounds > 0 {
+		return g.Rounds
+	}
+	return 50
+}
+
+func (g *GossipPushSum) maxTicks() int {
+	if g.MaxTicks > 0 {
+		return g.MaxTicks
+	}
+	return 5000
+}
+
+func (b *gossipBehavior) Init(p *node.Proc) {
+	b.s, b.w = p.Value, 1
+	b.schedule(p)
+}
+
+func (b *gossipBehavior) schedule(p *node.Proc) {
+	b.ticks++
+	if b.ticks > b.proto.maxTicks() {
+		return
+	}
+	p.After(b.proto.roundInterval(), func() { b.tick(p) })
+}
+
+func (b *gossipBehavior) tick(p *node.Proc) {
+	nbrs := p.Neighbors()
+	if len(nbrs) > 0 {
+		u := nbrs[b.r.Intn(len(nbrs))]
+		b.s /= 2
+		b.w /= 2
+		p.Send(u, tagGossip, gossipMsg{S: b.s, W: b.w})
+	}
+	b.schedule(p)
+}
+
+func (b *gossipBehavior) Receive(p *node.Proc, m node.Message) {
+	if m.Tag != tagGossip {
+		return
+	}
+	g := m.Payload.(gossipMsg)
+	b.s += g.S
+	b.w += g.W
+}
+
+// Estimate returns the member's current estimate of the system mean.
+func (b *gossipBehavior) Estimate() float64 { return b.s / b.w }
+
+// Launch implements Protocol.
+func (g *GossipPushSum) Launch(w *node.World, querier graph.NodeID) *Run {
+	if g.run != nil {
+		panic("otq: GossipPushSum launched twice")
+	}
+	p := w.Proc(querier)
+	if p == nil {
+		panic(fmt.Sprintf("otq: querier %d not present", querier))
+	}
+	b, ok := node.FindBehavior[*gossipBehavior](p.Behavior())
+	if !ok {
+		panic("otq: world was not built with this protocol's factory")
+	}
+	g.run = &Run{Querier: querier, Started: int64(p.Now())}
+	wait := sim.Time(g.rounds()) * g.roundInterval()
+	run := g.run
+	p.After(wait, func() {
+		p.Mark("otq.answer")
+		// Encode the estimate so that State.Result(agg.Mean) reads s/w.
+		run.resolveState(int64(p.Now()), agg.State{Count: b.w, Sum: b.s})
+	})
+	return g.run
+}

@@ -1,0 +1,212 @@
+// Package otq implements the paper's canonical problem — the One-Time
+// Query — and the protocols whose success and failure across system
+// classes the paper uses to delineate dynamic distributed systems.
+//
+// A querying entity q issues a query over the values held by system
+// members and must satisfy:
+//
+//   - Termination: q eventually returns an answer;
+//   - Validity: the answer accounts for the value of every entity present
+//     during the whole query interval (the stable participants), and
+//     contains only values of entities actually present at some point of
+//     the interval.
+//
+// Protocols implemented: TTL-bounded flooding and its repeated variant
+// (both need a known diameter bound; repetition buys loss robustness), a
+// standing continuous-query flood, an adaptive echo wave with quiescence
+// detection (knowledge-free, exact under eventual stability), the
+// textbook tree echo (PIF, with optional departure/failure detection),
+// expanding-ring probing (its fixed-point termination test is sound only
+// with bounded dynamics), gossip push-sum (approximate means), and a
+// duplicate-insensitive sketch wave (approximate counts at constant
+// message size). The Check function judges a protocol's answer against
+// the recorded run trace, so protocols cannot self-certify; both the
+// strong Validity and the weaker reachability-limited one are reported.
+package otq
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/node"
+)
+
+// Answer is what a query returns: the merged aggregation state and, for
+// specification checking, exactly which entities contributed.
+type Answer struct {
+	State        agg.State
+	Contributors map[graph.NodeID]float64
+	At           core.Time
+}
+
+// Result reads the requested aggregate from the answer.
+func (a *Answer) Result(k agg.Kind) float64 { return a.State.Result(k) }
+
+// Run is one query execution. The protocol fills the answer in when (if)
+// the querier decides.
+type Run struct {
+	Querier graph.NodeID
+	Started core.Time
+	answer  *Answer
+}
+
+// Answer returns the query's answer, or nil if the querier has not
+// decided (non-termination within the run's horizon).
+func (r *Run) Answer() *Answer { return r.answer }
+
+// resolve is called by the querier's behaviour exactly once.
+func (r *Run) resolve(at core.Time, contribs map[graph.NodeID]float64) {
+	if r.answer != nil {
+		return
+	}
+	s := agg.Empty
+	cp := make(map[graph.NodeID]float64, len(contribs))
+	for id, v := range contribs {
+		s = s.Merge(agg.Of(v))
+		cp[id] = v
+	}
+	r.answer = &Answer{State: s, Contributors: cp, At: at}
+}
+
+// resolveState records an answer carrying only an aggregate state, no
+// contributor identities (the gossip protocol's shape of answer).
+func (r *Run) resolveState(at core.Time, st agg.State) {
+	if r.answer != nil {
+		return
+	}
+	r.answer = &Answer{State: st, Contributors: map[graph.NodeID]float64{}, At: at}
+}
+
+// Protocol is a One-Time Query algorithm: a behaviour every entity runs,
+// plus a way to launch a query at an entity.
+type Protocol interface {
+	// Name identifies the protocol in experiment output (matches the
+	// core.ProtocolID constants).
+	Name() string
+	// Factory returns the behaviour factory to build the world with.
+	Factory() node.BehaviorFactory
+	// Launch starts a query at the given present entity, now. The
+	// returned Run resolves as the simulation advances.
+	Launch(w *node.World, querier graph.NodeID) *Run
+}
+
+// Outcome is the specification checker's judgment of one Run.
+type Outcome struct {
+	// Terminated reports whether the querier answered within the horizon.
+	Terminated bool
+	// QuerierLeft reports that the querier itself departed before
+	// answering: the query became moot rather than non-terminating (OTQ's
+	// Termination obligation binds only a querier that stays).
+	QuerierLeft bool
+	// Duration is answer time minus start (0 if not terminated).
+	Duration core.Time
+	// MissedStable lists stable participants whose values the answer
+	// ignored — Validity violations of the first kind.
+	MissedStable []graph.NodeID
+	// MissedReachableStable restricts MissedStable to participants that
+	// were also temporally REACHABLE from the querier during the query:
+	// the misses no protocol could be excused for. Bawa et al.'s weaker
+	// (single-site) validity obliges a protocol only toward these — a
+	// stable member behind a permanent partition is beyond any protocol's
+	// reach, and the strong checker's verdict on it says more about the
+	// geography class than about the protocol.
+	MissedReachableStable []graph.NodeID
+	// Fabricated lists contributors that were never present during the
+	// query interval — Validity violations of the second kind.
+	Fabricated []graph.NodeID
+	// WrongValue lists contributors whose reported value differs from
+	// their actual one.
+	WrongValue []graph.NodeID
+	// StableCount and CoveredStable quantify coverage of the stable set.
+	StableCount, CoveredStable int
+}
+
+// Valid reports exact Validity: every stable participant covered, nothing
+// fabricated, no value corrupted. A non-terminated run is not valid.
+func (o Outcome) Valid() bool {
+	return o.Terminated && len(o.MissedStable) == 0 && len(o.Fabricated) == 0 && len(o.WrongValue) == 0
+}
+
+// ReachableValid reports the weaker, reachability-limited Validity: every
+// stable participant the querier could temporally reach is covered, and
+// nothing is fabricated or corrupted. Valid implies ReachableValid.
+func (o Outcome) ReachableValid() bool {
+	return o.Terminated && len(o.MissedReachableStable) == 0 &&
+		len(o.Fabricated) == 0 && len(o.WrongValue) == 0
+}
+
+// OK reports Termination and Validity together (the full OTQ spec).
+func (o Outcome) OK() bool { return o.Terminated && o.Valid() }
+
+func (o Outcome) String() string {
+	if o.QuerierLeft {
+		return "no answer (querier left the system; query moot)"
+	}
+	if !o.Terminated {
+		return "no answer (did not terminate)"
+	}
+	return fmt.Sprintf("answered in %d ticks, stable coverage %d/%d, fabricated %d, corrupted %d",
+		o.Duration, o.CoveredStable, o.StableCount, len(o.Fabricated), len(o.WrongValue))
+}
+
+// Check judges a run against the recorded trace. The query interval is
+// [r.Started, answer time] (or the trace end when the querier never
+// answered, in which case only Termination is judged). valueOf must be
+// the same assignment the world used.
+func Check(tr *core.Trace, r *Run, valueOf func(graph.NodeID) float64) Outcome {
+	ans := r.Answer()
+	if ans == nil {
+		out := Outcome{StableCount: len(tr.StableBetween(r.Started, tr.End()))}
+		for _, id := range tr.PresentAt(tr.End()) {
+			if id == r.Querier {
+				return out
+			}
+		}
+		out.QuerierLeft = true
+		return out
+	}
+	out := Outcome{Terminated: true, Duration: ans.At - r.Started}
+	stable := tr.StableBetween(r.Started, ans.At)
+	out.StableCount = len(stable)
+	everPresent := map[graph.NodeID]bool{}
+	for _, id := range tr.EverPresentBetween(r.Started, ans.At) {
+		everPresent[id] = true
+	}
+	reachable := tr.Temporal().ReachableFrom(r.Querier, r.Started, ans.At)
+	for _, id := range stable {
+		if _, ok := ans.Contributors[id]; ok {
+			out.CoveredStable++
+		} else {
+			out.MissedStable = append(out.MissedStable, id)
+			if reachable[id] {
+				out.MissedReachableStable = append(out.MissedReachableStable, id)
+			}
+		}
+	}
+	ids := make([]graph.NodeID, 0, len(ans.Contributors))
+	for id := range ans.Contributors {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if !everPresent[id] {
+			out.Fabricated = append(out.Fabricated, id)
+		} else if valueOf != nil && ans.Contributors[id] != valueOf(id) {
+			out.WrongValue = append(out.WrongValue, id)
+		}
+	}
+	return out
+}
+
+// contribution maps are the payloads relayed by the exact protocols.
+// copyContrib guards against aliasing across entities.
+func copyContrib(m map[graph.NodeID]float64) map[graph.NodeID]float64 {
+	out := make(map[graph.NodeID]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package otq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Property: in a static connected graph with unit latency, FloodTTL's
+// contributor set is EXACTLY the BFS ball of radius TTL around the
+// querier — neither a node more (no fabrication, no overreach) nor a node
+// less (full coverage of the horizon).
+func TestPropertyFloodCoversExactlyTheBall(t *testing.T) {
+	base := rng.New(2024)
+	check := func(seed uint16, rawN, rawTTL uint8) bool {
+		r := base.Split(uint64(seed))
+		n := 3 + int(rawN)%18    // 3..20 nodes
+		ttl := 1 + int(rawTTL)%8 // 1..8
+		// Random connected graph: a random spanning tree plus extra edges.
+		e := sim.New()
+		proto := &FloodTTL{TTL: ttl, MaxLatency: 1}
+		w := node.NewWorld(e, topology.NewManual(), proto.Factory(), node.Config{
+			MinLatency: 1, MaxLatency: 1, Seed: uint64(seed),
+		})
+		for i := 1; i <= n; i++ {
+			w.Join(graph.NodeID(i))
+		}
+		for i := 2; i <= n; i++ {
+			w.SetLink(graph.NodeID(i), graph.NodeID(1+r.Intn(i-1)), true)
+		}
+		extra := r.Intn(n)
+		for k := 0; k < extra; k++ {
+			u, v := graph.NodeID(1+r.Intn(n)), graph.NodeID(1+r.Intn(n))
+			if u != v {
+				w.SetLink(u, v, true)
+			}
+		}
+		querier := graph.NodeID(1 + r.Intn(n))
+		ball := w.Overlay.Graph().BFS(querier) // distances from the querier
+		run := proto.Launch(w, querier)
+		e.RunUntil(1000)
+		w.Close()
+		ans := run.Answer()
+		if ans == nil {
+			return false
+		}
+		for id, d := range ball {
+			_, got := ans.Contributors[id]
+			want := d <= ttl
+			if got != want {
+				t.Logf("seed %d n=%d ttl=%d: node %d at distance %d, contributed=%v",
+					seed, n, ttl, id, d, got)
+				return false
+			}
+		}
+		return len(ans.Contributors) == countWithin(ball, ttl)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func countWithin(dist map[graph.NodeID]int, ttl int) int {
+	n := 0
+	for _, d := range dist {
+		if d <= ttl {
+			n++
+		}
+	}
+	return n
+}
+
+// Property: on random static connected graphs, TreeEcho and EchoWave both
+// cover everything FloodTTL covers with a generous TTL — all three answer
+// the same contributor set (the whole graph).
+func TestPropertyExactProtocolsAgreeOnStaticGraphs(t *testing.T) {
+	base := rng.New(7)
+	check := func(seed uint16, rawN uint8) bool {
+		n := 3 + int(rawN)%14
+		build := func(proto Protocol) map[graph.NodeID]float64 {
+			r := base.Split(uint64(seed)) // same topology per protocol
+			e := sim.New()
+			w := node.NewWorld(e, topology.NewManual(), proto.Factory(), node.Config{
+				MinLatency: 1, MaxLatency: 1, Seed: uint64(seed),
+			})
+			for i := 1; i <= n; i++ {
+				w.Join(graph.NodeID(i))
+			}
+			for i := 2; i <= n; i++ {
+				w.SetLink(graph.NodeID(i), graph.NodeID(1+r.Intn(i-1)), true)
+			}
+			run := proto.Launch(w, 1)
+			e.RunUntil(5000)
+			w.Close()
+			if run.Answer() == nil {
+				return nil
+			}
+			return run.Answer().Contributors
+		}
+		flood := build(&FloodTTL{TTL: n, MaxLatency: 1})
+		tree := build(&TreeEcho{})
+		wave := build(&EchoWave{RescanInterval: 3, QuietFor: 30})
+		if flood == nil || tree == nil || wave == nil {
+			return false
+		}
+		if len(flood) != n || len(tree) != n || len(wave) != n {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+package otq
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// RepeatedFlood floods at a fixed TTL repeatedly and answers with the
+// union of everything heard, stopping when a round contributes nothing
+// new (or at MaxRounds). With a sound TTL it has FloodTTL's guarantees
+// plus robustness: a contribution lost to message drops or a dying relay
+// in one round is recovered by a later one, as long as some functioning
+// path exists during some round. It is the redundancy-in-time answer to
+// unreliable communication, whereas the TTL itself remains the
+// knowledge-out-of-band the paper's analysis turns on.
+//
+// A RepeatedFlood value drives a single world and a single query.
+type RepeatedFlood struct {
+	// TTL is the wave depth of every round.
+	TTL int
+	// MaxLatency is the known per-hop latency bound sizing each round's
+	// deadline.
+	MaxLatency sim.Time
+	// Slack pads each round deadline. Default 2.
+	Slack sim.Time
+	// MaxRounds caps repetition. Default 8.
+	MaxRounds int
+	// QuietRounds is how many consecutive rounds must add no new
+	// contributor before the querier answers. Higher values trade time
+	// for confidence under message loss. Default 2.
+	QuietRounds int
+
+	run *Run
+}
+
+// Name implements Protocol.
+func (*RepeatedFlood) Name() string { return "flood-repeat" }
+
+// Factory implements Protocol: members run the shared flood logic.
+func (*RepeatedFlood) Factory() node.BehaviorFactory {
+	return func(graph.NodeID) node.Behavior { return &floodBehavior{} }
+}
+
+func (rf *RepeatedFlood) slack() sim.Time {
+	if rf.Slack > 0 {
+		return rf.Slack
+	}
+	return 2
+}
+
+func (rf *RepeatedFlood) maxRounds() int {
+	if rf.MaxRounds > 0 {
+		return rf.MaxRounds
+	}
+	return 8
+}
+
+func (rf *RepeatedFlood) quietRounds() int {
+	if rf.QuietRounds > 0 {
+		return rf.QuietRounds
+	}
+	return 2
+}
+
+// Launch implements Protocol.
+func (rf *RepeatedFlood) Launch(w *node.World, querier graph.NodeID) *Run {
+	if rf.TTL <= 0 || rf.MaxLatency <= 0 {
+		panic("otq: RepeatedFlood needs positive TTL and MaxLatency")
+	}
+	if rf.run != nil {
+		panic("otq: RepeatedFlood launched twice")
+	}
+	p := w.Proc(querier)
+	if p == nil {
+		panic(fmt.Sprintf("otq: querier %d not present", querier))
+	}
+	b, ok := node.FindBehavior[*floodBehavior](p.Behavior())
+	if !ok {
+		panic("otq: world was not built with this protocol's factory")
+	}
+	rf.run = &Run{Querier: querier, Started: int64(p.Now())}
+	b.acc = newAccumulator(p.Now)
+	b.core.parent = make(map[int]graph.NodeID)
+	union := map[graph.NodeID]float64{}
+	rf.round(p, b, 1, 0, union)
+	return rf.run
+}
+
+// round floods once more; quiet counts consecutive rounds that added no
+// new contributor. QuietRounds quiet rounds in a row end the query: a
+// single quiet round is routinely an artifact of random losses, not
+// coverage.
+func (rf *RepeatedFlood) round(p *node.Proc, b *floodBehavior, qid, quiet int, union map[graph.NodeID]float64) {
+	if !p.Alive() {
+		return // querier left; the query dies unanswered
+	}
+	b.core.parent[qid] = p.ID
+	b.acc.absorb(qid, map[graph.NodeID]float64{p.ID: p.Value})
+	p.Broadcast(tagQuery, queryMsg{QID: qid, TTL: rf.TTL - 1})
+	deadline := 2*sim.Time(rf.TTL)*rf.MaxLatency + rf.slack()
+	p.After(deadline, func() {
+		grew := false
+		for id, v := range b.acc.get(qid) {
+			if _, ok := union[id]; !ok {
+				union[id] = v
+				grew = true
+			}
+		}
+		if grew {
+			quiet = 0
+		} else {
+			quiet++
+		}
+		if quiet >= rf.quietRounds() || qid >= rf.maxRounds() {
+			p.Mark("otq.answer")
+			rf.run.resolve(int64(p.Now()), union)
+			return
+		}
+		rf.round(p, b, qid+1, quiet, union)
+	})
+}

@@ -1,0 +1,110 @@
+package otq
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// ExpandingRing probes with TTL-bounded floods of doubling radius and
+// stops at a fixed point: when two successive rounds return identical
+// contributor sets, the querier concludes the last ring covered the whole
+// system and answers.
+//
+// With a known diameter bound (or a static system) the fixed-point test is
+// sound: once the radius exceeds the diameter, consecutive rounds coincide
+// and cover everything. Under churn the test can be fooled — the paper's
+// claim C2/C3: rounds r and r+1 may coincide while a stable participant
+// sits beyond the probed radius or was temporarily unreachable.
+//
+// An ExpandingRing value drives a single world and a single query.
+type ExpandingRing struct {
+	// MaxLatency is the known per-hop latency bound used to size each
+	// round's deadline.
+	MaxLatency sim.Time
+	// MaxTTL caps ring growth (safety and termination backstop): when the
+	// radius reaches MaxTTL the querier answers with what it has.
+	MaxTTL int
+	// Slack pads each round deadline. Default 2.
+	Slack sim.Time
+
+	run *Run
+}
+
+// Name implements Protocol.
+func (*ExpandingRing) Name() string { return "expanding-ring" }
+
+// Factory implements Protocol. Members run the same flood logic as
+// FloodTTL; only the querier differs.
+func (*ExpandingRing) Factory() node.BehaviorFactory {
+	return func(graph.NodeID) node.Behavior { return &floodBehavior{} }
+}
+
+func (e *ExpandingRing) slack() sim.Time {
+	if e.Slack > 0 {
+		return e.Slack
+	}
+	return 2
+}
+
+// Launch implements Protocol.
+func (e *ExpandingRing) Launch(w *node.World, querier graph.NodeID) *Run {
+	if e.MaxLatency <= 0 || e.MaxTTL <= 0 {
+		panic("otq: ExpandingRing needs positive MaxLatency and MaxTTL")
+	}
+	if e.run != nil {
+		panic("otq: ExpandingRing launched twice")
+	}
+	p := w.Proc(querier)
+	if p == nil {
+		panic(fmt.Sprintf("otq: querier %d not present", querier))
+	}
+	b, ok := node.FindBehavior[*floodBehavior](p.Behavior())
+	if !ok {
+		panic("otq: world was not built with this protocol's factory")
+	}
+	e.run = &Run{Querier: querier, Started: int64(p.Now())}
+	b.acc = newAccumulator(p.Now)
+	b.core.parent = make(map[int]graph.NodeID)
+	e.round(p, b, 1, 1, nil)
+	return e.run
+}
+
+// round floods at radius ttl under query ID qid and, at the deadline,
+// either answers (fixed point or cap) or doubles the radius.
+func (e *ExpandingRing) round(p *node.Proc, b *floodBehavior, ttl, qid int, prev map[graph.NodeID]float64) {
+	if !p.Alive() {
+		return // querier left; the query dies unanswered
+	}
+	b.core.parent[qid] = p.ID
+	b.acc.absorb(qid, map[graph.NodeID]float64{p.ID: p.Value})
+	p.Broadcast(tagQuery, queryMsg{QID: qid, TTL: ttl - 1})
+	deadline := 2*sim.Time(ttl)*e.MaxLatency + e.slack()
+	p.After(deadline, func() {
+		cur := b.acc.get(qid)
+		if (prev != nil && sameContributors(prev, cur)) || ttl >= e.MaxTTL {
+			p.Mark("otq.answer")
+			e.run.resolve(int64(p.Now()), cur)
+			return
+		}
+		next := ttl * 2
+		if next > e.MaxTTL {
+			next = e.MaxTTL
+		}
+		e.round(p, b, next, qid+1, cur)
+	})
+}
+
+func sameContributors(a, b map[graph.NodeID]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id := range a {
+		if _, ok := b[id]; !ok {
+			return false
+		}
+	}
+	return true
+}

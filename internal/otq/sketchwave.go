@@ -1,0 +1,171 @@
+package otq
+
+import (
+	"fmt"
+
+	"repro/internal/agg"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/sketch"
+)
+
+const tagSketch = "otq.sketch"
+
+type sketchMsg struct {
+	SK *sketch.FM // cloned before sending; receivers never mutate it
+}
+
+// SketchWave answers COUNT queries with constant-size messages: instead
+// of relaying contributor identity sets (whose size grows with the
+// system — the cost E11 measures), entities dissipate a duplicate-
+// insensitive Flajolet-Martin sketch. Merging is idempotent, so the
+// sketch can flow along every redundant path and be re-merged freely;
+// the protocol needs no duplicate suppression at all. The answer is
+// approximate (~0.78/sqrt(Rows) relative error) and carries no
+// contributor identities — the size-dimension trade in its purest form:
+// exactness versus state that must name every entity in a system whose
+// size is the very thing in question.
+//
+// Termination is quiescence-based, as in EchoWave. A SketchWave value
+// drives a single world and a single query.
+type SketchWave struct {
+	// Rows sizes the sketch (payload words per message). Default 64.
+	Rows int
+	// RescanInterval is the anti-entropy period. Default 5.
+	RescanInterval sim.Time
+	// QuietFor is the quiescence window after which the querier answers.
+	// Default 60.
+	QuietFor sim.Time
+	// MaxRescans bounds each entity's anti-entropy ticks. Default 1000.
+	MaxRescans int
+
+	run *Run
+	// payloadWords accumulates the total 64-bit words of sketch payload
+	// sent, for cost accounting against exact protocols.
+	payloadWords int64
+}
+
+// Name implements Protocol.
+func (*SketchWave) Name() string { return "sketch-wave" }
+
+// PayloadWords returns the total sketch payload shipped, in 64-bit words.
+func (sw *SketchWave) PayloadWords() int64 { return sw.payloadWords }
+
+func (sw *SketchWave) rows() int {
+	if sw.Rows > 0 {
+		return sw.Rows
+	}
+	return 64
+}
+
+func (sw *SketchWave) rescanInterval() sim.Time {
+	if sw.RescanInterval > 0 {
+		return sw.RescanInterval
+	}
+	return 5
+}
+
+func (sw *SketchWave) quietFor() sim.Time {
+	if sw.QuietFor > 0 {
+		return sw.QuietFor
+	}
+	return 60
+}
+
+func (sw *SketchWave) maxRescans() int {
+	if sw.MaxRescans > 0 {
+		return sw.MaxRescans
+	}
+	return 1000
+}
+
+type sketchWaveBehavior struct {
+	proto   *SketchWave
+	active  bool
+	sk      *sketch.FM
+	version int // bumps whenever the local sketch changes
+	sentVer map[graph.NodeID]int
+	rescans int
+
+	isQuerier bool
+	lastNew   sim.Time
+	started   sim.Time
+}
+
+// Factory implements Protocol.
+func (sw *SketchWave) Factory() node.BehaviorFactory {
+	return func(graph.NodeID) node.Behavior { return &sketchWaveBehavior{proto: sw} }
+}
+
+func (b *sketchWaveBehavior) Init(*node.Proc) {}
+
+func (b *sketchWaveBehavior) Receive(p *node.Proc, m node.Message) {
+	if m.Tag != tagSketch {
+		return
+	}
+	b.activate(p)
+	incoming := m.Payload.(sketchMsg).SK
+	before := b.sk.Clone()
+	b.sk.Merge(incoming)
+	if !b.sk.Equal(before) {
+		b.version++
+		b.lastNew = p.Now()
+	}
+}
+
+func (b *sketchWaveBehavior) activate(p *node.Proc) {
+	if b.active {
+		return
+	}
+	b.active = true
+	b.sk = sketch.New(b.proto.rows())
+	b.sk.Add(uint64(p.ID))
+	b.version = 1
+	b.sentVer = make(map[graph.NodeID]int)
+	b.lastNew = p.Now()
+	b.tick(p)
+}
+
+func (b *sketchWaveBehavior) tick(p *node.Proc) {
+	for _, u := range p.Neighbors() {
+		if b.sentVer[u] < b.version {
+			p.Send(u, tagSketch, sketchMsg{SK: b.sk.Clone()})
+			b.proto.payloadWords += int64(b.sk.Words())
+			b.sentVer[u] = b.version
+		}
+	}
+	if b.isQuerier && b.proto.run.Answer() == nil {
+		now := p.Now()
+		if now-b.lastNew >= b.proto.quietFor() && now-b.started >= b.proto.quietFor() {
+			p.Mark("otq.answer")
+			b.proto.run.resolveState(int64(now), agg.State{Count: b.sk.Estimate()})
+			return
+		}
+	}
+	b.rescans++
+	if b.rescans >= b.proto.maxRescans() {
+		return
+	}
+	p.After(b.proto.rescanInterval(), func() { b.tick(p) })
+}
+
+// Launch implements Protocol.
+func (sw *SketchWave) Launch(w *node.World, querier graph.NodeID) *Run {
+	if sw.run != nil {
+		panic("otq: SketchWave launched twice")
+	}
+	p := w.Proc(querier)
+	if p == nil {
+		panic(fmt.Sprintf("otq: querier %d not present", querier))
+	}
+	b, ok := node.FindBehavior[*sketchWaveBehavior](p.Behavior())
+	if !ok {
+		panic("otq: world was not built with this protocol's factory")
+	}
+	sw.run = &Run{Querier: querier, Started: int64(p.Now())}
+	b.isQuerier = true
+	b.started = p.Now()
+	b.activate(p)
+	return sw.run
+}

@@ -1,0 +1,108 @@
+package otq
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestSketchWaveCountsStaticCycle(t *testing.T) {
+	const n = 64
+	e := sim.New()
+	proto := &SketchWave{Rows: 64, RescanInterval: 3, QuietFor: 40}
+	w := node.NewWorld(e, topology.NewManual(), proto.Factory(), node.Config{Seed: 1})
+	joinCycle(w, n)
+	run := proto.Launch(w, 1)
+	e.RunUntil(5000)
+	w.Close()
+	ans := run.Answer()
+	if ans == nil {
+		t.Fatal("sketch wave did not terminate")
+	}
+	est := ans.Result(agg.Count)
+	if rel := math.Abs(est-n) / n; rel > 0.35 {
+		t.Fatalf("count estimate %.0f for n=%d (rel err %.2f)", est, n, rel)
+	}
+	if proto.PayloadWords() == 0 {
+		t.Fatal("payload accounting missing")
+	}
+}
+
+func TestSketchWaveConstantPayloadPerMessage(t *testing.T) {
+	// Payload per message is exactly Rows words regardless of n.
+	for _, n := range []int{8, 32} {
+		e := sim.New()
+		proto := &SketchWave{Rows: 16, RescanInterval: 3, QuietFor: 30}
+		w := node.NewWorld(e, topology.NewManual(), proto.Factory(), node.Config{Seed: 1})
+		joinCycle(w, n)
+		proto.Launch(w, 1)
+		e.RunUntil(5000)
+		w.Close()
+		msgs := w.Trace.Messages(tagSketch).Sent
+		if msgs == 0 {
+			t.Fatalf("n=%d: no sketch messages", n)
+		}
+		if got := proto.PayloadWords() / int64(msgs); got != 16 {
+			t.Fatalf("n=%d: %d words per message, want 16", n, got)
+		}
+	}
+}
+
+func TestSketchWaveMultipathSafe(t *testing.T) {
+	// A mesh maximizes redundant paths; duplicate-insensitive merging
+	// must not inflate the count.
+	const n = 24
+	e := sim.New()
+	proto := &SketchWave{Rows: 64, RescanInterval: 3, QuietFor: 40}
+	w := node.NewWorld(e, topology.NewMesh(), proto.Factory(), node.Config{Seed: 2})
+	for i := 1; i <= n; i++ {
+		w.Join(graph.NodeID(i))
+	}
+	run := proto.Launch(w, 1)
+	e.RunUntil(3000)
+	w.Close()
+	ans := run.Answer()
+	if ans == nil {
+		t.Fatal("did not terminate")
+	}
+	est := ans.Result(agg.Count)
+	if rel := math.Abs(est-n) / n; rel > 0.35 {
+		t.Fatalf("multipath estimate %.0f for n=%d (rel err %.2f)", est, n, rel)
+	}
+}
+
+func TestSketchWaveNeverExactlyValid(t *testing.T) {
+	e := sim.New()
+	proto := &SketchWave{RescanInterval: 3, QuietFor: 30}
+	w := node.NewWorld(e, topology.NewMesh(), proto.Factory(), node.Config{Seed: 3})
+	for i := 1; i <= 5; i++ {
+		w.Join(graph.NodeID(i))
+	}
+	run := proto.Launch(w, 1)
+	e.RunUntil(2000)
+	w.Close()
+	out := Check(w.Trace, run, defaultValue)
+	if !out.Terminated {
+		t.Fatal("did not terminate")
+	}
+	if out.Valid() {
+		t.Fatal("a contributor-free answer cannot be exactly valid")
+	}
+}
+
+func TestSketchWaveLaunchValidation(t *testing.T) {
+	proto := &SketchWave{}
+	w, _ := staticWorld(t, topology.NewMesh(), proto, 2)
+	proto.Launch(w, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double launch did not panic")
+		}
+	}()
+	proto.Launch(w, 2)
+}

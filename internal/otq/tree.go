@@ -1,0 +1,197 @@
+package otq
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// Message tags of the tree-echo protocol.
+const (
+	tagTreeQuery = "otq.tree-query"
+	tagTreeEcho  = "otq.tree-echo"
+)
+
+type treeEchoMsg struct {
+	Contrib map[graph.NodeID]float64
+}
+
+// TreeEcho is the textbook echo algorithm (propagation of information
+// with feedback): the query wave builds a spanning tree via parent
+// pointers, every node waits for an echo from each child it forwarded to,
+// and echoes its aggregated subtree upward once all children answered.
+// The querier terminates exactly when the wave has collapsed back onto
+// it — no diameter bound, no timeout tuning.
+//
+// Its contract is the sharpest illustration of the paper's static/dynamic
+// divide: in a static system it is exact and message-optimal, but a
+// single departed child silently swallows an echo and deadlocks the whole
+// wave. DetectDepartures writes off pending children that are no longer
+// neighbors (the overlay's repair makes departures locally observable),
+// which restores Termination under churn at the price of Validity: the
+// written-off child's collected subtree is simply lost.
+//
+// A TreeEcho value drives a single world and a single query.
+type TreeEcho struct {
+	// DetectDepartures enables writing off pending children that left.
+	DetectDepartures bool
+	// SuspectChild, when set (with DetectDepartures), additionally writes
+	// off pending children it reports true for. Departure detection via
+	// the neighbor set only sees overlay-announced leaves; an entity that
+	// CRASHED leaves its edges stale, and only a message-level failure
+	// detector (internal/fd, composed beside this behaviour) can unblock
+	// the wave then.
+	SuspectChild func(p *node.Proc, child graph.NodeID) bool
+	// CheckInterval is how often pending children are re-examined when
+	// DetectDepartures is on. Default 5.
+	CheckInterval sim.Time
+	// MaxChecks bounds the re-examination ticks per node. Default 1000.
+	MaxChecks int
+
+	run *Run
+}
+
+// Name implements Protocol.
+func (*TreeEcho) Name() string { return "tree-echo" }
+
+type treeEchoBehavior struct {
+	proto     *TreeEcho
+	seen      bool
+	echoed    bool
+	parent    graph.NodeID
+	pending   map[graph.NodeID]bool
+	collected map[graph.NodeID]float64
+	checks    int
+	isQuerier bool
+}
+
+// Factory implements Protocol.
+func (te *TreeEcho) Factory() node.BehaviorFactory {
+	return func(graph.NodeID) node.Behavior { return &treeEchoBehavior{proto: te} }
+}
+
+func (te *TreeEcho) checkInterval() sim.Time {
+	if te.CheckInterval > 0 {
+		return te.CheckInterval
+	}
+	return 5
+}
+
+func (te *TreeEcho) maxChecks() int {
+	if te.MaxChecks > 0 {
+		return te.MaxChecks
+	}
+	return 1000
+}
+
+func (b *treeEchoBehavior) Init(*node.Proc) {}
+
+func (b *treeEchoBehavior) Receive(p *node.Proc, m node.Message) {
+	switch m.Tag {
+	case tagTreeQuery:
+		b.onQuery(p, m.From)
+	case tagTreeEcho:
+		b.onEcho(p, m.From, m.Payload.(treeEchoMsg))
+	}
+}
+
+func (b *treeEchoBehavior) onQuery(p *node.Proc, from graph.NodeID) {
+	if b.seen {
+		// Non-tree edge: immediately release the sender with an empty
+		// echo so it does not wait for me as a child.
+		p.Send(from, tagTreeEcho, treeEchoMsg{})
+		return
+	}
+	b.start(p, from, false)
+}
+
+// start activates the node: parent pointer, own contribution, forward the
+// wave. querier marks the root (its own parent is itself).
+func (b *treeEchoBehavior) start(p *node.Proc, parent graph.NodeID, querier bool) {
+	b.seen = true
+	b.isQuerier = querier
+	b.parent = parent
+	b.collected = map[graph.NodeID]float64{p.ID: p.Value}
+	b.pending = make(map[graph.NodeID]bool)
+	for _, u := range p.Neighbors() {
+		if u == parent && !querier {
+			continue
+		}
+		b.pending[u] = true
+		p.Send(u, tagTreeQuery, queryMsg{})
+	}
+	if b.proto.DetectDepartures {
+		b.scheduleCheck(p)
+	}
+	b.maybeComplete(p)
+}
+
+func (b *treeEchoBehavior) onEcho(p *node.Proc, from graph.NodeID, msg treeEchoMsg) {
+	if !b.seen || !b.pending[from] {
+		return // stray echo (e.g. from a wave I never joined)
+	}
+	delete(b.pending, from)
+	for id, v := range msg.Contrib {
+		b.collected[id] = v
+	}
+	b.maybeComplete(p)
+}
+
+func (b *treeEchoBehavior) maybeComplete(p *node.Proc) {
+	if b.echoed || len(b.pending) > 0 {
+		return
+	}
+	b.echoed = true
+	if b.isQuerier {
+		p.Mark("otq.answer")
+		b.proto.run.resolve(int64(p.Now()), b.collected)
+		return
+	}
+	p.Send(b.parent, tagTreeEcho, treeEchoMsg{Contrib: copyContrib(b.collected)})
+}
+
+func (b *treeEchoBehavior) scheduleCheck(p *node.Proc) {
+	b.checks++
+	if b.checks > b.proto.maxChecks() || b.echoed {
+		return
+	}
+	p.After(b.proto.checkInterval(), func() {
+		if b.echoed {
+			return
+		}
+		nbrs := make(map[graph.NodeID]bool)
+		for _, u := range p.Neighbors() {
+			nbrs[u] = true
+		}
+		for child := range b.pending {
+			if !nbrs[child] || (b.proto.SuspectChild != nil && b.proto.SuspectChild(p, child)) {
+				// The child left (or is suspected crashed): its echo, and
+				// its whole collected subtree, are gone. Write it off so
+				// the wave collapses.
+				delete(b.pending, child)
+			}
+		}
+		b.maybeComplete(p)
+		b.scheduleCheck(p)
+	})
+}
+
+// Launch implements Protocol.
+func (te *TreeEcho) Launch(w *node.World, querier graph.NodeID) *Run {
+	if te.run != nil {
+		panic("otq: TreeEcho launched twice")
+	}
+	p := w.Proc(querier)
+	if p == nil {
+		panic(fmt.Sprintf("otq: querier %d not present", querier))
+	}
+	b, ok := node.FindBehavior[*treeEchoBehavior](p.Behavior())
+	if !ok {
+		panic("otq: world was not built with this protocol's factory")
+	}
+	te.run = &Run{Querier: querier, Started: int64(p.Now())}
+	b.start(p, querier, true)
+	return te.run
+}

@@ -1,0 +1,69 @@
+package otq
+
+import (
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// crashFixture builds a 4-mesh running TreeEcho (optionally wired to a
+// composed failure detector), crashes entity 3 before the wave reaches
+// it, and returns the run after the horizon. A crash leaves stale edges,
+// so plain neighbor-set detection cannot unblock the wave — only the
+// failure detector can.
+func crashFixture(t *testing.T, useFD bool) *Run {
+	t.Helper()
+	e := sim.New()
+	detector := &fd.Detector{HeartbeatEvery: 5, Timeout: 20}
+	proto := &TreeEcho{DetectDepartures: true, CheckInterval: 4}
+	if useFD {
+		proto.SuspectChild = func(p *node.Proc, child graph.NodeID) bool {
+			m, ok := node.FindBehavior[*fd.Monitor](p.Behavior())
+			return ok && m.Suspected(child)
+		}
+	}
+	factory := func(graph.NodeID) node.Behavior {
+		return node.Compose(detector.Behavior(), proto.Factory()(0))
+	}
+	w := node.NewWorld(e, topology.NewMesh(), factory, node.Config{
+		MinLatency: 3, MaxLatency: 4, Seed: 1,
+	})
+	for i := 1; i <= 4; i++ {
+		w.Join(graph.NodeID(i))
+	}
+	e.RunUntil(50) // let heartbeats establish liveness baselines
+	run := proto.Launch(w, 1)
+	e.At(52, func() { w.Crash(3) }) // before the query reaches entity 3
+	e.RunUntil(2000)
+	w.Close()
+	return run
+}
+
+func TestTreeEchoCrashStaleEdgesDeadlockWithoutFD(t *testing.T) {
+	run := crashFixture(t, false)
+	if run.Answer() != nil {
+		t.Fatalf("wave completed at %d despite a crashed child with stale edges", run.Answer().At)
+	}
+}
+
+func TestTreeEchoCrashUnblockedByFailureDetector(t *testing.T) {
+	run := crashFixture(t, true)
+	if run.Answer() == nil {
+		t.Fatal("failure detector did not unblock the wave")
+	}
+	// The three live entities are covered; the crashed one is legitimately
+	// absent from the answer (it left the computation).
+	ans := run.Answer()
+	for _, id := range []graph.NodeID{1, 2, 4} {
+		if _, ok := ans.Contributors[id]; !ok {
+			t.Errorf("live entity %d missing from the answer", id)
+		}
+	}
+	if _, ok := ans.Contributors[3]; ok {
+		t.Error("crashed entity contributed after crashing")
+	}
+}

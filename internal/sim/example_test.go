@@ -1,0 +1,32 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// The kernel runs events in (time, scheduling-order) order; tickers
+// repeat until stopped.
+func Example() {
+	engine := sim.New()
+	engine.At(10, func() { fmt.Println("t=10: join") })
+	engine.At(5, func() { fmt.Println("t=5: boot") })
+	count := 0
+	var tk *sim.Ticker
+	tk = engine.Every(20, func() {
+		count++
+		fmt.Printf("t=%d: tick %d\n", engine.Now(), count)
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	engine.Run()
+	fmt.Println("clock:", engine.Now())
+	// Output:
+	// t=5: boot
+	// t=10: join
+	// t=20: tick 1
+	// t=40: tick 2
+	// clock: 40
+}

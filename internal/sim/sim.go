@@ -1,0 +1,217 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate every dynamic-system experiment runs on: a
+// virtual clock, a priority queue of scheduled events, and helpers for
+// repeating processes. It is strictly single-threaded; determinism comes
+// from a total order on events (time, then a monotonically increasing
+// sequence number for ties), so a seeded experiment replays the identical
+// trace on every run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual simulation time in abstract ticks. Message latencies,
+// session durations and protocol timeouts are all expressed in ticks.
+type Time int64
+
+// Event is a scheduled callback. Events are ordered by time, ties broken
+// by scheduling order.
+type Event struct {
+	at       Time
+	seq      uint64
+	do       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// At returns the virtual time the event is scheduled for.
+func (ev *Event) At() Time { return ev.at }
+
+// Cancel prevents a pending event from firing. Canceling an event that has
+// already fired or been canceled is a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+// Canceled reports whether Cancel was called on the event.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the simulation driver. The zero value is not usable; construct
+// with New.
+type Engine struct {
+	now     Time
+	pending eventHeap
+	seq     uint64
+	fired   uint64
+	limit   uint64 // safety valve: max events per run, 0 = unlimited
+}
+
+// New returns an empty engine with the clock at 0.
+func New() *Engine { return &Engine{} }
+
+// SetEventLimit bounds the total number of events a Run may fire; it
+// guards experiments against protocols that never quiesce. 0 disables the
+// limit.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled, not-yet-fired events
+// (including canceled ones that have not been discarded yet).
+func (e *Engine) Pending() int { return len(e.pending) }
+
+// At schedules do to run at absolute virtual time t. Scheduling in the
+// past panics: it indicates a protocol bug, not a recoverable condition.
+func (e *Engine) At(t Time, do func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, do: do}
+	e.seq++
+	heap.Push(&e.pending, ev)
+	return ev
+}
+
+// After schedules do to run d ticks from now. Negative d panics.
+func (e *Engine) After(d Time, do func()) *Event {
+	return e.At(e.now+d, do)
+}
+
+// Step fires the next event, advancing the clock to its time. It reports
+// whether an event was fired (false means the queue is empty).
+func (e *Engine) Step() bool {
+	for len(e.pending) > 0 {
+		ev := heap.Pop(&e.pending).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.do()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or the event limit is reached.
+// It returns the number of events fired by this call.
+func (e *Engine) Run() uint64 {
+	start := e.fired
+	for e.Step() {
+		if e.limit > 0 && e.fired >= e.limit {
+			break
+		}
+	}
+	return e.fired - start
+}
+
+// RunUntil fires events with time <= deadline, then sets the clock to the
+// deadline (if it has not passed it already). Events scheduled after the
+// deadline remain pending.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	start := e.fired
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		e.Step()
+		if e.limit > 0 && e.fired >= e.limit {
+			break
+		}
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.fired - start
+}
+
+// peek returns the next non-canceled event without firing it, discarding
+// canceled events from the head of the queue.
+func (e *Engine) peek() *Event {
+	for len(e.pending) > 0 {
+		if e.pending[0].canceled {
+			heap.Pop(&e.pending)
+			continue
+		}
+		return e.pending[0]
+	}
+	return nil
+}
+
+// Every schedules do to run every interval ticks starting at now+interval,
+// until the returned Ticker is stopped. The interval must be positive.
+func (e *Engine) Every(interval Time, do func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: Every with non-positive interval")
+	}
+	t := &Ticker{engine: e, interval: interval, do: do}
+	t.schedule()
+	return t
+}
+
+// Ticker is a repeating event created by Every.
+type Ticker struct {
+	engine   *Engine
+	interval Time
+	do       func()
+	next     *Event
+	stopped  bool
+}
+
+func (t *Ticker) schedule() {
+	t.next = t.engine.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.do()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels future firings. Stopping twice is a no-op.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	if t.next != nil {
+		t.next.Cancel()
+	}
+}

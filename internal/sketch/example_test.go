@@ -1,0 +1,28 @@
+package sketch_test
+
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+)
+
+// Sketches merge idempotently: counting over redundant paths never
+// inflates the estimate.
+func Example() {
+	a := sketch.New(64)
+	b := sketch.New(64)
+	for i := uint64(0); i < 500; i++ {
+		a.Add(i)
+	}
+	for i := uint64(250); i < 750; i++ { // overlaps a on 250..499
+		b.Add(i)
+	}
+	a.Merge(b)
+	a.Merge(b) // merging again changes nothing
+	est := a.Estimate()
+	fmt.Println("true distinct:", 750)
+	fmt.Println("estimate within 25%:", est > 750*0.75 && est < 750*1.25)
+	// Output:
+	// true distinct: 750
+	// estimate within 25%: true
+}

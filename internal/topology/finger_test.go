@@ -1,0 +1,116 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestFingerRingSmall(t *testing.T) {
+	fr := NewFingerRing()
+	fr.AddNode(5)
+	if fr.Graph().NumEdges() != 0 {
+		t.Fatal("singleton has edges")
+	}
+	fr.AddNode(9)
+	if !fr.Graph().HasEdge(5, 9) {
+		t.Fatal("pair not linked")
+	}
+	fr.AddNode(2)
+	g := fr.Graph()
+	if !g.Connected() || g.NumEdges() != 3 {
+		t.Fatalf("triangle expected, got %d edges", g.NumEdges())
+	}
+}
+
+func TestFingerRingDiameterLogarithmic(t *testing.T) {
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		g := BuildFingerRing(n)
+		d, ok := g.Diameter()
+		if !ok {
+			t.Fatalf("finger ring on %d disconnected", n)
+		}
+		bound := FingerDiameterBound(n)
+		if d > bound {
+			t.Errorf("n=%d: diameter %d exceeds bound %d", n, d, bound)
+		}
+		// And it genuinely beats the plain ring.
+		if plain, _ := BuildRing(n).Diameter(); n >= 16 && d >= plain {
+			t.Errorf("n=%d: finger diameter %d not better than ring's %d", n, d, plain)
+		}
+	}
+}
+
+func TestFingerRingDegreeLogarithmic(t *testing.T) {
+	const n = 64
+	g := BuildFingerRing(n)
+	total := 0
+	for _, v := range g.Nodes() {
+		total += g.Degree(v)
+	}
+	avg := float64(total) / n
+	// Each node initiates ~log2 n distinct fingers plus its successor, so
+	// the AVERAGE degree is O(log n), far below n-1. (The maximum is not:
+	// the owner of a large hash arc attracts fingers from everywhere —
+	// in-degree concentration is inherent to Chord-style overlays.)
+	if avg > 3*math.Ceil(math.Log2(n)) {
+		t.Fatalf("average degree %.1f is not logarithmic for n=%d", avg, n)
+	}
+	if avg >= n/2 {
+		t.Fatalf("average degree %.1f is closer to complete than structured", avg)
+	}
+}
+
+func TestFingerRingMaintainsBoundUnderChurn(t *testing.T) {
+	fr := NewFingerRing()
+	r := rng.New(13)
+	present := []graph.NodeID{}
+	next := graph.NodeID(0)
+	const cap = 32
+	for step := 0; step < 200; step++ {
+		if len(present) < 4 || (len(present) < cap && r.Bool(0.6)) {
+			next++
+			fr.AddNode(next)
+			present = append(present, next)
+		} else {
+			i := r.Intn(len(present))
+			fr.RemoveNode(present[i])
+			present = append(present[:i], present[i+1:]...)
+		}
+		g := fr.Graph()
+		if !g.Connected() {
+			t.Fatalf("finger ring disconnected at step %d (n=%d)", step, len(present))
+		}
+		if d, ok := g.Diameter(); ok && d > FingerDiameterBound(cap) {
+			t.Fatalf("step %d: diameter %d exceeds bound %d for cap %d",
+				step, d, FingerDiameterBound(cap), cap)
+		}
+	}
+}
+
+func TestFingerRingChangesMatchGraph(t *testing.T) {
+	fr := NewFingerRing()
+	shadowCheck(t, fr, func(record func([]Change)) { churnScript(fr, record) })
+}
+
+func TestFingerRingRemoveUnknown(t *testing.T) {
+	fr := NewFingerRing()
+	fr.AddNode(1)
+	fr.AddNode(2)
+	before := fr.Graph().NumEdges()
+	fr.RemoveNode(99)
+	if fr.Graph().NumEdges() != before {
+		t.Fatal("removing an unknown node changed the graph")
+	}
+}
+
+func TestFingerDiameterBound(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 4: 4, 8: 6, 32: 10, 100: 14}
+	for b, want := range cases {
+		if got := FingerDiameterBound(b); got != want {
+			t.Errorf("FingerDiameterBound(%d) = %d, want %d", b, got, want)
+		}
+	}
+}
