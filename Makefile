@@ -5,9 +5,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments quick-experiments fuzz fmt clean
+.PHONY: all build vet test race bench experiments quick-experiments fuzz fmt clean verify
 
 all: build vet test
+
+# Tier-1 verification: what CI and the ROADMAP hold every PR to.
+verify: build vet test race
 
 build:
 	$(GO) build ./...
@@ -34,6 +37,7 @@ quick-experiments:
 
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeTrace -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/fault/
 
 fmt:
 	gofmt -w .

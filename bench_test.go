@@ -1,6 +1,6 @@
 package repro_test
 
-// One benchmark per experiment in the DESIGN.md index (E1-E20), each
+// One benchmark per experiment in the DESIGN.md index (E1-E21), each
 // executing a single representative cell of that experiment so that
 // `go test -bench=. -benchmem` regenerates the cost profile of the whole
 // suite. The full tables themselves are produced by cmd/otqbench.
@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynreg"
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/lookup"
 	"repro/internal/node"
@@ -435,6 +436,44 @@ func BenchmarkE20Flapping(b *testing.B) {
 		w.Close()
 		if run.Answer() == nil {
 			b.Fatal("flood did not answer")
+		}
+	}
+}
+
+func BenchmarkE21FaultStorm(b *testing.B) {
+	// Representative cell: the echo wave over reliable channels on a
+	// 16-cycle under the full storm (burst + reorder + spike + blackout +
+	// crash–recovery), judged with recovery bridging.
+	plan, err := fault.Parse("burst:pgb=0.08,pbg=0.2,lossbad=0.95;reorder:p=0.2,window=6;" +
+		"spike:nodes=5+9,delay=3@25-400;blackout:pair=2>3@40-160;crash:nodes=4+12,recover=50@60;seed=33")
+	if err != nil {
+		b.Fatal(err)
+	}
+	script := func(w *node.World, _ *sim.Engine) {
+		const n = 16
+		for i := 1; i <= n; i++ {
+			w.Join(graph.NodeID(i))
+		}
+		for i := 1; i <= n; i++ {
+			w.SetLink(graph.NodeID(i), graph.NodeID(i%n+1), true)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		res := exp.Execute(exp.Scenario{
+			Seed:    uint64(i + 1),
+			Overlay: func(uint64) topology.Overlay { return topology.NewManual() },
+			Script:  script,
+			Protocol: func() otq.Protocol {
+				return &otq.EchoWave{RescanInterval: 3, QuietFor: 60, MaxRescans: 3000}
+			},
+			MinLatency: 1, MaxLatency: 2,
+			Faults:           plan,
+			Reliable:         node.ReliableConfig{Enabled: true, RetransmitAfter: 5, MaxRetries: 6},
+			BridgeRecoveries: true,
+			QueryAt:          25, Horizon: 3000,
+		})
+		if !res.Outcome.Terminated {
+			b.Fatal("echo wave under the storm did not terminate")
 		}
 	}
 }

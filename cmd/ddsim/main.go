@@ -7,6 +7,7 @@
 //	ddsim -overlay ring -n 32 -arrival 0.1 -session 80 -protocol echo-wave -horizon 2000
 //	ddsim -overlay star -n 24 -protocol flood-ttl -ttl 2
 //	ddsim -overlay growing-path -n 4 -arrival 0.05 -double-every 250 -protocol expanding-ring
+//	ddsim -overlay ring -n 16 -protocol echo-wave -faults 'burst:pgb=0.1,pbg=0.2,lossbad=0.9;seed=7' -reliable
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"repro/internal/churn"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/fault"
+	"repro/internal/node"
 	"repro/internal/otq"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -37,6 +40,9 @@ func main() {
 		queryAt     = flag.Int64("query-at", 100, "virtual time the query launches")
 		horizon     = flag.Int64("horizon", 2000, "virtual time the run stops")
 		seed        = flag.Uint64("seed", 1, "run seed")
+		faultsSpec  = flag.String("faults", "", "fault plan, e.g. 'burst:pgb=0.1,pbg=0.2;crash:nodes=4,recover=50@60;seed=7' (see internal/fault)")
+		reliable    = flag.Bool("reliable", false, "run protocols over the ack/retransmit channel sublayer")
+		bridge      = flag.Bool("bridge-recoveries", false, "judge Validity over recovery-bridged sessions (crashed-and-recovered entities count as stable)")
 	)
 	flag.Parse()
 
@@ -49,6 +55,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddsim:", err)
 		os.Exit(2)
+	}
+
+	var plan *fault.Plan
+	if *faultsSpec != "" {
+		plan, err = fault.Parse(*faultsSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim:", err)
+			os.Exit(2)
+		}
 	}
 
 	cc := churn.Config{InitialPopulation: *n, Immortal: true}
@@ -64,9 +79,15 @@ func main() {
 		Churn:      cc,
 		Protocol:   proto,
 		MinLatency: 1, MaxLatency: 2,
-		QueryAt: sim.Time(*queryAt),
-		Horizon: sim.Time(*horizon),
+		Faults:           plan,
+		Reliable:         node.ReliableConfig{Enabled: *reliable},
+		BridgeRecoveries: *bridge,
+		QueryAt:          sim.Time(*queryAt),
+		Horizon:          sim.Time(*horizon),
 	})
+	if plan != nil {
+		fmt.Printf("faults: %s (%s)\n", plan.Summary(), plan)
+	}
 
 	fmt.Printf("run: overlay=%s protocol=%s seed=%d horizon=%d\n", *overlayName, *protoName, *seed, *horizon)
 	fmt.Printf("querier: entity %d, query window [%d, ...]\n", res.Querier, *queryAt)
@@ -74,6 +95,10 @@ func main() {
 		res.Trace.Len(), len(res.Trace.Entities()), res.Trace.MaxConcurrency())
 	fmt.Printf("messages: sent %d, delivered %d, dropped %d\n",
 		res.Messages.Sent, res.Messages.Delivered, res.Messages.Dropped)
+	if *reliable {
+		fmt.Printf("reliable sublayer: acked %d, retries %d, give-ups %d\n",
+			res.Reliable.Acked, res.Reliable.Retries, res.Reliable.GiveUps)
+	}
 	fmt.Printf("inferred class: %s\n", res.Inferred)
 
 	verdict, reason := core.OTQSolvability(res.Inferred)

@@ -36,6 +36,15 @@ func (k TraceEventKind) String() string {
 	return fmt.Sprintf("TraceEventKind(%d)", uint8(k))
 }
 
+// Mark tags the runtime records for lifecycle transitions the membership
+// events alone cannot express: a crash is a Leave preceded by a MarkCrash
+// mark, a recovery is a Join preceded by a MarkRecover mark (same tick,
+// same entity). SessionsBridgingRecovery keys on exactly this shape.
+const (
+	MarkCrash   = "crash"
+	MarkRecover = "recover"
+)
+
 // TraceEvent is one recorded occurrence in a run. P is the subject entity;
 // Q is the peer for edge and message events (zero otherwise). Tag carries
 // the message type or mark label.
@@ -181,6 +190,90 @@ func (tr *Trace) Sessions() map[graph.NodeID][]Interval {
 	for p, from := range open {
 		out[p] = append(out[p], Interval{From: from, To: tr.end + 1})
 	}
+	return out
+}
+
+// SessionsBridgingRecovery returns presence intervals like Sessions, but
+// with crash–recovery gaps bridged: a session that ended in a crash
+// (MarkCrash + Leave) and resumed in a recovery of the same entity
+// (MarkRecover + Join) is reported as ONE interval spanning the gap. The
+// reading: a crash–recovery entity's state survived on stable storage, so
+// for participation accounting it never stopped being a member — it was
+// merely silent for a while, like a process behind a transient partition.
+// A crash that never recovers closes its interval at the crash, exactly
+// like a leave.
+func (tr *Trace) SessionsBridgingRecovery() map[graph.NodeID][]Interval {
+	open := make(map[graph.NodeID]Time)
+	crashed := make(map[graph.NodeID]Time) // start of a crash-suspended session
+	pendingCrash := make(map[graph.NodeID]bool)
+	pendingRecover := make(map[graph.NodeID]bool)
+	lastCrashAt := make(map[graph.NodeID]Time)
+	out := make(map[graph.NodeID][]Interval)
+	for _, ev := range tr.events {
+		switch ev.Kind {
+		case TMark:
+			switch ev.Tag {
+			case MarkCrash:
+				pendingCrash[ev.P] = true
+			case MarkRecover:
+				pendingRecover[ev.P] = true
+			}
+		case TJoin:
+			if _, isOpen := open[ev.P]; isOpen {
+				break
+			}
+			if from, wasCrashed := crashed[ev.P]; wasCrashed && pendingRecover[ev.P] {
+				open[ev.P] = from // resume the suspended session
+			} else {
+				open[ev.P] = ev.At
+			}
+			delete(crashed, ev.P)
+			delete(pendingRecover, ev.P)
+		case TLeave:
+			from, isOpen := open[ev.P]
+			if !isOpen {
+				break
+			}
+			delete(open, ev.P)
+			if pendingCrash[ev.P] {
+				delete(pendingCrash, ev.P)
+				crashed[ev.P] = from
+				lastCrashAt[ev.P] = ev.At
+				break
+			}
+			out[ev.P] = append(out[ev.P], Interval{From: from, To: ev.At})
+		}
+	}
+	for p, from := range open {
+		out[p] = append(out[p], Interval{From: from, To: tr.end + 1})
+	}
+	for p, from := range crashed {
+		// Crashed and never came back: the session ended at the crash.
+		out[p] = append(out[p], Interval{From: from, To: lastCrashAt[p]})
+	}
+	for _, ivs := range out {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].From < ivs[j].From })
+	}
+	return out
+}
+
+// StableBetweenBridged is StableBetween computed over recovery-bridged
+// sessions: a crash–recovery entity whose (bridged) presence covers
+// [t1, t2] counts as a stable participant even if it was silent for part
+// of the interval. This is the participation notion a robustness
+// experiment holds a protocol to when entities may crash and come back
+// with their state intact.
+func (tr *Trace) StableBetweenBridged(t1, t2 Time) []graph.NodeID {
+	var out []graph.NodeID
+	for p, ivs := range tr.SessionsBridgingRecovery() {
+		for _, iv := range ivs {
+			if iv.Covers(t1, t2) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

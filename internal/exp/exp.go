@@ -5,7 +5,7 @@
 //
 // The paper is a position paper with no numbered tables or figures; each
 // experiment here operationalizes one of its qualitative claims (C1-C6 in
-// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E19 are
+// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E21 are
 // ours and are indexed in DESIGN.md.
 package exp
 
@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/churn"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/node"
 	"repro/internal/otq"
@@ -39,6 +40,15 @@ type Scenario struct {
 	MinLatency, MaxLatency sim.Time
 	// LossRate drops messages independently.
 	LossRate float64
+	// Faults, when set, is attached to the world for the whole run (its
+	// clause windows are absolute virtual times).
+	Faults *fault.Plan
+	// Reliable configures the ack/retransmit channel sublayer.
+	Reliable node.ReliableConfig
+	// BridgeRecoveries judges Validity over recovery-bridged sessions:
+	// entities that crash and recover within the query interval still
+	// count as stable participants (see otq.CheckOptions).
+	BridgeRecoveries bool
 	// QueryAt is when the query launches; the querier is the entity at
 	// QuerierIndex in the ascending list of entities present then.
 	QueryAt sim.Time
@@ -58,6 +68,9 @@ type RunResult struct {
 	Run      *otq.Run
 	Inferred core.Class
 	Messages core.MessageStats
+	// Reliable sums the ack/retransmit sublayer's counters (zero when the
+	// sublayer was not enabled).
+	Reliable node.ReliableCounters
 	Querier  graph.NodeID
 }
 
@@ -73,9 +86,16 @@ func Execute(sc Scenario) RunResult {
 		MinLatency: sc.MinLatency,
 		MaxLatency: sc.MaxLatency,
 		LossRate:   sc.LossRate,
+		Reliable:   sc.Reliable,
 		Seed:       sc.Seed ^ 0xdddd,
 		ValueOf:    valueOf,
 	})
+	if sc.Faults != nil {
+		// Attach before the script so even the population's first sends
+		// pass through the plan's channel hook.
+		stop := sc.Faults.Attach(w)
+		defer stop()
+	}
 	if sc.Script != nil {
 		sc.Script(w, engine)
 	}
@@ -100,11 +120,12 @@ func Execute(sc Scenario) RunResult {
 		valueOf = func(id graph.NodeID) float64 { return float64(id) }
 	}
 	return RunResult{
-		Outcome:  otq.Check(w.Trace, run, valueOf),
+		Outcome:  otq.CheckWith(w.Trace, run, valueOf, otq.CheckOptions{BridgeRecoveries: sc.BridgeRecoveries}),
 		Trace:    w.Trace,
 		Run:      run,
 		Inferred: core.InferClass(w.Trace),
 		Messages: w.Trace.Messages(""),
+		Reliable: w.ReliableTotals(),
 		Querier:  querier,
 	}
 }
@@ -192,5 +213,6 @@ func All() []Experiment {
 		{"E18", "standing queries: per-epoch validity under churn", E18},
 		{"E19", "eventual leader election under churn", E19},
 		{"E20", "link flapping: geography dynamics with frozen membership", E20},
+		{"E21", "fault storms: raw vs reliable channels, exact vs sketch", E21},
 	}
 }

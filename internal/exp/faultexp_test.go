@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/node"
+	"repro/internal/otq"
+	"repro/internal/sim"
+)
+
+func e21Echo() otq.Protocol {
+	return &otq.EchoWave{RescanInterval: 3, QuietFor: 60, MaxRescans: 3000}
+}
+
+// TestE21ReliableRestoresValidity is the PR's acceptance gate: under the
+// burst-loss plan there are seeds where the exact wave over raw channels
+// answers invalid, and over the ack/retransmit sublayer the same
+// protocol, same seeds, is valid every time.
+func TestE21ReliableRestoresValidity(t *testing.T) {
+	cfg := Config{Seeds: 5}
+	rawFailed := false
+	for s := 1; s <= 5; s++ {
+		seed := uint64(s)
+		outRaw, _, _, _ := e21Run(cfg, e21Echo(), "burst", seed, false)
+		outRel, _, relMsgs, counters := e21Run(cfg, e21Echo(), "burst", seed, true)
+		if !outRaw.Valid() {
+			rawFailed = true
+		}
+		if !outRel.Valid() {
+			t.Errorf("seed %d: reliable channels did not restore validity: %v", seed, outRel)
+		}
+		if !outRaw.Valid() && counters.Retries == 0 {
+			t.Errorf("seed %d: validity restored without any retransmission", seed)
+		}
+		if relMsgs.Sent == 0 {
+			t.Errorf("seed %d: no traffic recorded", seed)
+		}
+	}
+	if !rawFailed {
+		t.Error("burst plan broke no raw-channel run; the storm is too tame to demonstrate anything")
+	}
+}
+
+// TestExecuteWithFaultsAndBridging covers the Scenario plumbing: a crash
+// plan injected through Execute, judged with and without recovery
+// bridging, must disagree about the crashed entity's stability.
+func TestExecuteWithFaultsAndBridging(t *testing.T) {
+	plan, err := fault.Parse("crash:nodes=4,recover=50@60;seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := func(bridge bool) Scenario {
+		return Scenario{
+			Seed:    1,
+			Overlay: manualOverlay,
+			Script:  cycleScript(8),
+			Protocol: func() otq.Protocol {
+				return &otq.EchoWave{RescanInterval: 3, QuietFor: 60, MaxRescans: 3000}
+			},
+			Faults:           plan,
+			Reliable:         node.ReliableConfig{Enabled: true, RetransmitAfter: 5, MaxRetries: 6},
+			QueryAt:          25,
+			Horizon:          1500,
+			BridgeRecoveries: bridge,
+		}
+	}
+	plain := Execute(sc(false))
+	bridged := Execute(sc(true))
+	if plain.Outcome.StableCount >= bridged.Outcome.StableCount {
+		t.Fatalf("bridging did not grow the stable set: plain %d, bridged %d",
+			plain.Outcome.StableCount, bridged.Outcome.StableCount)
+	}
+	if !bridged.Outcome.Terminated {
+		t.Fatal("bridged run did not terminate")
+	}
+}
+
+// TestExecuteFaultDeterminism: the full Execute path with a fault plan
+// and reliable channels is replayable — two executions of the same
+// scenario produce identical outcomes and message counts.
+func TestExecuteFaultDeterminism(t *testing.T) {
+	mk := func() RunResult {
+		plan, err := fault.Parse("burst:pgb=0.1,pbg=0.2,lossbad=0.9;spike:nodes=3,delay=4@30-200;seed=9")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Execute(Scenario{
+			Seed:    2,
+			Overlay: manualOverlay,
+			Script:  cycleScript(8),
+			Protocol: func() otq.Protocol {
+				return &otq.EchoWave{RescanInterval: 3, QuietFor: 60, MaxRescans: 3000}
+			},
+			Faults:   plan,
+			Reliable: node.ReliableConfig{Enabled: true},
+			QueryAt:  25,
+			Horizon:  1500,
+		})
+	}
+	a, b := mk(), mk()
+	if a.Messages != b.Messages {
+		t.Fatalf("message stats diverged: %+v vs %+v", a.Messages, b.Messages)
+	}
+	if a.Outcome.Duration != b.Outcome.Duration || a.Outcome.CoveredStable != b.Outcome.CoveredStable {
+		t.Fatalf("outcomes diverged: %+v vs %+v", a.Outcome, b.Outcome)
+	}
+}
+
+// The fault plan's clause windows are absolute times; make sure E21's
+// levels all parse (a typo in a spec string should fail loudly in tests,
+// not only when the experiment runs).
+func TestE21PlansParse(t *testing.T) {
+	for _, level := range []string{"none", "burst", "storm", "storm+crash"} {
+		pl := e21Plan(level, 1)
+		if level == "none" {
+			if pl != nil {
+				t.Fatal("level none should have no plan")
+			}
+			continue
+		}
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("level %s: %v", level, err)
+		}
+	}
+	var _ sim.Time = e21Reliable.RetransmitAfter
+}

@@ -1,0 +1,338 @@
+// Package fault is the deterministic fault-injection engine: a Plan is a
+// seedable, composable schedule of typed fault clauses that attaches to a
+// node.World through its channel and lifecycle hooks. Every injected
+// fault is recorded in the run's ground-truth trace, and the same plan
+// under the same seed replays the identical fault sequence — impairment
+// scenarios become first-class, scriptable experiment inputs instead of a
+// pair of global knobs.
+//
+// Clause kinds and what dimension of adversity each exercises:
+//
+//   - duplicate: each transmission is delivered in extra copies with
+//     probability P — at-least-once channels, exposing protocols that
+//     assume at-most-once delivery.
+//   - burst: a Gilbert–Elliott two-state channel (good/bad) stepped per
+//     transmission; the bad state's loss rate models correlated loss
+//     bursts that an independent coin (node.Config.LossRate) cannot.
+//   - reorder: with probability P a copy is held back up to Window extra
+//     ticks, overtaking later traffic on non-FIFO channels.
+//   - spike: every transmission touching one of the chosen nodes gains a
+//     fixed extra Delay — a slow or overloaded region of the system.
+//   - blackout: all traffic on one DIRECTED pair is dropped during the
+//     window — a transient asymmetric partition below the overlay's
+//     radar (links stay up, packets die).
+//   - crash: the chosen nodes crash silently at the window start and, if
+//     RecoverAfter is set, recover with their stable-storage state that
+//     many ticks later (node.Recover).
+//
+// Channel clauses compose: each active clause inspects every transmission
+// in plan order, and their verdicts accumulate (drops win, delays and
+// duplicates add).
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Kind discriminates fault clauses.
+type Kind string
+
+// Clause kinds.
+const (
+	KindDuplicate Kind = "dup"
+	KindBurst     Kind = "burst"
+	KindReorder   Kind = "reorder"
+	KindSpike     Kind = "spike"
+	KindBlackout  Kind = "blackout"
+	KindCrash     Kind = "crash"
+)
+
+// Trace mark tags recorded at injection time (subject entity: the sender
+// for channel faults, the victim for lifecycle faults — the crash and
+// recovery themselves additionally appear as core.MarkCrash/MarkRecover
+// via the node runtime).
+const (
+	MarkDuplicate = "fault.dup"
+	MarkBurst     = "fault.burst"
+	MarkReorder   = "fault.reorder"
+	MarkSpike     = "fault.spike"
+	MarkBlackout  = "fault.blackout"
+)
+
+// Clause is one typed fault with an activity window. Fields are
+// kind-specific; Validate rejects meaningless combinations.
+type Clause struct {
+	Kind Kind `json:"kind"`
+	// From and To bound the active window [From, To); To = 0 leaves the
+	// window open-ended. Crash clauses fire once, at From.
+	From sim.Time `json:"from,omitempty"`
+	To   sim.Time `json:"to,omitempty"`
+	// P is the per-transmission probability (duplicate, reorder).
+	P float64 `json:"p,omitempty"`
+	// Count is the number of extra copies per duplication. Default 1.
+	Count int `json:"count,omitempty"`
+	// Window is the maximum extra holding delay of a reorder, in ticks.
+	Window sim.Time `json:"window,omitempty"`
+	// Delay is the fixed extra latency of a spike, in ticks.
+	Delay sim.Time `json:"delay,omitempty"`
+	// Nodes are the spike or crash victims. An empty spike list means
+	// every node.
+	Nodes []graph.NodeID `json:"nodes,omitempty"`
+	// Pair is the blackout's directed (from, to) pair.
+	Pair *[2]graph.NodeID `json:"pair,omitempty"`
+	// PGB and PBG are the Gilbert–Elliott good→bad and bad→good
+	// transition probabilities, stepped once per inspected transmission.
+	PGB float64 `json:"pgb,omitempty"`
+	PBG float64 `json:"pbg,omitempty"`
+	// LossGood and LossBad are the per-state drop probabilities.
+	// LossBad defaults to 1 (the bad state kills everything).
+	LossGood float64  `json:"lossgood,omitempty"`
+	LossBad  *float64 `json:"lossbad,omitempty"`
+	// RecoverAfter, on a crash clause, recovers the victims that many
+	// ticks after the crash; 0 means they stay down.
+	RecoverAfter sim.Time `json:"recover,omitempty"`
+}
+
+func probability(name string, p float64) error {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return fmt.Errorf("fault: %s %v outside [0, 1]", name, p)
+	}
+	return nil
+}
+
+// Validate reports the first problem with the clause, or nil.
+func (c *Clause) Validate() error {
+	if c.From < 0 || c.To < 0 {
+		return fmt.Errorf("fault: negative window [%d, %d)", c.From, c.To)
+	}
+	if c.To != 0 && c.To <= c.From {
+		return fmt.Errorf("fault: empty window [%d, %d)", c.From, c.To)
+	}
+	switch c.Kind {
+	case KindDuplicate:
+		if err := probability("dup p", c.P); err != nil {
+			return err
+		}
+		if c.P == 0 {
+			return fmt.Errorf("fault: dup clause with p=0 never fires")
+		}
+		if c.Count < 0 {
+			return fmt.Errorf("fault: negative dup count %d", c.Count)
+		}
+	case KindBurst:
+		if err := probability("burst pgb", c.PGB); err != nil {
+			return err
+		}
+		if err := probability("burst pbg", c.PBG); err != nil {
+			return err
+		}
+		if err := probability("burst lossgood", c.LossGood); err != nil {
+			return err
+		}
+		if c.LossBad != nil {
+			if err := probability("burst lossbad", *c.LossBad); err != nil {
+				return err
+			}
+		}
+		if c.PGB == 0 && c.LossGood == 0 {
+			return fmt.Errorf("fault: burst clause that can never leave the lossless good state")
+		}
+	case KindReorder:
+		if err := probability("reorder p", c.P); err != nil {
+			return err
+		}
+		if c.P == 0 || c.Window <= 0 {
+			return fmt.Errorf("fault: reorder clause needs p > 0 and window > 0")
+		}
+	case KindSpike:
+		if c.Delay <= 0 {
+			return fmt.Errorf("fault: spike clause needs delay > 0")
+		}
+	case KindBlackout:
+		if c.Pair == nil {
+			return fmt.Errorf("fault: blackout clause needs a directed pair")
+		}
+		if c.Pair[0] == c.Pair[1] {
+			return fmt.Errorf("fault: blackout pair is a self-loop on %d", c.Pair[0])
+		}
+	case KindCrash:
+		if len(c.Nodes) == 0 {
+			return fmt.Errorf("fault: crash clause needs victims")
+		}
+		if c.RecoverAfter < 0 {
+			return fmt.Errorf("fault: negative crash recovery delay %d", c.RecoverAfter)
+		}
+	default:
+		return fmt.Errorf("fault: unknown clause kind %q", c.Kind)
+	}
+	return nil
+}
+
+// activeAt reports whether the clause's window contains t.
+func (c *Clause) activeAt(t sim.Time) bool {
+	return t >= c.From && (c.To == 0 || t < c.To)
+}
+
+// lossBad returns the bad-state drop probability (default 1).
+func (c *Clause) lossBad() float64 {
+	if c.LossBad != nil {
+		return *c.LossBad
+	}
+	return 1
+}
+
+// matchesNode reports whether a spike clause covers id.
+func (c *Clause) matchesNode(id graph.NodeID) bool {
+	if len(c.Nodes) == 0 {
+		return true
+	}
+	for _, n := range c.Nodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Plan is a deterministic, seedable schedule of fault clauses.
+type Plan struct {
+	// Seed drives every random draw the plan makes, independently of the
+	// world's own channel randomness. Zero is a valid seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Clauses apply in order; channel verdicts accumulate.
+	Clauses []Clause `json:"clauses"`
+}
+
+// Validate reports the first problem with the plan, or nil.
+func (pl *Plan) Validate() error {
+	for i := range pl.Clauses {
+		if err := pl.Clauses[i].Validate(); err != nil {
+			return fmt.Errorf("clause %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Attach activates the plan on the world: it installs the channel hook
+// and schedules the lifecycle clauses. It panics on an invalid plan (use
+// Validate first when the plan comes from user input). The returned stop
+// function removes the hook and cancels pending lifecycle events.
+//
+// The plan must be attached to at most one world at a time, and before
+// the clauses' windows open (clause times are absolute virtual times; a
+// crash scheduled in the past fires immediately).
+func (pl *Plan) Attach(w *node.World) (stop func()) {
+	if err := pl.Validate(); err != nil {
+		panic(err.Error())
+	}
+	e := &engine{plan: pl, r: rng.New(pl.Seed ^ 0xfa017a57), burstBad: make([]bool, len(pl.Clauses))}
+	w.SetChannelHook(e.hook(w))
+	var events []*sim.Event
+	for i := range pl.Clauses {
+		c := &pl.Clauses[i]
+		if c.Kind != KindCrash {
+			continue
+		}
+		for _, id := range c.Nodes {
+			id := id
+			at := c.From
+			if at < w.Engine.Now() {
+				at = w.Engine.Now()
+			}
+			events = append(events, w.Engine.At(at, func() {
+				if w.Proc(id) == nil {
+					return // already gone; nothing to crash
+				}
+				w.Crash(id)
+				if c.RecoverAfter > 0 {
+					events = append(events, w.Engine.After(c.RecoverAfter, func() {
+						if w.Proc(id) == nil {
+							w.Recover(id)
+						}
+					}))
+				}
+			}))
+		}
+	}
+	return func() {
+		w.SetChannelHook(nil)
+		for _, ev := range events {
+			ev.Cancel()
+		}
+	}
+}
+
+// engine is the per-attachment runtime state of a plan.
+type engine struct {
+	plan *Plan
+	r    *rng.Rand
+	// burstBad holds, per clause index, whether that burst clause's
+	// Gilbert–Elliott chain is in the bad state.
+	burstBad []bool
+}
+
+// hook builds the node.ChannelHook evaluating the channel clauses.
+func (e *engine) hook(w *node.World) node.ChannelHook {
+	return func(now sim.Time, from, to graph.NodeID, tag string) node.ChannelFault {
+		var f node.ChannelFault
+		t := core.Time(now)
+		for i := range e.plan.Clauses {
+			c := &e.plan.Clauses[i]
+			if !c.activeAt(now) {
+				continue
+			}
+			switch c.Kind {
+			case KindDuplicate:
+				if e.r.Bool(c.P) {
+					n := c.Count
+					if n <= 0 {
+						n = 1
+					}
+					f.Duplicates += n
+					w.Trace.Mark(t, from, MarkDuplicate)
+				}
+			case KindBurst:
+				// Step the chain once per inspected transmission, then
+				// apply the current state's loss rate.
+				if e.burstBad[i] {
+					if e.r.Bool(c.PBG) {
+						e.burstBad[i] = false
+					}
+				} else if e.r.Bool(c.PGB) {
+					e.burstBad[i] = true
+				}
+				loss := c.LossGood
+				if e.burstBad[i] {
+					loss = c.lossBad()
+				}
+				if loss > 0 && e.r.Bool(loss) {
+					f.Drop = true
+					w.Trace.Mark(t, from, MarkBurst)
+				}
+			case KindReorder:
+				if e.r.Bool(c.P) {
+					f.ExtraDelay += sim.Time(1 + e.r.Intn(int(c.Window)))
+					w.Trace.Mark(t, from, MarkReorder)
+				}
+			case KindSpike:
+				if c.matchesNode(from) || c.matchesNode(to) {
+					f.ExtraDelay += c.Delay
+					w.Trace.Mark(t, from, MarkSpike)
+				}
+			case KindBlackout:
+				if from == c.Pair[0] && to == c.Pair[1] {
+					f.Drop = true
+					w.Trace.Mark(t, from, MarkBlackout)
+				}
+			}
+		}
+		return f
+	}
+}

@@ -1,0 +1,54 @@
+package fault
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzParse checks the parser's two safety properties on arbitrary input:
+// it never panics, and every plan it accepts survives both round trips —
+// canonical String form and JSON — unchanged.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"dup:p=0.2@100-500",
+		"burst:pgb=0.05,pbg=0.3,lossbad=0.9",
+		"reorder:p=0.1,window=8@50-",
+		"spike:nodes=1+2+3,delay=10@200-400",
+		"blackout:pair=1>2@100-200",
+		"crash:nodes=4,recover=50@250",
+		"dup:p=0.2;crash:nodes=1+2@30;seed=42",
+		"seed=18446744073709551615",
+		"dup:p=1e-3,count=7@1-2",
+		"spike:delay=3",
+		"burst:pgb=0.5,pbg=0.5,lossgood=0.25,lossbad=0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		pl, err := Parse(s)
+		if err != nil {
+			return
+		}
+		canon := pl.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q did not reparse: %v", canon, s, err)
+		}
+		if !reflect.DeepEqual(pl, again) {
+			t.Fatalf("string round trip changed the plan: %q -> %q -> %q", s, canon, again.String())
+		}
+		data, err := json.Marshal(pl)
+		if err != nil {
+			t.Fatalf("accepted plan %q did not marshal: %v", canon, err)
+		}
+		back, err := DecodeJSON(data)
+		if err != nil {
+			t.Fatalf("JSON of accepted plan %q did not decode: %v", canon, err)
+		}
+		if !reflect.DeepEqual(pl, back) {
+			t.Fatalf("JSON round trip changed the plan: %q", canon)
+		}
+	})
+}

@@ -1,0 +1,262 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Parse reads a fault plan from its compact command-line form: clauses
+// separated by ';', each "kind:key=value,...@from-to". The window suffix
+// is optional ("@from-" or "@from" leaves it open-ended; omitting it
+// means always active). A "seed=N" segment sets the plan seed. Example:
+//
+//	dup:p=0.2@100-500;burst:pgb=0.05,pbg=0.3,lossbad=0.9;spike:nodes=1+2+3,delay=10@200-400;blackout:pair=1>2@100-200;crash:nodes=4,recover=50@250;seed=42
+//
+// The returned plan is validated; String renders it back in canonical
+// form, and Parse(p.String()) reproduces p exactly.
+func Parse(s string) (*Plan, error) {
+	pl := &Plan{}
+	for _, seg := range strings.Split(s, ";") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(seg, "seed="); ok {
+			seed, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q: %v", rest, err)
+			}
+			pl.Seed = seed
+			continue
+		}
+		c, err := parseClause(seg)
+		if err != nil {
+			return nil, err
+		}
+		pl.Clauses = append(pl.Clauses, c)
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}
+
+func parseClause(seg string) (Clause, error) {
+	var c Clause
+	body, window, hasWindow := strings.Cut(seg, "@")
+	kind, params, _ := strings.Cut(body, ":")
+	c.Kind = Kind(kind)
+	if hasWindow {
+		fromStr, toStr, ranged := strings.Cut(window, "-")
+		from, err := strconv.ParseInt(fromStr, 10, 64)
+		if err != nil {
+			return c, fmt.Errorf("fault: bad window start in %q: %v", seg, err)
+		}
+		c.From = sim.Time(from)
+		if ranged && toStr != "" {
+			to, err := strconv.ParseInt(toStr, 10, 64)
+			if err != nil {
+				return c, fmt.Errorf("fault: bad window end in %q: %v", seg, err)
+			}
+			c.To = sim.Time(to)
+		}
+	}
+	if params == "" {
+		return c, nil
+	}
+	for _, kv := range strings.Split(params, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return c, fmt.Errorf("fault: parameter %q in %q is not key=value", kv, seg)
+		}
+		if err := c.setParam(key, val); err != nil {
+			return c, fmt.Errorf("fault: %v in %q", err, seg)
+		}
+	}
+	return c, nil
+}
+
+// allowedKeys lists each kind's parameters; Parse rejects a key on the
+// wrong kind so every accepted parameter survives the canonical String
+// form (a silently dropped key would break Parse/String round-tripping).
+var allowedKeys = map[Kind]map[string]bool{
+	KindDuplicate: {"p": true, "count": true},
+	KindBurst:     {"pgb": true, "pbg": true, "lossgood": true, "lossbad": true},
+	KindReorder:   {"p": true, "window": true},
+	KindSpike:     {"nodes": true, "delay": true},
+	KindBlackout:  {"pair": true},
+	KindCrash:     {"nodes": true, "recover": true},
+}
+
+func (c *Clause) setParam(key, val string) error {
+	if !allowedKeys[c.Kind][key] {
+		return fmt.Errorf("parameter %q not valid for %q clauses", key, c.Kind)
+	}
+	parseF := func() (float64, error) { return strconv.ParseFloat(val, 64) }
+	parseT := func() (sim.Time, error) {
+		n, err := strconv.ParseInt(val, 10, 64)
+		return sim.Time(n), err
+	}
+	var err error
+	switch key {
+	case "p":
+		c.P, err = parseF()
+	case "count":
+		c.Count, err = strconv.Atoi(val)
+	case "window":
+		c.Window, err = parseT()
+	case "delay":
+		c.Delay, err = parseT()
+	case "recover":
+		c.RecoverAfter, err = parseT()
+	case "pgb":
+		c.PGB, err = parseF()
+	case "pbg":
+		c.PBG, err = parseF()
+	case "lossgood":
+		c.LossGood, err = parseF()
+	case "lossbad":
+		var v float64
+		if v, err = parseF(); err == nil {
+			c.LossBad = &v
+		}
+	case "nodes":
+		for _, part := range strings.Split(val, "+") {
+			n, perr := strconv.ParseInt(part, 10, 64)
+			if perr != nil {
+				return fmt.Errorf("bad node id %q", part)
+			}
+			c.Nodes = append(c.Nodes, graph.NodeID(n))
+		}
+	case "pair":
+		fromStr, toStr, ok := strings.Cut(val, ">")
+		if !ok {
+			return fmt.Errorf("pair %q is not from>to", val)
+		}
+		from, e1 := strconv.ParseInt(fromStr, 10, 64)
+		to, e2 := strconv.ParseInt(toStr, 10, 64)
+		if e1 != nil || e2 != nil {
+			return fmt.Errorf("bad pair %q", val)
+		}
+		c.Pair = &[2]graph.NodeID{graph.NodeID(from), graph.NodeID(to)}
+	default:
+		return fmt.Errorf("unknown parameter %q", key)
+	}
+	if err != nil {
+		return fmt.Errorf("bad value for %s: %v", key, err)
+	}
+	return nil
+}
+
+func fmtF(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func fmtNodes(ids []graph.NodeID) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.FormatInt(int64(id), 10)
+	}
+	return strings.Join(parts, "+")
+}
+
+// String renders the clause in the canonical form Parse accepts.
+func (c Clause) String() string {
+	var params []string
+	add := func(key, val string) { params = append(params, key+"="+val) }
+	switch c.Kind {
+	case KindDuplicate:
+		add("p", fmtF(c.P))
+		if c.Count != 0 {
+			add("count", strconv.Itoa(c.Count))
+		}
+	case KindBurst:
+		add("pgb", fmtF(c.PGB))
+		add("pbg", fmtF(c.PBG))
+		if c.LossGood != 0 {
+			add("lossgood", fmtF(c.LossGood))
+		}
+		if c.LossBad != nil {
+			add("lossbad", fmtF(*c.LossBad))
+		}
+	case KindReorder:
+		add("p", fmtF(c.P))
+		add("window", strconv.FormatInt(int64(c.Window), 10))
+	case KindSpike:
+		if len(c.Nodes) > 0 {
+			add("nodes", fmtNodes(c.Nodes))
+		}
+		add("delay", strconv.FormatInt(int64(c.Delay), 10))
+	case KindBlackout:
+		if c.Pair != nil {
+			add("pair", strconv.FormatInt(int64(c.Pair[0]), 10)+">"+strconv.FormatInt(int64(c.Pair[1]), 10))
+		}
+	case KindCrash:
+		add("nodes", fmtNodes(c.Nodes))
+		if c.RecoverAfter != 0 {
+			add("recover", strconv.FormatInt(int64(c.RecoverAfter), 10))
+		}
+	}
+	s := string(c.Kind)
+	if len(params) > 0 {
+		s += ":" + strings.Join(params, ",")
+	}
+	if c.From != 0 || c.To != 0 {
+		s += "@" + strconv.FormatInt(int64(c.From), 10) + "-"
+		if c.To != 0 {
+			s += strconv.FormatInt(int64(c.To), 10)
+		}
+	}
+	return s
+}
+
+// String renders the plan in the canonical command-line form.
+func (pl *Plan) String() string {
+	segs := make([]string, 0, len(pl.Clauses)+1)
+	for _, c := range pl.Clauses {
+		segs = append(segs, c.String())
+	}
+	if pl.Seed != 0 {
+		segs = append(segs, "seed="+strconv.FormatUint(pl.Seed, 10))
+	}
+	return strings.Join(segs, ";")
+}
+
+// MarshalJSON / round-tripping: Plan marshals through its field tags; no
+// custom encoding is needed. DecodeJSON is a convenience wrapper that
+// also validates.
+func DecodeJSON(data []byte) (*Plan, error) {
+	var pl Plan
+	if err := json.Unmarshal(data, &pl); err != nil {
+		return nil, fmt.Errorf("fault: %v", err)
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	return &pl, nil
+}
+
+// Summary counts the plan's clauses per kind, e.g. "2 burst + 1 crash".
+func (pl *Plan) Summary() string {
+	if len(pl.Clauses) == 0 {
+		return "no faults"
+	}
+	counts := map[Kind]int{}
+	for _, c := range pl.Clauses {
+		counts[c.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	parts := make([]string, len(kinds))
+	for i, k := range kinds {
+		parts[i] = fmt.Sprintf("%d %s", counts[Kind(k)], k)
+	}
+	return strings.Join(parts, " + ")
+}

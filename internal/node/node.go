@@ -27,6 +27,10 @@ type Message struct {
 	From, To graph.NodeID
 	Tag      string
 	Payload  any
+
+	// seq is non-zero for messages tracked by the reliable channel layer;
+	// the receiver acks it and suppresses duplicate deliveries.
+	seq uint64
 }
 
 // Behavior is the per-entity protocol logic. Each entity gets its own
@@ -63,11 +67,38 @@ type Config struct {
 	// jittered latency may reorder, which is the weaker (and more
 	// adversarial) channel the paper's model permits.
 	FIFO bool
+	// Reliable enables the ack/retransmit channel sublayer (see
+	// ReliableConfig). Protocol code is unchanged: Send is tracked, the
+	// receiver acks, lost messages are retransmitted with exponential
+	// backoff until acked or the retry budget runs out.
+	Reliable ReliableConfig
+	// Store persists behavior snapshots across crash–recovery gaps
+	// (see Recoverable). Defaults to an in-memory store.
+	Store StableStore
 	// ValueOf assigns the local value an entity contributes to queries.
 	// Defaults to float64(id).
 	ValueOf func(id graph.NodeID) float64
 	// Seed drives latency and loss draws.
 	Seed uint64
+}
+
+// Validate reports the first configuration error, or nil. NewWorld panics
+// on an invalid config; drivers assembling configs from user input
+// (cmd/ddsim) call Validate directly for a graceful message. The zero
+// latency pair is valid (it means the [1, 1] default).
+func (cfg Config) Validate() error {
+	if cfg.MinLatency != 0 || cfg.MaxLatency != 0 {
+		if cfg.MinLatency < 1 {
+			return fmt.Errorf("node: MinLatency %d below the 1-tick minimum", cfg.MinLatency)
+		}
+		if cfg.MinLatency > cfg.MaxLatency {
+			return fmt.Errorf("node: MinLatency %d exceeds MaxLatency %d", cfg.MinLatency, cfg.MaxLatency)
+		}
+	}
+	if cfg.LossRate < 0 || cfg.LossRate > 1 {
+		return fmt.Errorf("node: LossRate %v outside [0, 1]", cfg.LossRate)
+	}
+	return cfg.Reliable.validate()
 }
 
 // Proc is one running entity.
@@ -80,6 +111,24 @@ type Proc struct {
 	timers   []*sim.Event
 	alive    bool
 }
+
+// ChannelFault describes what a channel hook does to one transmission:
+// drop it, delay it further, or deliver extra copies. The zero value is a
+// clean pass-through.
+type ChannelFault struct {
+	// Drop loses the transmission (recorded as a trace drop).
+	Drop bool
+	// ExtraDelay is added to the drawn latency of every delivered copy.
+	ExtraDelay sim.Time
+	// Duplicates is the number of extra copies to deliver, each with its
+	// own latency draw.
+	Duplicates int
+}
+
+// ChannelHook inspects an outgoing transmission after the independent
+// loss coin and returns the faults to apply. Fault-injection plans
+// (internal/fault) attach through this hook.
+type ChannelHook func(now sim.Time, from, to graph.NodeID, tag string) ChannelFault
 
 // World is a simulated dynamic system.
 type World struct {
@@ -94,16 +143,19 @@ type World struct {
 	// lastDelivery tracks, per directed pair, the latest scheduled
 	// delivery time (FIFO enforcement).
 	lastDelivery map[[2]graph.NodeID]sim.Time
+	hook         ChannelHook
+	rel          *reliableLayer
+	store        StableStore
 }
 
 // NewWorld assembles a runtime over the given engine and overlay. The
 // factory may be nil, in which case every entity runs Nop.
 func NewWorld(engine *sim.Engine, overlay topology.Overlay, factory BehaviorFactory, cfg Config) *World {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
 	if cfg.MinLatency == 0 && cfg.MaxLatency == 0 {
 		cfg.MinLatency, cfg.MaxLatency = 1, 1
-	}
-	if cfg.MinLatency < 1 || cfg.MaxLatency < cfg.MinLatency {
-		panic(fmt.Sprintf("node: invalid latency range [%d, %d]", cfg.MinLatency, cfg.MaxLatency))
 	}
 	if cfg.ValueOf == nil {
 		cfg.ValueOf = func(id graph.NodeID) float64 { return float64(id) }
@@ -111,7 +163,10 @@ func NewWorld(engine *sim.Engine, overlay topology.Overlay, factory BehaviorFact
 	if factory == nil {
 		factory = func(graph.NodeID) Behavior { return Nop{} }
 	}
-	return &World{
+	if cfg.Store == nil {
+		cfg.Store = NewMemStore()
+	}
+	w := &World{
 		Engine:       engine,
 		Overlay:      overlay,
 		Trace:        &core.Trace{},
@@ -120,8 +175,17 @@ func NewWorld(engine *sim.Engine, overlay topology.Overlay, factory BehaviorFact
 		factory:      factory,
 		procs:        make(map[graph.NodeID]*Proc),
 		lastDelivery: make(map[[2]graph.NodeID]sim.Time),
+		store:        cfg.Store,
 	}
+	if cfg.Reliable.Enabled {
+		w.rel = newReliableLayer(cfg.Reliable.withDefaults())
+	}
+	return w
 }
+
+// SetChannelHook installs (or, with nil, removes) the channel fault hook.
+// At most one hook is active; fault plans compose clauses internally.
+func (w *World) SetChannelHook(h ChannelHook) { w.hook = h }
 
 // Proc returns the running entity with the given ID, or nil if absent.
 func (w *World) Proc(id graph.NodeID) *Proc { return w.procs[id] }
@@ -176,13 +240,20 @@ func (w *World) Leave(id graph.NodeID) {
 // the silence themselves (see internal/fd). This models unannounced
 // failure as opposed to an (overlay-visible) leave. Crashing an absent
 // entity is a no-op.
+//
+// If the entity's behavior implements Recoverable, its snapshot is saved
+// to the world's stable store so a later Recover can restore it: the
+// snapshot models state the entity had written durably before failing.
 func (w *World) Crash(id graph.NodeID) {
 	p, ok := w.procs[id]
 	if !ok {
 		return
 	}
+	if rec, ok := p.behavior.(Recoverable); ok {
+		w.store.Save(id, rec.Snapshot())
+	}
 	now := int64(w.Engine.Now())
-	w.Trace.Mark(now, id, "crash")
+	w.Trace.Mark(now, id, core.MarkCrash)
 	w.Trace.Leave(now, id)
 	for _, ev := range p.timers {
 		ev.Cancel()
@@ -190,6 +261,52 @@ func (w *World) Crash(id graph.NodeID) {
 	p.timers = nil
 	p.alive = false
 	delete(w.procs, id)
+}
+
+// Recover brings a crashed entity back: it resumes executing under its
+// pre-crash identity, restoring behavior state from the stable store if a
+// snapshot exists and the behavior implements Recoverable (otherwise the
+// behavior starts fresh via Init). The entity's edges, which the crash
+// left lingering in the overlay, become live again; edges to peers that
+// are themselves still crashed are re-announced when those peers recover.
+// Recovering a present entity panics; use it only after Crash.
+func (w *World) Recover(id graph.NodeID) *Proc {
+	if _, ok := w.procs[id]; ok {
+		panic(fmt.Sprintf("node: entity %d recovered while present", id))
+	}
+	now := int64(w.Engine.Now())
+	w.Trace.Mark(now, id, core.MarkRecover)
+	w.Trace.Join(now, id)
+	if !w.Overlay.Graph().HasNode(id) {
+		// The overlay forgot the entity entirely; rejoin as a fresh
+		// attachment.
+		w.recordChanges(now, w.Overlay.AddNode(id))
+	} else {
+		// The crash-time Leave removed the entity from the trace's
+		// temporal view while its edges stayed in the overlay; re-announce
+		// the live ones so the recorded graph matches reality again.
+		for _, u := range w.Overlay.Graph().Neighbors(id) {
+			if _, live := w.procs[u]; live {
+				w.Trace.EdgeUp(now, id, u)
+			}
+		}
+	}
+	p := &Proc{
+		ID:       id,
+		Value:    w.cfg.ValueOf(id),
+		world:    w,
+		behavior: w.factory(id),
+		alive:    true,
+	}
+	w.procs[id] = p
+	if snap, ok := w.store.Load(id); ok {
+		if rec, ok := p.behavior.(Recoverable); ok {
+			rec.Restore(p, snap)
+			return p
+		}
+	}
+	p.behavior.Init(p)
+	return p
 }
 
 func (w *World) recordChanges(now core.Time, chs []topology.Change) {
@@ -258,40 +375,91 @@ func (p *Proc) Neighbors() []graph.NodeID {
 // neighbor (stale knowledge) or from a departed entity records a drop.
 // Delivery is delayed by a random latency; the message is dropped if the
 // recipient is absent at delivery time or loses an independent coin flip.
+// With the reliable sublayer enabled the message is additionally tracked
+// for ack/retransmit until acked or the retry budget runs out.
 func (p *Proc) Send(to graph.NodeID, tag string, payload any) {
 	w := p.world
-	now := int64(w.Engine.Now())
 	if !p.alive || !w.Overlay.Graph().HasEdge(p.ID, to) {
-		w.Trace.Drop(now, p.ID, to, tag)
+		w.Trace.Drop(int64(w.Engine.Now()), p.ID, to, tag)
 		return
-	}
-	w.Trace.Send(now, p.ID, to, tag)
-	if w.cfg.LossRate > 0 && w.r.Bool(w.cfg.LossRate) {
-		w.Trace.Drop(now, p.ID, to, tag)
-		return
-	}
-	delay := w.cfg.MinLatency
-	if span := w.cfg.MaxLatency - w.cfg.MinLatency; span > 0 {
-		delay += sim.Time(w.r.Intn(int(span) + 1))
-	}
-	if w.cfg.FIFO {
-		pair := [2]graph.NodeID{p.ID, to}
-		at := w.Engine.Now() + delay
-		if last := w.lastDelivery[pair]; at < last {
-			delay = last - w.Engine.Now()
-		}
-		w.lastDelivery[pair] = w.Engine.Now() + delay
 	}
 	m := Message{From: p.ID, To: to, Tag: tag, Payload: payload}
-	w.Engine.After(delay, func() {
-		q, ok := w.procs[to]
-		if !ok {
-			w.Trace.Drop(int64(w.Engine.Now()), p.ID, to, tag)
+	if w.rel != nil {
+		w.rel.send(w, m)
+		return
+	}
+	w.transmit(m)
+}
+
+// transmit pushes one copy of m into the channel: loss coin, fault hook,
+// latency draw, FIFO adjustment, scheduled delivery. The edge is
+// re-checked here because retransmissions happen after the original Send
+// and a link that has since gone down must not carry the copy (it may
+// heal before the next retry).
+func (w *World) transmit(m Message) {
+	now := int64(w.Engine.Now())
+	if !w.Overlay.Graph().HasEdge(m.From, m.To) {
+		w.Trace.Drop(now, m.From, m.To, m.Tag)
+		return
+	}
+	w.Trace.Send(now, m.From, m.To, m.Tag)
+	if w.cfg.LossRate > 0 && w.r.Bool(w.cfg.LossRate) {
+		w.Trace.Drop(now, m.From, m.To, m.Tag)
+		return
+	}
+	var fl ChannelFault
+	if w.hook != nil {
+		fl = w.hook(w.Engine.Now(), m.From, m.To, m.Tag)
+	}
+	if fl.Drop {
+		w.Trace.Drop(now, m.From, m.To, m.Tag)
+		return
+	}
+	for i := 0; i <= fl.Duplicates; i++ {
+		delay := w.cfg.MinLatency
+		if span := w.cfg.MaxLatency - w.cfg.MinLatency; span > 0 {
+			delay += sim.Time(w.r.Intn(int(span) + 1))
+		}
+		delay += fl.ExtraDelay
+		if w.cfg.FIFO {
+			pair := [2]graph.NodeID{m.From, m.To}
+			at := w.Engine.Now() + delay
+			if last := w.lastDelivery[pair]; at < last {
+				delay = last - w.Engine.Now()
+			}
+			w.lastDelivery[pair] = w.Engine.Now() + delay
+		}
+		m := m
+		w.Engine.After(delay, func() { w.deliver(m) })
+	}
+}
+
+// deliver hands an arriving copy to the recipient: drop if it departed,
+// ack and dedup under the reliable sublayer, then run the behavior.
+func (w *World) deliver(m Message) {
+	now := int64(w.Engine.Now())
+	q, ok := w.procs[m.To]
+	if !ok {
+		w.Trace.Drop(now, m.From, m.To, m.Tag)
+		return
+	}
+	if w.rel != nil && m.Tag == AckTag {
+		w.Trace.Deliver(now, m.To, m.From, m.Tag)
+		w.rel.onAck(w, m)
+		return
+	}
+	if m.seq != 0 && w.rel != nil {
+		// Ack every arriving copy (the previous ack may have been lost),
+		// but deliver the payload to the behavior only once.
+		w.rel.ackBack(w, m)
+		if w.rel.delivered[m.seq] {
+			w.Trace.Mark(now, m.To, MarkDupSuppressed)
 			return
 		}
-		w.Trace.Deliver(int64(w.Engine.Now()), to, p.ID, tag)
-		q.behavior.Receive(q, m)
-	})
+		w.rel.delivered[m.seq] = true
+	}
+	w.Trace.Deliver(now, m.To, m.From, m.Tag)
+	q.behavior.Receive(q, m)
 }
 
 // Broadcast sends the message to every current neighbor.

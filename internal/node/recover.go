@@ -1,0 +1,58 @@
+package node
+
+// Crash–recovery entities: a crash (World.Crash) silently removes an
+// entity, and World.Recover later brings it back under the same identity.
+// What survives the gap is whatever the behavior had written to stable
+// storage — modeled as a snapshot taken at crash time (the simulator's
+// stand-in for "everything relevant was durably on disk"). Behaviors that
+// support recovery implement Recoverable; everything else restarts fresh
+// through Init, exactly like a new joiner that happens to reuse an old
+// identity.
+
+import "repro/internal/graph"
+
+// Recoverable is implemented by behaviors whose state survives a
+// crash–recovery gap. Snapshot is taken at crash time and must not alias
+// live state (the behavior object itself dies with the entity); Restore
+// is called on the recovering entity's fresh behavior instance instead of
+// Init, with the entity already attached to the world (it may send and
+// schedule timers).
+//
+// Composite behaviors (node.Compose) are not recoverable as a whole; wrap
+// the composition in a dedicated behavior if its parts need snapshots.
+type Recoverable interface {
+	Behavior
+	Snapshot() any
+	Restore(p *Proc, snap any)
+}
+
+// StableStore persists behavior snapshots across crash–recovery gaps.
+// Implementations must be deterministic: Load returns exactly what the
+// last Save for the identity stored.
+type StableStore interface {
+	Save(id graph.NodeID, snap any)
+	Load(id graph.NodeID) (any, bool)
+	Delete(id graph.NodeID)
+}
+
+// MemStore is the default StableStore: an in-process map. It survives for
+// the lifetime of the world — which is what "stable" means inside one
+// simulated run.
+type MemStore struct {
+	snaps map[graph.NodeID]any
+}
+
+// NewMemStore returns an empty in-memory stable store.
+func NewMemStore() *MemStore { return &MemStore{snaps: make(map[graph.NodeID]any)} }
+
+// Save implements StableStore.
+func (s *MemStore) Save(id graph.NodeID, snap any) { s.snaps[id] = snap }
+
+// Load implements StableStore.
+func (s *MemStore) Load(id graph.NodeID) (any, bool) {
+	snap, ok := s.snaps[id]
+	return snap, ok
+}
+
+// Delete implements StableStore.
+func (s *MemStore) Delete(id graph.NodeID) { delete(s.snaps, id) }

@@ -1,0 +1,217 @@
+package node
+
+// The reliable channel sublayer: an opt-in ack/retransmit discipline under
+// every Proc.Send, so protocols written for fire-and-forget channels run
+// unchanged over lossy, bursty, or temporarily partitioned links. The
+// sender tracks each message until the receiver's ack arrives,
+// retransmitting with exponential backoff plus deterministic jitter; the
+// receiver acks every arriving copy (acks may be lost too) and suppresses
+// duplicate deliveries to the behavior. A bounded retry budget keeps a
+// permanently departed receiver from pinning the sender forever.
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// AckTag is the message tag of the sublayer's acknowledgments. Acks travel
+// the same lossy channel as payload, are never seen by behaviors, and are
+// excluded from a protocol's tag-filtered message accounting.
+const AckTag = "node.ack"
+
+// Trace mark tags emitted by the reliable sublayer.
+const (
+	// MarkRetry is recorded at the sender per retransmission.
+	MarkRetry = "rel.retry"
+	// MarkGiveUp is recorded at the sender when the retry budget runs out.
+	MarkGiveUp = "rel.give-up"
+	// MarkDupSuppressed is recorded at the receiver when a duplicate copy
+	// is acked but not re-delivered to the behavior.
+	MarkDupSuppressed = "rel.dup-suppressed"
+)
+
+// ReliableConfig parameterizes the ack/retransmit sublayer.
+type ReliableConfig struct {
+	// Enabled turns the sublayer on.
+	Enabled bool
+	// RetransmitAfter is the first retransmission timeout. Default 6.
+	RetransmitAfter sim.Time
+	// Backoff multiplies the timeout after each retransmission. Default 2.
+	Backoff float64
+	// MaxRetries is the retry budget per message. Default 8.
+	MaxRetries int
+	// Jitter is the maximum deterministic jitter added to each timeout
+	// (drawn from the world's seeded stream, desynchronizing retry storms).
+	// Default 2.
+	Jitter sim.Time
+}
+
+func (rc ReliableConfig) withDefaults() ReliableConfig {
+	if rc.RetransmitAfter <= 0 {
+		rc.RetransmitAfter = 6
+	}
+	if rc.Backoff < 1 {
+		rc.Backoff = 2
+	}
+	if rc.MaxRetries <= 0 {
+		rc.MaxRetries = 8
+	}
+	if rc.Jitter < 0 {
+		rc.Jitter = 0
+	} else if rc.Jitter == 0 {
+		rc.Jitter = 2
+	}
+	return rc
+}
+
+func (rc ReliableConfig) validate() error {
+	// All zero-value fields default sensibly; nothing to reject yet. The
+	// method anchors future constraints next to Config.Validate.
+	return nil
+}
+
+// ReliableCounters are one entity's sender-side delivery statistics.
+type ReliableCounters struct {
+	// Acked counts messages confirmed by the receiver.
+	Acked int
+	// Retries counts retransmissions.
+	Retries int
+	// GiveUps counts messages abandoned after the retry budget.
+	GiveUps int
+}
+
+type ackMsg struct {
+	Seq uint64
+}
+
+type pendingMsg struct {
+	m        Message
+	attempts int
+	timeout  sim.Time
+	timer    *sim.Event
+}
+
+type reliableLayer struct {
+	cfg ReliableConfig
+	seq uint64
+	// pending tracks unacked messages by sequence number (sender side).
+	pending map[uint64]*pendingMsg
+	// delivered remembers which sequence numbers reached a behavior
+	// (receiver side), so retransmitted copies are acked but not replayed.
+	delivered map[uint64]bool
+	stats     map[graph.NodeID]*ReliableCounters
+}
+
+func newReliableLayer(cfg ReliableConfig) *reliableLayer {
+	return &reliableLayer{
+		cfg:       cfg,
+		pending:   make(map[uint64]*pendingMsg),
+		delivered: make(map[uint64]bool),
+		stats:     make(map[graph.NodeID]*ReliableCounters),
+	}
+}
+
+func (rl *reliableLayer) counters(id graph.NodeID) *ReliableCounters {
+	c := rl.stats[id]
+	if c == nil {
+		c = &ReliableCounters{}
+		rl.stats[id] = c
+	}
+	return c
+}
+
+// send tracks m and pushes its first copy into the channel.
+func (rl *reliableLayer) send(w *World, m Message) {
+	rl.seq++
+	m.seq = rl.seq
+	pm := &pendingMsg{m: m, timeout: rl.cfg.RetransmitAfter}
+	rl.pending[m.seq] = pm
+	w.transmit(m)
+	rl.scheduleRetry(w, pm)
+}
+
+func (rl *reliableLayer) scheduleRetry(w *World, pm *pendingMsg) {
+	delay := pm.timeout
+	if rl.cfg.Jitter > 0 {
+		delay += sim.Time(w.r.Intn(int(rl.cfg.Jitter) + 1))
+	}
+	pm.timer = w.Engine.After(delay, func() {
+		if _, unacked := rl.pending[pm.m.seq]; !unacked {
+			return
+		}
+		now := int64(w.Engine.Now())
+		if _, alive := w.procs[pm.m.From]; !alive {
+			// The sender is gone; its channel-layer buffer died with it.
+			delete(rl.pending, pm.m.seq)
+			return
+		}
+		if pm.attempts >= rl.cfg.MaxRetries {
+			rl.counters(pm.m.From).GiveUps++
+			w.Trace.Mark(now, pm.m.From, MarkGiveUp)
+			delete(rl.pending, pm.m.seq)
+			return
+		}
+		pm.attempts++
+		rl.counters(pm.m.From).Retries++
+		w.Trace.Mark(now, pm.m.From, MarkRetry)
+		w.transmit(pm.m)
+		pm.timeout = sim.Time(float64(pm.timeout) * rl.cfg.Backoff)
+		rl.scheduleRetry(w, pm)
+	})
+}
+
+// ackBack sends an acknowledgment for the arriving copy toward its
+// sender, over the same impaired channel.
+func (rl *reliableLayer) ackBack(w *World, m Message) {
+	w.transmit(Message{From: m.To, To: m.From, Tag: AckTag, Payload: ackMsg{Seq: m.seq}})
+}
+
+// onAck settles the acked message: cancel its retry timer, count it.
+func (rl *reliableLayer) onAck(w *World, m Message) {
+	seq := m.Payload.(ackMsg).Seq
+	pm, ok := rl.pending[seq]
+	if !ok {
+		return // duplicate ack, or the sender already gave up
+	}
+	delete(rl.pending, seq)
+	if pm.timer != nil {
+		pm.timer.Cancel()
+	}
+	rl.counters(pm.m.From).Acked++
+}
+
+// ReliableStats returns a copy of the per-entity sender-side counters of
+// the reliable sublayer. It returns nil when the sublayer is disabled.
+func (w *World) ReliableStats() map[graph.NodeID]ReliableCounters {
+	if w.rel == nil {
+		return nil
+	}
+	out := make(map[graph.NodeID]ReliableCounters, len(w.rel.stats))
+	for id, c := range w.rel.stats {
+		out[id] = *c
+	}
+	return out
+}
+
+// ReliableTotals sums the reliable sublayer's counters over every entity
+// (the zero value when the sublayer is disabled).
+func (w *World) ReliableTotals() ReliableCounters {
+	var total ReliableCounters
+	if w.rel == nil {
+		return total
+	}
+	ids := make([]graph.NodeID, 0, len(w.rel.stats))
+	for id := range w.rel.stats {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		c := w.rel.stats[id]
+		total.Acked += c.Acked
+		total.Retries += c.Retries
+		total.GiveUps += c.GiveUps
+	}
+	return total
+}

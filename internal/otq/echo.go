@@ -151,6 +151,51 @@ func (b *echoWaveBehavior) tick(p *node.Proc) {
 	p.After(b.proto.rescanInterval(), func() { b.tick(p) })
 }
 
+// echoSnapshot is the crash-survivable state of an echo-wave entity.
+type echoSnapshot struct {
+	active    bool
+	known     map[graph.NodeID]float64
+	rescans   int
+	isQuerier bool
+	lastNew   sim.Time
+	started   sim.Time
+}
+
+// Snapshot implements node.Recoverable.
+func (b *echoWaveBehavior) Snapshot() any {
+	s := echoSnapshot{
+		active:    b.active,
+		rescans:   b.rescans,
+		isQuerier: b.isQuerier,
+		lastNew:   b.lastNew,
+		started:   b.started,
+	}
+	if b.known != nil {
+		s.known = copyContrib(b.known)
+	}
+	return s
+}
+
+// Restore implements node.Recoverable. The per-neighbor send watermarks
+// are deliberately NOT restored: a recovering entity re-offers its whole
+// set to every neighbor, which is the anti-entropy way back to
+// convergence after a silent gap (peers may have progressed, or churned,
+// while it was down). A recovering querier resumes quiescence detection
+// where the crash interrupted it.
+func (b *echoWaveBehavior) Restore(p *node.Proc, snap any) {
+	s := snap.(echoSnapshot)
+	b.active = s.active
+	b.known = s.known
+	b.rescans = s.rescans
+	b.isQuerier = s.isQuerier
+	b.lastNew = s.lastNew
+	b.started = s.started
+	if b.active {
+		b.sentLen = make(map[graph.NodeID]int)
+		b.tick(p)
+	}
+}
+
 // Launch implements Protocol.
 func (e *EchoWave) Launch(w *node.World, querier graph.NodeID) *Run {
 	if e.run != nil {

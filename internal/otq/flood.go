@@ -152,6 +152,46 @@ func (f *FloodTTL) Factory() node.BehaviorFactory {
 	return func(graph.NodeID) node.Behavior { return &floodBehavior{proto: f} }
 }
 
+// floodSnapshot is the crash-survivable state of a flood-family entity:
+// the parent pointers that route reports upstream and, at the querier,
+// the contributions gathered so far.
+type floodSnapshot struct {
+	parent map[int]graph.NodeID
+	byQID  map[int]map[graph.NodeID]float64 // non-nil at the querier
+}
+
+// Snapshot implements node.Recoverable.
+func (b *floodBehavior) Snapshot() any {
+	var s floodSnapshot
+	if b.core.parent != nil {
+		s.parent = make(map[int]graph.NodeID, len(b.core.parent))
+		for qid, parent := range b.core.parent {
+			s.parent[qid] = parent
+		}
+	}
+	if b.acc != nil {
+		s.byQID = make(map[int]map[graph.NodeID]float64, len(b.acc.byQID))
+		for qid, m := range b.acc.byQID {
+			s.byQID[qid] = copyContrib(m)
+		}
+	}
+	return s
+}
+
+// Restore implements node.Recoverable. A recovered relay keeps routing
+// reports for waves it had joined; a recovered querier keeps the
+// contributions it had absorbed (though its answer deadline, a timer,
+// died with the crash — the query resolves only if it was already
+// resolved or a driver re-arms it).
+func (b *floodBehavior) Restore(p *node.Proc, snap any) {
+	s := snap.(floodSnapshot)
+	b.core.parent = s.parent
+	if s.byQID != nil {
+		b.acc = newAccumulator(p.Now)
+		b.acc.byQID = s.byQID
+	}
+}
+
 // Launch implements Protocol. It panics if the querier is absent, the
 // behaviour factory was not this protocol's, or parameters are unset.
 func (f *FloodTTL) Launch(w *node.World, querier graph.NodeID) *Run {

@@ -152,14 +152,34 @@ func (o Outcome) String() string {
 		o.Duration, o.CoveredStable, o.StableCount, len(o.Fabricated), len(o.WrongValue))
 }
 
+// CheckOptions tunes the specification checker's participation notion.
+type CheckOptions struct {
+	// BridgeRecoveries judges stability over recovery-bridged sessions
+	// (core.StableBetweenBridged): an entity that crashed during the query
+	// and recovered with its state intact still counts as a stable
+	// participant, so a valid answer must account for its value. This is
+	// the contract crash–recovery experiments (E21) hold protocols to —
+	// reachable only by channels that keep retrying across the gap.
+	BridgeRecoveries bool
+}
+
 // Check judges a run against the recorded trace. The query interval is
 // [r.Started, answer time] (or the trace end when the querier never
 // answered, in which case only Termination is judged). valueOf must be
 // the same assignment the world used.
 func Check(tr *core.Trace, r *Run, valueOf func(graph.NodeID) float64) Outcome {
+	return CheckWith(tr, r, valueOf, CheckOptions{})
+}
+
+// CheckWith is Check with an explicit participation notion.
+func CheckWith(tr *core.Trace, r *Run, valueOf func(graph.NodeID) float64, opts CheckOptions) Outcome {
+	stableBetween := tr.StableBetween
+	if opts.BridgeRecoveries {
+		stableBetween = tr.StableBetweenBridged
+	}
 	ans := r.Answer()
 	if ans == nil {
-		out := Outcome{StableCount: len(tr.StableBetween(r.Started, tr.End()))}
+		out := Outcome{StableCount: len(stableBetween(r.Started, tr.End()))}
 		for _, id := range tr.PresentAt(tr.End()) {
 			if id == r.Querier {
 				return out
@@ -169,7 +189,7 @@ func Check(tr *core.Trace, r *Run, valueOf func(graph.NodeID) float64) Outcome {
 		return out
 	}
 	out := Outcome{Terminated: true, Duration: ans.At - r.Started}
-	stable := tr.StableBetween(r.Started, ans.At)
+	stable := stableBetween(r.Started, ans.At)
 	out.StableCount = len(stable)
 	everPresent := map[graph.NodeID]bool{}
 	for _, id := range tr.EverPresentBetween(r.Started, ans.At) {
