@@ -22,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/object/... ./internal/sketch/
+	$(GO) test -race ./internal/object/... ./internal/sketch/ ./internal/node/... ./internal/fault/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -35,9 +35,11 @@ experiments:
 quick-experiments:
 	$(GO) run ./cmd/otqbench -quick -seeds 2
 
+# Short fixed budgets so the whole target stays CI-sized.
 fuzz:
-	$(GO) test -fuzz=FuzzDecodeTrace -fuzztime=30s ./internal/core/
-	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/fault/
+	$(GO) test -fuzz=FuzzDecodeTrace -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=10s ./internal/fault/
+	$(GO) test -fuzz=FuzzEquivSplit -fuzztime=10s ./internal/fault/
 
 fmt:
 	gofmt -w .

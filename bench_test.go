@@ -1,6 +1,6 @@
 package repro_test
 
-// One benchmark per experiment in the DESIGN.md index (E1-E21), each
+// One benchmark per experiment in the DESIGN.md index (E1-E22), each
 // executing a single representative cell of that experiment so that
 // `go test -bench=. -benchmem` regenerates the cost profile of the whole
 // suite. The full tables themselves are produced by cmd/otqbench.
@@ -474,6 +474,47 @@ func BenchmarkE21FaultStorm(b *testing.B) {
 		})
 		if !res.Outcome.Terminated {
 			b.Fatal("echo wave under the storm did not terminate")
+		}
+	}
+}
+
+func BenchmarkE22ByzantineStorm(b *testing.B) {
+	// Representative cell: the echo wave over reliable+authenticated
+	// channels on a 16-cycle under the combined Byzantine storm
+	// (corruption + replay + forgery from compromised entities 3 and 7).
+	plan, err := fault.Parse("corrupt:nodes=3+7,p=0.25;replay:nodes=3+7,p=0.3,window=12;" +
+		"forge:nodes=7,as=5,p=0.6;seed=33")
+	if err != nil {
+		b.Fatal(err)
+	}
+	script := func(w *node.World, _ *sim.Engine) {
+		const n = 16
+		for i := 1; i <= n; i++ {
+			w.Join(graph.NodeID(i))
+		}
+		for i := 1; i <= n; i++ {
+			w.SetLink(graph.NodeID(i), graph.NodeID(i%n+1), true)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		res := exp.Execute(exp.Scenario{
+			Seed:    uint64(i + 1),
+			Overlay: func(uint64) topology.Overlay { return topology.NewManual() },
+			Script:  script,
+			Protocol: func() otq.Protocol {
+				return &otq.EchoWave{RescanInterval: 3, QuietFor: 60, MaxRescans: 3000}
+			},
+			MinLatency: 1, MaxLatency: 2,
+			Faults:   plan,
+			Reliable: node.ReliableConfig{Enabled: true, RetransmitAfter: 5, MaxRetries: 6},
+			Auth:     node.AuthConfig{Enabled: true},
+			QueryAt:  25, Horizon: 3000,
+		})
+		if !res.Outcome.Terminated {
+			b.Fatal("echo wave under the Byzantine storm did not terminate")
+		}
+		if len(res.Outcome.Fabricated) > 0 || len(res.Outcome.WrongValue) > 0 {
+			b.Fatal("authenticated channels accepted tampered contributions")
 		}
 	}
 }

@@ -8,12 +8,14 @@
 //	ddsim -overlay star -n 24 -protocol flood-ttl -ttl 2
 //	ddsim -overlay growing-path -n 4 -arrival 0.05 -double-every 250 -protocol expanding-ring
 //	ddsim -overlay ring -n 16 -protocol echo-wave -faults 'burst:pgb=0.1,pbg=0.2,lossbad=0.9;seed=7' -reliable
+//	ddsim -overlay ring -n 16 -protocol echo-wave -byzantine byz-storm -reliable -auth
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 
 	"repro/internal/agg"
 	"repro/internal/churn"
@@ -41,7 +43,9 @@ func main() {
 		horizon     = flag.Int64("horizon", 2000, "virtual time the run stops")
 		seed        = flag.Uint64("seed", 1, "run seed")
 		faultsSpec  = flag.String("faults", "", "fault plan, e.g. 'burst:pgb=0.1,pbg=0.2;crash:nodes=4,recover=50@60;seed=7' (see internal/fault)")
+		byzantine   = flag.String("byzantine", "", "inject a canned Byzantine adversary level: corrupt, replay+forge, byz-storm, equiv (clauses are appended to -faults)")
 		reliable    = flag.Bool("reliable", false, "run protocols over the ack/retransmit channel sublayer")
+		auth        = flag.Bool("auth", false, "run protocols over the authentication/quarantine channel sublayer")
 		bridge      = flag.Bool("bridge-recoveries", false, "judge Validity over recovery-bridged sessions (crashed-and-recovered entities count as stable)")
 	)
 	flag.Parse()
@@ -65,6 +69,18 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *byzantine != "" && *byzantine != "none" {
+		if !slices.Contains(exp.ByzLevels, *byzantine) {
+			fmt.Fprintf(os.Stderr, "ddsim: unknown -byzantine level %q (want one of %v)\n", *byzantine, exp.ByzLevels)
+			os.Exit(2)
+		}
+		byz := exp.ByzPlan(*byzantine, *seed)
+		if plan == nil {
+			plan = byz
+		} else {
+			plan.Clauses = append(plan.Clauses, byz.Clauses...)
+		}
+	}
 
 	cc := churn.Config{InitialPopulation: *n, Immortal: true}
 	if *arrival > 0 {
@@ -81,6 +97,7 @@ func main() {
 		MinLatency: 1, MaxLatency: 2,
 		Faults:           plan,
 		Reliable:         node.ReliableConfig{Enabled: *reliable},
+		Auth:             node.AuthConfig{Enabled: *auth},
 		BridgeRecoveries: *bridge,
 		QueryAt:          sim.Time(*queryAt),
 		Horizon:          sim.Time(*horizon),
@@ -98,6 +115,14 @@ func main() {
 	if *reliable {
 		fmt.Printf("reliable sublayer: acked %d, retries %d, give-ups %d\n",
 			res.Reliable.Acked, res.Reliable.Retries, res.Reliable.GiveUps)
+	}
+	if *auth {
+		fmt.Printf("auth sublayer: accepted %d, rejected corrupt %d, rejected replay %d, quarantines %d\n",
+			res.Auth.Accepted, res.Auth.RejectedCorrupt, res.Auth.RejectedReplay, res.Auth.Quarantines)
+		if len(res.Outcome.Quarantined) > 0 {
+			fmt.Printf("quarantined entities: %v (missed-but-quarantined %v)\n",
+				res.Outcome.Quarantined, res.Outcome.MissedQuarantined)
+		}
 	}
 	fmt.Printf("inferred class: %s\n", res.Inferred)
 

@@ -464,3 +464,32 @@ func (tr *Trace) Messages(tag string) MessageStats {
 	}
 	return ms
 }
+
+// MarkedEntities returns the distinct entities carrying a mark with the
+// given tag, ascending. Checkers use it to collect runtime verdicts the
+// sublayers record (e.g. quarantined neighbors) without knowing their
+// internals.
+func (tr *Trace) MarkedEntities(tag string) []graph.NodeID {
+	seen := map[graph.NodeID]bool{}
+	var out []graph.NodeID
+	for _, ev := range tr.events {
+		if ev.Kind == TMark && ev.Tag == tag && !seen[ev.P] {
+			seen[ev.P] = true
+			out = append(out, ev.P)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FirstMark returns the time of the earliest mark with the given tag, and
+// whether one exists — e.g. the detection latency of an injected fault,
+// measured from the injection window's start.
+func (tr *Trace) FirstMark(tag string) (Time, bool) {
+	for _, ev := range tr.events {
+		if ev.Kind == TMark && ev.Tag == tag {
+			return ev.At, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/node"
+)
+
+// TestE22PlansParse: every Byzantine level's spec string parses and
+// validates (a typo should fail in tests, not when the suite runs).
+func TestE22PlansParse(t *testing.T) {
+	for _, level := range []string{"none", "corrupt", "replay+forge", "byz-storm", "equiv"} {
+		pl := e22Plan(level, 1)
+		if level == "none" {
+			if pl != nil {
+				t.Fatal("level none should have no plan")
+			}
+			continue
+		}
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("level %s: %v", level, err)
+		}
+	}
+}
+
+// TestE22Deterministic is an acceptance gate: one E22 cell under a fixed
+// seed replays the byte-identical trace — fault injection, MAC checks,
+// quarantine decisions and retransmissions all draw from seeded streams.
+func TestE22Deterministic(t *testing.T) {
+	encode := func() []byte {
+		_, _, tr, _, _ := e22Run(Config{Quick: true}, e21Echo(), "byz-storm", 3, true)
+		var buf bytes.Buffer
+		if err := core.EncodeTrace(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(encode(), encode()) {
+		t.Fatal("identical seed produced different E22 traces")
+	}
+}
+
+// TestE22AuthRestoresValidity is the tentpole's acceptance gate: under
+// the combined Byzantine storm there are seeds where the raw run accepts
+// fabricated or corrupted contributions, and the authenticated run, same
+// seeds, never does — every injection is rejected or attributed to a
+// quarantined neighbor, so the verdict ValidModuloQuarantine holds.
+func TestE22AuthRestoresValidity(t *testing.T) {
+	cfg := Config{Seeds: 3}
+	rawHarmed := false
+	for s := 1; s <= 3; s++ {
+		seed := uint64(s)
+		outRaw, _, _, _, _ := e22Run(cfg, e21Echo(), "byz-storm", seed, false)
+		if len(outRaw.Fabricated) > 0 || len(outRaw.WrongValue) > 0 {
+			rawHarmed = true
+		}
+		outAuth, _, _, _, tot := e22Run(cfg, e21Echo(), "byz-storm", seed, true)
+		if len(outAuth.Fabricated) > 0 || len(outAuth.WrongValue) > 0 {
+			t.Errorf("seed %d: authenticated run accepted tampered contributions: %+v", seed, outAuth)
+		}
+		if !outAuth.ValidModuloQuarantine() {
+			t.Errorf("seed %d: auth arm not valid modulo quarantine: %v (missed %v, quarantined %v)",
+				seed, outAuth, outAuth.MissedStable, outAuth.Quarantined)
+		}
+		if tot.RejectedCorrupt == 0 {
+			t.Errorf("seed %d: the storm level produced no auth rejections", seed)
+		}
+	}
+	if !rawHarmed {
+		t.Error("byz-storm harmed no raw run; the adversary is too tame to demonstrate anything")
+	}
+}
+
+// TestE22FaultFreeNoFalseQuarantine: with no adversary, the sublayer is
+// invisible — zero rejections, zero quarantines, exact validity. (The
+// false-quarantine rate of a clean deployment must be 0.)
+func TestE22FaultFreeNoFalseQuarantine(t *testing.T) {
+	for s := 1; s <= 3; s++ {
+		out, _, tr, _, tot := e22Run(Config{Seeds: 1}, e21Echo(), "none", uint64(s), true)
+		if !out.Valid() {
+			t.Errorf("seed %d: fault-free authenticated run invalid: %v", s, out)
+		}
+		if tot.RejectedCorrupt != 0 || tot.RejectedReplay != 0 || tot.Quarantines != 0 {
+			t.Errorf("seed %d: fault-free run tripped the sublayer: %+v", s, tot)
+		}
+		if n := e22FalseQuarantines(out, "none"); n != 0 {
+			t.Errorf("seed %d: %d false quarantines in a fault-free run", s, n)
+		}
+		if _, ok := e22DetectAt(tr); ok {
+			t.Errorf("seed %d: detection fired with nothing to detect", s)
+		}
+	}
+}
+
+// TestE22ForgeFramesTheScapegoat: the forge level's quarantines blame the
+// innocent claimed sender 5 — the measured framing cost.
+func TestE22ForgeFramesTheScapegoat(t *testing.T) {
+	for s := 1; s <= 3; s++ {
+		out, _, _, _, _ := e22Run(Config{Seeds: 1}, e21Echo(), "replay+forge", uint64(s), true)
+		if n := e22FalseQuarantines(out, "replay+forge"); n == 0 {
+			t.Errorf("seed %d: sustained forgery framed nobody (quarantined %v)", s, out.Quarantined)
+		}
+		for _, id := range out.Quarantined {
+			if !e22Offenders("replay+forge")[id] && id != 5 {
+				t.Errorf("seed %d: quarantine blamed %d, want only offenders or the scapegoat 5", s, id)
+			}
+		}
+	}
+}
+
+// TestScenarioAuthPlumbing: the Auth config reaches the world through
+// Execute and the sublayer's counters come back in the result.
+func TestScenarioAuthPlumbing(t *testing.T) {
+	plan, err := fault.Parse("corrupt:nodes=3,p=0.5;seed=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Execute(Scenario{
+		Seed:     1,
+		Overlay:  manualOverlay,
+		Script:   cycleScript(8),
+		Protocol: e21Echo,
+		Faults:   plan,
+		Reliable: node.ReliableConfig{Enabled: true},
+		Auth:     node.AuthConfig{Enabled: true},
+		QueryAt:  25,
+		Horizon:  1500,
+	})
+	if res.Auth.RejectedCorrupt == 0 {
+		t.Fatalf("auth sublayer saw no corruption through Execute: %+v", res.Auth)
+	}
+	if len(res.Outcome.Fabricated) > 0 || len(res.Outcome.WrongValue) > 0 {
+		t.Fatalf("authenticated Execute accepted tampered contributions: %+v", res.Outcome)
+	}
+}

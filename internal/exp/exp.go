@@ -5,7 +5,7 @@
 //
 // The paper is a position paper with no numbered tables or figures; each
 // experiment here operationalizes one of its qualitative claims (C1-C6 in
-// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E21 are
+// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E22 are
 // ours and are indexed in DESIGN.md.
 package exp
 
@@ -45,6 +45,8 @@ type Scenario struct {
 	Faults *fault.Plan
 	// Reliable configures the ack/retransmit channel sublayer.
 	Reliable node.ReliableConfig
+	// Auth configures the authentication/quarantine channel sublayer.
+	Auth node.AuthConfig
 	// BridgeRecoveries judges Validity over recovery-bridged sessions:
 	// entities that crash and recover within the query interval still
 	// count as stable participants (see otq.CheckOptions).
@@ -71,7 +73,10 @@ type RunResult struct {
 	// Reliable sums the ack/retransmit sublayer's counters (zero when the
 	// sublayer was not enabled).
 	Reliable node.ReliableCounters
-	Querier  graph.NodeID
+	// Auth sums the authentication sublayer's counters (zero when the
+	// sublayer was not enabled).
+	Auth    node.AuthCounters
+	Querier graph.NodeID
 }
 
 // Execute runs a scenario to completion and judges it.
@@ -87,6 +92,7 @@ func Execute(sc Scenario) RunResult {
 		MaxLatency: sc.MaxLatency,
 		LossRate:   sc.LossRate,
 		Reliable:   sc.Reliable,
+		Auth:       sc.Auth,
 		Seed:       sc.Seed ^ 0xdddd,
 		ValueOf:    valueOf,
 	})
@@ -126,6 +132,7 @@ func Execute(sc Scenario) RunResult {
 		Inferred: core.InferClass(w.Trace),
 		Messages: w.Trace.Messages(""),
 		Reliable: w.ReliableTotals(),
+		Auth:     w.AuthTotals(),
 		Querier:  querier,
 	}
 }
@@ -214,5 +221,6 @@ func All() []Experiment {
 		{"E19", "eventual leader election under churn", E19},
 		{"E20", "link flapping: geography dynamics with frozen membership", E20},
 		{"E21", "fault storms: raw vs reliable channels, exact vs sketch", E21},
+		{"E22", "byzantine links: raw vs authenticated channels, exact vs sketch", E22},
 	}
 }

@@ -19,6 +19,15 @@ import (
 // spans the plans' crash gap, so a tracked message can cross it.
 var e21Reliable = node.ReliableConfig{Enabled: true, RetransmitAfter: 5, MaxRetries: 6}
 
+// e21Adaptive is the same discipline with the Jacobson/Karels estimator
+// replacing the fixed schedule: once acks have seeded SRTT/RTTVAR, each
+// fresh message times out near the measured round trip instead of the
+// configured 5, so retransmissions fire sooner through latency spikes and
+// less often when the channel is merely slow.
+var e21Adaptive = node.ReliableConfig{
+	Enabled: true, Adaptive: true, RetransmitAfter: 5, MaxRetries: 6,
+}
+
 // e21Plan builds the storm level's fault plan (nil = clean channels).
 // Every level embeds the run seed so repetitions draw independent fault
 // sequences, deterministically.
@@ -48,12 +57,9 @@ func e21Plan(level string, seed uint64) *fault.Plan {
 
 // e21Run executes one E21 cell: the protocol on a 16-cycle under the
 // level's fault plan, over raw or reliable channels.
-func e21Run(cfg Config, proto otq.Protocol, level string, seed uint64, reliable bool) (otq.Outcome, *otq.Run, core.MessageStats, node.ReliableCounters) {
+func e21Run(cfg Config, proto otq.Protocol, level string, seed uint64, rc node.ReliableConfig) (otq.Outcome, *otq.Run, core.MessageStats, node.ReliableCounters) {
 	engine := sim.New()
-	ncfg := node.Config{MinLatency: 1, MaxLatency: 2, Seed: seed}
-	if reliable {
-		ncfg.Reliable = e21Reliable
-	}
+	ncfg := node.Config{MinLatency: 1, MaxLatency: 2, Seed: seed, Reliable: rc}
 	w := node.NewWorld(engine, manualOverlay(seed), proto.Factory(), ncfg)
 	var stop func()
 	if pl := e21Plan(level, seed); pl != nil {
@@ -96,7 +102,8 @@ func sketchCountError(r *otq.Run, n int) float64 {
 // and recovers with its stable storage intact still counts as stable.
 func E21(cfg Config) *Report {
 	tb := stats.NewTable("storm", "echo raw valid", "echo rel valid", "echo raw cover",
-		"echo rel cover", "sketch raw err", "sketch rel err", "msg amp", "retries")
+		"echo rel cover", "sketch raw err", "sketch rel err", "msg amp", "retries",
+		"amp adp", "retries adp")
 	echo := func() otq.Protocol {
 		return &otq.EchoWave{RescanInterval: 3, QuietFor: 60, MaxRescans: 3000}
 	}
@@ -106,26 +113,33 @@ func E21(cfg Config) *Report {
 	for _, level := range []string{"none", "burst", "storm", "storm+crash"} {
 		var rawValid, relValid, rawCover, relCover stats.Sample
 		var rawErr, relErr, amp, retries stats.Sample
+		var ampAdp, retriesAdp stats.Sample
 		for s := 0; s < cfg.seeds(); s++ {
 			seed := uint64(s + 1)
-			out, _, rawMsgs, _ := e21Run(cfg, echo(), level, seed, false)
+			out, _, rawMsgs, _ := e21Run(cfg, echo(), level, seed, node.ReliableConfig{})
 			rawValid.AddBool(out.Valid())
 			rawCover.Add(coverage(out))
-			out, _, relMsgs, counters := e21Run(cfg, echo(), level, seed, true)
+			out, _, relMsgs, counters := e21Run(cfg, echo(), level, seed, e21Reliable)
 			relValid.AddBool(out.Valid())
 			relCover.Add(coverage(out))
 			if rawMsgs.Sent > 0 {
 				amp.Add(float64(relMsgs.Sent) / float64(rawMsgs.Sent))
 			}
 			retries.Add(float64(counters.Retries))
+			_, _, adpMsgs, adpCounters := e21Run(cfg, echo(), level, seed, e21Adaptive)
+			if rawMsgs.Sent > 0 {
+				ampAdp.Add(float64(adpMsgs.Sent) / float64(rawMsgs.Sent))
+			}
+			retriesAdp.Add(float64(adpCounters.Retries))
 
-			_, runS, _, _ := e21Run(cfg, sketch(), level, seed, false)
+			_, runS, _, _ := e21Run(cfg, sketch(), level, seed, node.ReliableConfig{})
 			rawErr.Add(sketchCountError(runS, 16))
-			_, runS, _, _ = e21Run(cfg, sketch(), level, seed, true)
+			_, runS, _, _ = e21Run(cfg, sketch(), level, seed, e21Reliable)
 			relErr.Add(sketchCountError(runS, 16))
 		}
 		tb.AddRow(level, rawValid.Mean(), relValid.Mean(), rawCover.Mean(), relCover.Mean(),
-			rawErr.Mean(), relErr.Mean(), amp.Mean(), retries.Mean())
+			rawErr.Mean(), relErr.Mean(), amp.Mean(), retries.Mean(),
+			ampAdp.Mean(), retriesAdp.Mean())
 	}
 	return &Report{
 		ID:    "E21",
@@ -135,6 +149,7 @@ func E21(cfg Config) *Report {
 		Notes: []string{
 			"16-cycle, query at t=25 from entity 1; storm adds reorder+spike+blackout to burst, crash level crashes entities 4 and 12 at t=60 and recovers them 50 ticks later from stable storage",
 			"msg amp = reliable/raw total sends for the echo wave (acks and retransmissions included); crash-level validity judged over recovery-bridged sessions",
+			"amp adp / retries adp = the same echo-wave arm with the adaptive (Jacobson/Karels) timeout in place of the fixed schedule — per-pair SRTT+4·RTTVAR, Karn's rule, same retry budget",
 		},
 	}
 }

@@ -22,8 +22,8 @@ func TestE21ReliableRestoresValidity(t *testing.T) {
 	rawFailed := false
 	for s := 1; s <= 5; s++ {
 		seed := uint64(s)
-		outRaw, _, _, _ := e21Run(cfg, e21Echo(), "burst", seed, false)
-		outRel, _, relMsgs, counters := e21Run(cfg, e21Echo(), "burst", seed, true)
+		outRaw, _, _, _ := e21Run(cfg, e21Echo(), "burst", seed, node.ReliableConfig{})
+		outRel, _, relMsgs, counters := e21Run(cfg, e21Echo(), "burst", seed, e21Reliable)
 		if !outRaw.Valid() {
 			rawFailed = true
 		}

@@ -25,6 +25,24 @@
 //     RecoverAfter is set, recover with their stable-storage state that
 //     many ticks later (node.Recover).
 //
+// The Byzantine clauses model an adversary on the wire or in a sender:
+//
+//   - corrupt: with probability P, a transmission's payload is tampered
+//     with in flight (node.Tamperable), after any authentication tag was
+//     applied — an authenticating receiver rejects it, a raw one accepts
+//     the forged value.
+//   - replay: with probability P, an extra copy of the unmodified wire
+//     message is delivered 1..Window extra ticks later — its tag still
+//     verifies but its sequence number is stale.
+//   - forge: with probability P, the transmission's claimed sender is
+//     rewritten to As — the forged claim does not hold the claimed
+//     pair's key, and the blame lands on the innocent As.
+//   - equiv: the chosen senders equivocate — copies of a logical
+//     broadcast bound for the listed Peers are tampered BEFORE the
+//     authentication layer tags them, so the lies carry valid tags;
+//     per-pair authentication cannot catch a sender that signs its own
+//     lies.
+//
 // Channel clauses compose: each active clause inspects every transmission
 // in plan order, and their verdicts accumulate (drops win, delays and
 // duplicates add).
@@ -52,6 +70,10 @@ const (
 	KindSpike     Kind = "spike"
 	KindBlackout  Kind = "blackout"
 	KindCrash     Kind = "crash"
+	KindCorrupt   Kind = "corrupt"
+	KindReplay    Kind = "replay"
+	KindForge     Kind = "forge"
+	KindEquiv     Kind = "equiv"
 )
 
 // Trace mark tags recorded at injection time (subject entity: the sender
@@ -64,6 +86,10 @@ const (
 	MarkReorder   = "fault.reorder"
 	MarkSpike     = "fault.spike"
 	MarkBlackout  = "fault.blackout"
+	MarkCorrupt   = "fault.corrupt"
+	MarkReplay    = "fault.replay"
+	MarkForge     = "fault.forge"
+	MarkEquiv     = "fault.equiv"
 )
 
 // Clause is one typed fault with an activity window. Fields are
@@ -74,16 +100,19 @@ type Clause struct {
 	// window open-ended. Crash clauses fire once, at From.
 	From sim.Time `json:"from,omitempty"`
 	To   sim.Time `json:"to,omitempty"`
-	// P is the per-transmission probability (duplicate, reorder).
+	// P is the per-transmission probability (duplicate, reorder, and the
+	// Byzantine kinds).
 	P float64 `json:"p,omitempty"`
 	// Count is the number of extra copies per duplication. Default 1.
 	Count int `json:"count,omitempty"`
-	// Window is the maximum extra holding delay of a reorder, in ticks.
+	// Window is the maximum extra holding delay of a reorder, or the
+	// maximum extra lag of a replayed copy (default 8), in ticks.
 	Window sim.Time `json:"window,omitempty"`
 	// Delay is the fixed extra latency of a spike, in ticks.
 	Delay sim.Time `json:"delay,omitempty"`
-	// Nodes are the spike or crash victims. An empty spike list means
-	// every node.
+	// Nodes are the spike or crash victims, or the misbehaving senders of
+	// a Byzantine clause. An empty list means every node (equiv requires
+	// an explicit list).
 	Nodes []graph.NodeID `json:"nodes,omitempty"`
 	// Pair is the blackout's directed (from, to) pair.
 	Pair *[2]graph.NodeID `json:"pair,omitempty"`
@@ -98,6 +127,11 @@ type Clause struct {
 	// RecoverAfter, on a crash clause, recovers the victims that many
 	// ticks after the crash; 0 means they stay down.
 	RecoverAfter sim.Time `json:"recover,omitempty"`
+	// As is the sender a forge clause claims its transmissions came from.
+	As *graph.NodeID `json:"as,omitempty"`
+	// Peers are the destinations an equiv clause sends its divergent
+	// copies to; everyone else receives the honest copy.
+	Peers []graph.NodeID `json:"peers,omitempty"`
 }
 
 func probability(name string, p float64) error {
@@ -169,6 +203,46 @@ func (c *Clause) Validate() error {
 		if c.RecoverAfter < 0 {
 			return fmt.Errorf("fault: negative crash recovery delay %d", c.RecoverAfter)
 		}
+	case KindCorrupt:
+		if err := probability("corrupt p", c.P); err != nil {
+			return err
+		}
+		if c.P == 0 {
+			return fmt.Errorf("fault: corrupt clause with p=0 never fires")
+		}
+	case KindReplay:
+		if err := probability("replay p", c.P); err != nil {
+			return err
+		}
+		if c.P == 0 {
+			return fmt.Errorf("fault: replay clause with p=0 never fires")
+		}
+		if c.Window < 0 {
+			return fmt.Errorf("fault: negative replay window %d", c.Window)
+		}
+	case KindForge:
+		if err := probability("forge p", c.P); err != nil {
+			return err
+		}
+		if c.P == 0 {
+			return fmt.Errorf("fault: forge clause with p=0 never fires")
+		}
+		if c.As == nil {
+			return fmt.Errorf("fault: forge clause needs a claimed sender (as=)")
+		}
+	case KindEquiv:
+		if err := probability("equiv p", c.P); err != nil {
+			return err
+		}
+		if c.P == 0 {
+			return fmt.Errorf("fault: equiv clause with p=0 never fires")
+		}
+		if len(c.Nodes) == 0 {
+			return fmt.Errorf("fault: equiv clause needs explicit equivocating senders")
+		}
+		if len(c.Peers) == 0 {
+			return fmt.Errorf("fault: equiv clause needs the peers to lie to")
+		}
 	default:
 		return fmt.Errorf("fault: unknown clause kind %q", c.Kind)
 	}
@@ -188,12 +262,22 @@ func (c *Clause) lossBad() float64 {
 	return 1
 }
 
-// matchesNode reports whether a spike clause covers id.
+// matchesNode reports whether the clause's node list covers id.
 func (c *Clause) matchesNode(id graph.NodeID) bool {
 	if len(c.Nodes) == 0 {
 		return true
 	}
 	for _, n := range c.Nodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// matchesPeer reports whether an equiv clause lies to destination id.
+func (c *Clause) matchesPeer(id graph.NodeID) bool {
+	for _, n := range c.Peers {
 		if n == id {
 			return true
 		}
@@ -234,6 +318,12 @@ func (pl *Plan) Attach(w *node.World) (stop func()) {
 	}
 	e := &engine{plan: pl, r: rng.New(pl.Seed ^ 0xfa017a57), burstBad: make([]bool, len(pl.Clauses))}
 	w.SetChannelHook(e.hook(w))
+	for _, c := range pl.Clauses {
+		if c.Kind == KindEquiv {
+			w.SetSenderHook(e.senderHook(w))
+			break
+		}
+	}
 	var events []*sim.Event
 	for i := range pl.Clauses {
 		c := &pl.Clauses[i]
@@ -263,6 +353,7 @@ func (pl *Plan) Attach(w *node.World) (stop func()) {
 	}
 	return func() {
 		w.SetChannelHook(nil)
+		w.SetSenderHook(nil)
 		for _, ev := range events {
 			ev.Cancel()
 		}
@@ -276,6 +367,8 @@ type engine struct {
 	// burstBad holds, per clause index, whether that burst clause's
 	// Gilbert–Elliott chain is in the bad state.
 	burstBad []bool
+	// corrupt is the memoized tamper closure of corrupt verdicts.
+	corrupt func(any) (any, bool)
 }
 
 // hook builds the node.ChannelHook evaluating the channel clauses.
@@ -331,8 +424,73 @@ func (e *engine) hook(w *node.World) node.ChannelHook {
 					f.Drop = true
 					w.Trace.Mark(t, from, MarkBlackout)
 				}
+			case KindCorrupt:
+				if c.matchesNode(from) && e.r.Bool(c.P) {
+					f.Corrupt = e.corruptFn()
+					w.Trace.Mark(t, from, MarkCorrupt)
+				}
+			case KindReplay:
+				if c.matchesNode(from) && e.r.Bool(c.P) {
+					win := c.Window
+					if win <= 0 {
+						win = 8
+					}
+					f.ReplayAfter = sim.Time(1 + e.r.Intn(int(win)))
+					w.Trace.Mark(t, from, MarkReplay)
+				}
+			case KindForge:
+				// Forging the true sender's own claim is a no-op (the tag
+				// still verifies); skip it without consuming a draw.
+				if c.matchesNode(from) && *c.As != from && e.r.Bool(c.P) {
+					f.SpoofFrom = c.As
+					w.Trace.Mark(t, from, MarkForge)
+				}
 			}
 		}
 		return f
+	}
+}
+
+// corruptFn builds the in-flight tamper closure a corrupt verdict carries:
+// Tamperable payloads are perturbed with the engine's own rng (keeping
+// fault randomness out of the world's channel stream); anything else is
+// mangled beyond parsing, which the runtime models as a drop.
+func (e *engine) corruptFn() func(any) (any, bool) {
+	if e.corrupt == nil {
+		e.corrupt = func(p any) (any, bool) {
+			tp, ok := p.(node.Tamperable)
+			if !ok {
+				return nil, false
+			}
+			return tp.Tamper(e.r), true
+		}
+	}
+	return e.corrupt
+}
+
+// senderHook builds the node.SenderHook evaluating equiv clauses: the lie
+// is injected before the authentication layer tags the message, so an
+// equivocating sender's divergent copies all verify.
+func (e *engine) senderHook(w *node.World) node.SenderHook {
+	return func(now sim.Time, from, to graph.NodeID, tag string, payload any) (any, bool) {
+		applied := false
+		for i := range e.plan.Clauses {
+			c := &e.plan.Clauses[i]
+			if c.Kind != KindEquiv || !c.activeAt(now) ||
+				!c.matchesNode(from) || !c.matchesPeer(to) {
+				continue
+			}
+			if !e.r.Bool(c.P) {
+				continue
+			}
+			tp, ok := payload.(node.Tamperable)
+			if !ok {
+				continue
+			}
+			payload = tp.Tamper(e.r)
+			applied = true
+			w.Trace.Mark(core.Time(now), from, MarkEquiv)
+		}
+		return payload, applied
 	}
 }

@@ -23,6 +23,12 @@ func FuzzParse(f *testing.F) {
 		"dup:p=1e-3,count=7@1-2",
 		"spike:delay=3",
 		"burst:pgb=0.5,pbg=0.5,lossgood=0.25,lossbad=0",
+		"corrupt:p=0.25",
+		"corrupt:nodes=3+7,p=0.25@50-",
+		"replay:p=0.3,window=12",
+		"forge:nodes=7,as=5,p=0.3",
+		"equiv:nodes=3,peers=2+5,p=1",
+		"corrupt:nodes=1,p=0.5;replay:p=0.2;forge:as=2,p=0.1;equiv:nodes=1,peers=3,p=1;seed=9",
 	} {
 		f.Add(seed)
 	}
@@ -49,6 +55,50 @@ func FuzzParse(f *testing.F) {
 		}
 		if !reflect.DeepEqual(pl, back) {
 			t.Fatalf("JSON round trip changed the plan: %q", canon)
+		}
+	})
+}
+
+// FuzzEquivSplit targets the equivocation clause's neighbor-split
+// encoding — the two '+'-separated ID lists that say who lies (nodes) and
+// who is lied to (peers). The parser must never panic on arbitrary list
+// bodies, and whenever it accepts them, the clause must keep both lists
+// exactly through the canonical form (a dropped or reordered ID would
+// silently change which links the adversary owns).
+func FuzzEquivSplit(f *testing.F) {
+	for _, seed := range [][2]string{
+		{"3", "2+5"},
+		{"1+2+3", "4"},
+		{"7", "7"},
+		{"0", "18446744073709551615"},
+		{"1++2", "3"},
+		{"", "2"},
+		{"-1", "2"},
+		{"1+2", "2+1"},
+	} {
+		f.Add(seed[0], seed[1])
+	}
+	f.Fuzz(func(t *testing.T, nodes, peers string) {
+		spec := "equiv:nodes=" + nodes + ",peers=" + peers + ",p=1"
+		pl, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if len(pl.Clauses) != 1 {
+			t.Fatalf("%q parsed into %d clauses", spec, len(pl.Clauses))
+		}
+		c := pl.Clauses[0]
+		if len(c.Nodes) == 0 || len(c.Peers) == 0 {
+			t.Fatalf("accepted equiv clause with an empty side: %q -> %+v", spec, c)
+		}
+		canon := pl.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q did not reparse: %v", canon, spec, err)
+		}
+		a := again.Clauses[0]
+		if !reflect.DeepEqual(c.Nodes, a.Nodes) || !reflect.DeepEqual(c.Peers, a.Peers) {
+			t.Fatalf("split lists changed across the round trip: %+v vs %+v", c, a)
 		}
 	})
 }

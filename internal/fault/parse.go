@@ -18,6 +18,10 @@ import (
 //
 //	dup:p=0.2@100-500;burst:pgb=0.05,pbg=0.3,lossbad=0.9;spike:nodes=1+2+3,delay=10@200-400;blackout:pair=1>2@100-200;crash:nodes=4,recover=50@250;seed=42
 //
+// Byzantine clauses use the same grammar:
+//
+//	corrupt:nodes=3+7,p=0.25@50-;replay:p=0.3,window=12;forge:nodes=7,as=5,p=0.3;equiv:nodes=3,peers=2+5,p=1;seed=7
+//
 // The returned plan is validated; String renders it back in canonical
 // form, and Parse(p.String()) reproduces p exactly.
 func Parse(s string) (*Plan, error) {
@@ -92,6 +96,10 @@ var allowedKeys = map[Kind]map[string]bool{
 	KindSpike:     {"nodes": true, "delay": true},
 	KindBlackout:  {"pair": true},
 	KindCrash:     {"nodes": true, "recover": true},
+	KindCorrupt:   {"nodes": true, "p": true},
+	KindReplay:    {"nodes": true, "p": true, "window": true},
+	KindForge:     {"nodes": true, "as": true, "p": true},
+	KindEquiv:     {"nodes": true, "peers": true, "p": true},
 }
 
 func (c *Clause) setParam(key, val string) error {
@@ -134,6 +142,21 @@ func (c *Clause) setParam(key, val string) error {
 			}
 			c.Nodes = append(c.Nodes, graph.NodeID(n))
 		}
+	case "peers":
+		for _, part := range strings.Split(val, "+") {
+			n, perr := strconv.ParseInt(part, 10, 64)
+			if perr != nil {
+				return fmt.Errorf("bad peer id %q", part)
+			}
+			c.Peers = append(c.Peers, graph.NodeID(n))
+		}
+	case "as":
+		n, perr := strconv.ParseInt(val, 10, 64)
+		if perr != nil {
+			return fmt.Errorf("bad claimed sender %q", val)
+		}
+		id := graph.NodeID(n)
+		c.As = &id
 	case "pair":
 		fromStr, toStr, ok := strings.Cut(val, ">")
 		if !ok {
@@ -200,6 +223,31 @@ func (c Clause) String() string {
 		if c.RecoverAfter != 0 {
 			add("recover", strconv.FormatInt(int64(c.RecoverAfter), 10))
 		}
+	case KindCorrupt:
+		if len(c.Nodes) > 0 {
+			add("nodes", fmtNodes(c.Nodes))
+		}
+		add("p", fmtF(c.P))
+	case KindReplay:
+		if len(c.Nodes) > 0 {
+			add("nodes", fmtNodes(c.Nodes))
+		}
+		add("p", fmtF(c.P))
+		if c.Window != 0 {
+			add("window", strconv.FormatInt(int64(c.Window), 10))
+		}
+	case KindForge:
+		if len(c.Nodes) > 0 {
+			add("nodes", fmtNodes(c.Nodes))
+		}
+		if c.As != nil {
+			add("as", strconv.FormatInt(int64(*c.As), 10))
+		}
+		add("p", fmtF(c.P))
+	case KindEquiv:
+		add("nodes", fmtNodes(c.Nodes))
+		add("peers", fmtNodes(c.Peers))
+		add("p", fmtF(c.P))
 	}
 	s := string(c.Kind)
 	if len(params) > 0 {

@@ -1,0 +1,335 @@
+package node
+
+// The authentication sublayer: an opt-in defense against Byzantine channel
+// behavior, sitting under Proc.Send exactly like the reliable sublayer.
+// Every outgoing message is tagged with an HMAC-style authenticator over
+// (per-pair key, per-pair sequence number, message tag, payload) before it
+// enters the channel; the receiver recomputes the tag, rejects copies
+// whose tag does not verify (in-flight corruption, sender forgery — with
+// per-pair keys a spoofed sender never holds the right key), rejects
+// replayed sequence numbers through a sliding anti-replay window, and
+// quarantines a neighbor link once its misbehavior exhausts a budget.
+//
+// What the sublayer can NOT defend against: a Byzantine SENDER that signs
+// its own lies. Equivocation (divergent copies of one logical broadcast)
+// carries a valid tag on every copy, because the sender tags each lie with
+// the real pair key — detecting it needs transferable authentication
+// (signatures) plus cross-neighbor comparison, which per-pair MACs cannot
+// provide. The fault DSL models this distinction precisely: equivocation
+// clauses mutate the payload BEFORE tagging, corruption clauses after.
+//
+// Quarantine is per-neighbor (per directed link), not global: entities
+// arrive anonymously and are known only to their neighbors, so there is no
+// authority to pronounce a global verdict, and evidence against a claimed
+// sender is only meaningful to the entity that verified it. The cost of
+// this locality is that a forger can frame an honest entity on the links
+// it attacks — the framed entity's direct traffic dies there, and only
+// multi-path dissemination routes around the false quarantine.
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Trace mark tags emitted by the authentication sublayer.
+const (
+	// MarkAuthRejectCorrupt is recorded at the receiver when a copy's
+	// authenticator does not verify (corruption or forgery — the receiver
+	// cannot tell which; both mangle the tag).
+	MarkAuthRejectCorrupt = "auth.reject-corrupt"
+	// MarkAuthRejectReplay is recorded at the receiver when a copy carries
+	// a valid authenticator but an already-accepted or out-of-window
+	// sequence number.
+	MarkAuthRejectReplay = "auth.reject-replay"
+	// MarkAuthQuarantine is recorded at the OFFENDER (the claimed sender)
+	// when some receiver's misbehavior budget for it runs out, so that
+	// trace checkers can collect the quarantined set without knowing the
+	// sublayer's internals.
+	MarkAuthQuarantine = "auth.quarantine"
+)
+
+// AuthConfig parameterizes the authentication sublayer.
+type AuthConfig struct {
+	// Enabled turns the sublayer on.
+	Enabled bool
+	// KeySeed derives the per-pair keys. Two worlds sharing a KeySeed
+	// derive identical keys; zero is a valid seed.
+	KeySeed uint64
+	// ReplayWindow is how far behind the highest accepted sequence number
+	// an out-of-order copy may arrive and still be accepted (reordered
+	// channels deliver legitimately late copies). At most 64. Default 64.
+	ReplayWindow int
+	// Budget is the number of rejected copies a receiver tolerates from
+	// one claimed sender before quarantining that link. Default 3.
+	Budget int
+}
+
+func (ac AuthConfig) withDefaults() AuthConfig {
+	if ac.ReplayWindow == 0 {
+		ac.ReplayWindow = 64
+	}
+	if ac.Budget == 0 {
+		ac.Budget = 3
+	}
+	return ac
+}
+
+// Validate reports the first configuration error, or nil. Zero fields mean
+// their defaults, exactly as in Config.Validate.
+func (ac AuthConfig) Validate() error {
+	if ac.ReplayWindow < 0 || ac.ReplayWindow > 64 {
+		return fmt.Errorf("node: auth ReplayWindow %d outside [1, 64]", ac.ReplayWindow)
+	}
+	if ac.Budget < 0 {
+		return fmt.Errorf("node: negative auth Budget %d", ac.Budget)
+	}
+	return nil
+}
+
+// AuthCounters are one entity's receiver-side authentication statistics.
+type AuthCounters struct {
+	// Accepted counts copies that passed both checks.
+	Accepted int
+	// RejectedCorrupt counts copies whose authenticator did not verify.
+	RejectedCorrupt int
+	// RejectedReplay counts copies with a stale sequence number.
+	RejectedReplay int
+	// Quarantines counts neighbor links this entity quarantined.
+	Quarantines int
+	// DroppedQuarantined counts copies dropped because their claimed
+	// sender was already quarantined here.
+	DroppedQuarantined int
+}
+
+// QuarantineEvent records one quarantine decision: By stopped listening to
+// Offender at time At.
+type QuarantineEvent struct {
+	At       int64
+	By       graph.NodeID
+	Offender graph.NodeID
+}
+
+// replayWindow is an IPsec-style sliding anti-replay window: the highest
+// accepted sequence number plus a bitmap of the w numbers below it.
+type replayWindow struct {
+	hi   uint64
+	bits uint64 // bit i set = hi-i accepted
+}
+
+func (rw *replayWindow) accept(seq uint64, width int) bool {
+	if rw.hi == 0 && rw.bits == 0 {
+		rw.hi, rw.bits = seq, 1
+		return true
+	}
+	if seq > rw.hi {
+		shift := seq - rw.hi
+		if shift >= 64 {
+			rw.bits = 0
+		} else {
+			rw.bits <<= shift
+		}
+		rw.bits |= 1
+		rw.hi = seq
+		return true
+	}
+	behind := rw.hi - seq
+	if behind >= uint64(width) {
+		return false // too old to judge: treat as replayed
+	}
+	if rw.bits&(1<<behind) != 0 {
+		return false // already accepted: replayed
+	}
+	rw.bits |= 1 << behind
+	return true
+}
+
+type authLayer struct {
+	cfg AuthConfig
+	// nextSeq is the sender-side per-directed-pair sequence counter.
+	nextSeq map[[2]graph.NodeID]uint64
+	// keys caches the derived per-pair keys.
+	keys map[[2]graph.NodeID]uint64
+	// windows, strikes and quarantined are receiver-side, keyed
+	// (receiver, claimed sender).
+	windows     map[[2]graph.NodeID]*replayWindow
+	strikes     map[[2]graph.NodeID]int
+	quarantined map[[2]graph.NodeID]bool
+	stats       map[graph.NodeID]*AuthCounters
+	events      []QuarantineEvent
+}
+
+func newAuthLayer(cfg AuthConfig) *authLayer {
+	return &authLayer{
+		cfg:         cfg,
+		nextSeq:     make(map[[2]graph.NodeID]uint64),
+		keys:        make(map[[2]graph.NodeID]uint64),
+		windows:     make(map[[2]graph.NodeID]*replayWindow),
+		strikes:     make(map[[2]graph.NodeID]int),
+		quarantined: make(map[[2]graph.NodeID]bool),
+		stats:       make(map[graph.NodeID]*AuthCounters),
+	}
+}
+
+func (al *authLayer) counters(id graph.NodeID) *AuthCounters {
+	c := al.stats[id]
+	if c == nil {
+		c = &AuthCounters{}
+		al.stats[id] = c
+	}
+	return c
+}
+
+// pairKey derives the shared key of the directed pair (from, to). The
+// derivation stands in for a key agreement run at link establishment; what
+// matters to the model is that both endpoints of a link hold it and nobody
+// else can produce it.
+func (al *authLayer) pairKey(from, to graph.NodeID) uint64 {
+	pair := [2]graph.NodeID{from, to}
+	if k, ok := al.keys[pair]; ok {
+		return k
+	}
+	k := rng.New(al.cfg.KeySeed ^ uint64(from)*0x9e3779b97f4a7c15 ^ uint64(to)*0xc2b2ae3d27d4eb4f).Uint64()
+	al.keys[pair] = k
+	return k
+}
+
+// fnv1a is the 64-bit FNV-1a hash.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// fingerprint reduces a payload to a deterministic digest. fmt renders map
+// keys in sorted order, so the common contribution-map payloads fingerprint
+// stably; pointer-carrying payloads fingerprint by identity, which is the
+// right notion in-process (a tampered copy is a different object).
+func fingerprint(payload any) uint64 {
+	return fnv1a(fmt.Sprintf("%T|%v", payload, payload))
+}
+
+// macFor computes the HMAC-style authenticator of one message.
+func (al *authLayer) macFor(from, to graph.NodeID, aseq uint64, tag string, payload any) uint64 {
+	k := al.pairKey(from, to)
+	h := k ^ aseq*0xd6e8feb86659fd93
+	h ^= fnv1a(tag) * 0xa5a5a5a5a5a5a5a5
+	h ^= fingerprint(payload)
+	// One splitmix64 round so related inputs do not produce related tags.
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// tag authenticates an outgoing message in place: next per-pair sequence
+// number, authenticator over everything the receiver will check.
+func (al *authLayer) tag(m *Message) {
+	pair := [2]graph.NodeID{m.From, m.To}
+	al.nextSeq[pair]++
+	m.aseq = al.nextSeq[pair]
+	m.mac = al.macFor(m.From, m.To, m.aseq, m.Tag, m.Payload)
+}
+
+// admit is the receiver's first gate: quarantine filter, then
+// authenticator verification. It records drops and marks itself; a false
+// return means the copy must not proceed.
+func (al *authLayer) admit(w *World, m Message) bool {
+	now := int64(w.Engine.Now())
+	pair := [2]graph.NodeID{m.To, m.From}
+	if al.quarantined[pair] {
+		al.counters(m.To).DroppedQuarantined++
+		w.Trace.Drop(now, m.From, m.To, m.Tag)
+		return false
+	}
+	if m.aseq == 0 || m.mac != al.macFor(m.From, m.To, m.aseq, m.Tag, m.Payload) {
+		al.counters(m.To).RejectedCorrupt++
+		w.Trace.Mark(now, m.To, MarkAuthRejectCorrupt)
+		w.Trace.Drop(now, m.From, m.To, m.Tag)
+		al.strike(w, m.To, m.From)
+		return false
+	}
+	return true
+}
+
+// admitSeq is the receiver's second gate: the anti-replay window. It runs
+// after the reliable sublayer's duplicate suppression, so benign
+// retransmissions never reach it — whatever it rejects was replayed by the
+// channel, not retried by a well-behaved sender.
+func (al *authLayer) admitSeq(w *World, m Message) bool {
+	now := int64(w.Engine.Now())
+	pair := [2]graph.NodeID{m.To, m.From}
+	rw := al.windows[pair]
+	if rw == nil {
+		rw = &replayWindow{}
+		al.windows[pair] = rw
+	}
+	if !rw.accept(m.aseq, al.cfg.ReplayWindow) {
+		al.counters(m.To).RejectedReplay++
+		w.Trace.Mark(now, m.To, MarkAuthRejectReplay)
+		w.Trace.Drop(now, m.From, m.To, m.Tag)
+		al.strike(w, m.To, m.From)
+		return false
+	}
+	al.counters(m.To).Accepted++
+	return true
+}
+
+// strike charges one misbehavior to the (receiver, claimed sender) budget
+// and quarantines the link when it runs out.
+func (al *authLayer) strike(w *World, by, offender graph.NodeID) {
+	pair := [2]graph.NodeID{by, offender}
+	al.strikes[pair]++
+	if al.strikes[pair] <= al.cfg.Budget || al.quarantined[pair] {
+		return
+	}
+	al.quarantined[pair] = true
+	now := int64(w.Engine.Now())
+	al.counters(by).Quarantines++
+	w.Trace.Mark(now, offender, MarkAuthQuarantine)
+	al.events = append(al.events, QuarantineEvent{At: now, By: by, Offender: offender})
+}
+
+// AuthStats returns a copy of the per-entity receiver-side counters of the
+// authentication sublayer, or nil when the sublayer is disabled.
+func (w *World) AuthStats() map[graph.NodeID]AuthCounters {
+	if w.auth == nil {
+		return nil
+	}
+	out := make(map[graph.NodeID]AuthCounters, len(w.auth.stats))
+	for id, c := range w.auth.stats {
+		out[id] = *c
+	}
+	return out
+}
+
+// AuthTotals sums the authentication sublayer's counters over every entity
+// (the zero value when the sublayer is disabled).
+func (w *World) AuthTotals() AuthCounters {
+	var total AuthCounters
+	if w.auth == nil {
+		return total
+	}
+	for _, c := range w.auth.stats {
+		total.Accepted += c.Accepted
+		total.RejectedCorrupt += c.RejectedCorrupt
+		total.RejectedReplay += c.RejectedReplay
+		total.Quarantines += c.Quarantines
+		total.DroppedQuarantined += c.DroppedQuarantined
+	}
+	return total
+}
+
+// QuarantineEvents returns the quarantine decisions of the run, in time
+// order (nil when the sublayer is disabled or nothing was quarantined).
+func (w *World) QuarantineEvents() []QuarantineEvent {
+	if w.auth == nil {
+		return nil
+	}
+	out := make([]QuarantineEvent, len(w.auth.events))
+	copy(out, w.auth.events)
+	return out
+}

@@ -31,6 +31,22 @@ type Message struct {
 	// seq is non-zero for messages tracked by the reliable channel layer;
 	// the receiver acks it and suppresses duplicate deliveries.
 	seq uint64
+	// aseq and mac are set by the authentication sublayer: the per-pair
+	// sequence number and the HMAC-style authenticator the receiver
+	// verifies. Channel faults that rewrite the message after tagging
+	// (corruption, sender forgery) invalidate mac; replays reuse a valid
+	// aseq the receiver's anti-replay window has already accepted.
+	aseq uint64
+	mac  uint64
+}
+
+// Tamperable payloads know how to produce a corrupted-but-parseable copy
+// of themselves; Byzantine corruption clauses call it through the channel
+// hook. Tamper must not mutate the receiver, must derive all randomness
+// from r, and must return a payload of the same concrete type (a message
+// mangled beyond parsing is modeled as a drop, not a Tamper).
+type Tamperable interface {
+	Tamper(r *rng.Rand) any
 }
 
 // Behavior is the per-entity protocol logic. Each entity gets its own
@@ -72,6 +88,13 @@ type Config struct {
 	// receiver acks, lost messages are retransmitted with exponential
 	// backoff until acked or the retry budget runs out.
 	Reliable ReliableConfig
+	// Auth enables the authentication sublayer (see AuthConfig): every
+	// Send is tagged with a per-pair authenticator, the receiver rejects
+	// copies that fail verification or replay an accepted sequence
+	// number, and quarantines neighbors that exhaust a misbehavior
+	// budget. Composes with Reliable: rejected copies are not acked, so
+	// the reliable sender retransmits a clean copy.
+	Auth AuthConfig
 	// Store persists behavior snapshots across crash–recovery gaps
 	// (see Recoverable). Defaults to an in-memory store.
 	Store StableStore
@@ -98,7 +121,10 @@ func (cfg Config) Validate() error {
 	if cfg.LossRate < 0 || cfg.LossRate > 1 {
 		return fmt.Errorf("node: LossRate %v outside [0, 1]", cfg.LossRate)
 	}
-	return cfg.Reliable.validate()
+	if err := cfg.Reliable.Validate(); err != nil {
+		return err
+	}
+	return cfg.Auth.Validate()
 }
 
 // Proc is one running entity.
@@ -113,8 +139,9 @@ type Proc struct {
 }
 
 // ChannelFault describes what a channel hook does to one transmission:
-// drop it, delay it further, or deliver extra copies. The zero value is a
-// clean pass-through.
+// drop it, delay it further, deliver extra copies, or — the Byzantine
+// extensions — corrupt the payload, forge the sender, or replay a stale
+// copy later. The zero value is a clean pass-through.
 type ChannelFault struct {
 	// Drop loses the transmission (recorded as a trace drop).
 	Drop bool
@@ -123,12 +150,34 @@ type ChannelFault struct {
 	// Duplicates is the number of extra copies to deliver, each with its
 	// own latency draw.
 	Duplicates int
+	// Corrupt, if non-nil, rewrites the payload in flight (after the
+	// authentication sublayer tagged it, so the tag no longer verifies).
+	// Returning false means the payload could not be tampered with in a
+	// parseable way; the copy is dropped instead.
+	Corrupt func(payload any) (any, bool)
+	// SpoofFrom, if non-nil, rewrites the claimed sender of every
+	// delivered copy (after tagging: the forged claim does not hold the
+	// real pair's key, so an authenticating receiver rejects it — and
+	// charges the INNOCENT claimed sender's budget).
+	SpoofFrom *graph.NodeID
+	// ReplayAfter, if positive, schedules one extra delivery of the
+	// unmodified wire message (valid authenticator, stale sequence
+	// number) this many ticks after its own latency draw.
+	ReplayAfter sim.Time
 }
 
 // ChannelHook inspects an outgoing transmission after the independent
 // loss coin and returns the faults to apply. Fault-injection plans
 // (internal/fault) attach through this hook.
 type ChannelHook func(now sim.Time, from, to graph.NodeID, tag string) ChannelFault
+
+// SenderHook inspects an outgoing message BEFORE the authentication
+// sublayer tags it, and may replace the payload (returning ok=true). This
+// is the Byzantine-sender surface: an equivocating entity signs its lies
+// with its real key, so they pass verification — unlike ChannelFault
+// corruption, which happens post-tag and is caught. Fault plans install
+// it next to the channel hook.
+type SenderHook func(now sim.Time, from, to graph.NodeID, tag string, payload any) (any, bool)
 
 // World is a simulated dynamic system.
 type World struct {
@@ -144,7 +193,9 @@ type World struct {
 	// delivery time (FIFO enforcement).
 	lastDelivery map[[2]graph.NodeID]sim.Time
 	hook         ChannelHook
+	sendHook     SenderHook
 	rel          *reliableLayer
+	auth         *authLayer
 	store        StableStore
 }
 
@@ -180,12 +231,19 @@ func NewWorld(engine *sim.Engine, overlay topology.Overlay, factory BehaviorFact
 	if cfg.Reliable.Enabled {
 		w.rel = newReliableLayer(cfg.Reliable.withDefaults())
 	}
+	if cfg.Auth.Enabled {
+		w.auth = newAuthLayer(cfg.Auth.withDefaults())
+	}
 	return w
 }
 
 // SetChannelHook installs (or, with nil, removes) the channel fault hook.
 // At most one hook is active; fault plans compose clauses internally.
 func (w *World) SetChannelHook(h ChannelHook) { w.hook = h }
+
+// SetSenderHook installs (or, with nil, removes) the pre-authentication
+// sender hook. At most one hook is active.
+func (w *World) SetSenderHook(h SenderHook) { w.sendHook = h }
 
 // Proc returns the running entity with the given ID, or nil if absent.
 func (w *World) Proc(id graph.NodeID) *Proc { return w.procs[id] }
@@ -383,7 +441,15 @@ func (p *Proc) Send(to graph.NodeID, tag string, payload any) {
 		w.Trace.Drop(int64(w.Engine.Now()), p.ID, to, tag)
 		return
 	}
+	if w.sendHook != nil {
+		if rep, ok := w.sendHook(w.Engine.Now(), p.ID, to, tag, payload); ok {
+			payload = rep
+		}
+	}
 	m := Message{From: p.ID, To: to, Tag: tag, Payload: payload}
+	if w.auth != nil {
+		w.auth.tag(&m)
+	}
 	if w.rel != nil {
 		w.rel.send(w, m)
 		return
@@ -415,6 +481,28 @@ func (w *World) transmit(m Message) {
 		w.Trace.Drop(now, m.From, m.To, m.Tag)
 		return
 	}
+	if fl.ReplayAfter > 0 {
+		// Replay the unmodified wire message: its authenticator still
+		// verifies, but its sequence number will be stale on arrival.
+		replayed := m
+		delay := w.cfg.MinLatency
+		if span := w.cfg.MaxLatency - w.cfg.MinLatency; span > 0 {
+			delay += sim.Time(w.r.Intn(int(span) + 1))
+		}
+		w.Engine.After(delay+fl.ReplayAfter, func() { w.deliver(replayed) })
+	}
+	if fl.Corrupt != nil {
+		rep, ok := fl.Corrupt(m.Payload)
+		if !ok {
+			// Mangled beyond parsing: the copy is lost, not delivered.
+			w.Trace.Drop(now, m.From, m.To, m.Tag)
+			return
+		}
+		m.Payload = rep
+	}
+	if fl.SpoofFrom != nil {
+		m.From = *fl.SpoofFrom
+	}
 	for i := 0; i <= fl.Duplicates; i++ {
 		delay := w.cfg.MinLatency
 		if span := w.cfg.MaxLatency - w.cfg.MinLatency; span > 0 {
@@ -435,7 +523,19 @@ func (w *World) transmit(m Message) {
 }
 
 // deliver hands an arriving copy to the recipient: drop if it departed,
-// ack and dedup under the reliable sublayer, then run the behavior.
+// admit it through the authentication sublayer, ack and dedup under the
+// reliable sublayer, then run the behavior.
+//
+// The two sublayers interleave deliberately. Authenticator verification
+// runs BEFORE the reliable ack, so a corrupted or forged copy is never
+// acknowledged and the honest sender retransmits a clean one — this is
+// what lets the composed stack restore validity under Byzantine channel
+// faults. The anti-replay window runs AFTER reliable dedup, so benign
+// retransmission duplicates (already suppressed by seq) never charge the
+// sender's misbehavior budget; with the reliable sublayer off, the window
+// is the only duplicate/replay filter. Acks themselves travel
+// unauthenticated — forging an ack can at worst suppress a retransmission,
+// which the model counts as channel loss.
 func (w *World) deliver(m Message) {
 	now := int64(w.Engine.Now())
 	q, ok := w.procs[m.To]
@@ -448,6 +548,9 @@ func (w *World) deliver(m Message) {
 		w.rel.onAck(w, m)
 		return
 	}
+	if w.auth != nil && !w.auth.admit(w, m) {
+		return
+	}
 	if m.seq != 0 && w.rel != nil {
 		// Ack every arriving copy (the previous ack may have been lost),
 		// but deliver the payload to the behavior only once.
@@ -457,6 +560,9 @@ func (w *World) deliver(m Message) {
 			return
 		}
 		w.rel.delivered[m.seq] = true
+	}
+	if w.auth != nil && !w.auth.admitSeq(w, m) {
+		return
 	}
 	w.Trace.Deliver(now, m.To, m.From, m.Tag)
 	q.behavior.Receive(q, m)

@@ -10,6 +10,7 @@ package node
 // permanently departed receiver from pinning the sender forever.
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/graph"
@@ -46,16 +47,25 @@ type ReliableConfig struct {
 	// (drawn from the world's seeded stream, desynchronizing retry storms).
 	// Default 2.
 	Jitter sim.Time
+	// Adaptive replaces the fixed RetransmitAfter schedule with a
+	// Jacobson/Karels RTT estimator: per destination, SRTT and RTTVAR are
+	// tracked from acked un-retransmitted messages (Karn's rule), and the
+	// first timeout of each message is SRTT + 4·RTTVAR clamped to
+	// [MinRTO, MaxRTO]. Backoff still doubles the timeout across retries
+	// of one message. Until the first sample, RetransmitAfter applies.
+	Adaptive bool
+	// MinRTO and MaxRTO clamp the adaptive timeout. Defaults 2 and 64.
+	MinRTO, MaxRTO sim.Time
 }
 
 func (rc ReliableConfig) withDefaults() ReliableConfig {
-	if rc.RetransmitAfter <= 0 {
+	if rc.RetransmitAfter == 0 {
 		rc.RetransmitAfter = 6
 	}
-	if rc.Backoff < 1 {
+	if rc.Backoff == 0 {
 		rc.Backoff = 2
 	}
-	if rc.MaxRetries <= 0 {
+	if rc.MaxRetries == 0 {
 		rc.MaxRetries = 8
 	}
 	if rc.Jitter < 0 {
@@ -63,12 +73,34 @@ func (rc ReliableConfig) withDefaults() ReliableConfig {
 	} else if rc.Jitter == 0 {
 		rc.Jitter = 2
 	}
+	if rc.MinRTO == 0 {
+		rc.MinRTO = 2
+	}
+	if rc.MaxRTO == 0 {
+		rc.MaxRTO = 64
+	}
 	return rc
 }
 
-func (rc ReliableConfig) validate() error {
-	// All zero-value fields default sensibly; nothing to reject yet. The
-	// method anchors future constraints next to Config.Validate.
+// Validate reports the first configuration error, or nil, mirroring
+// Config.Validate: zero-valued fields mean their defaults and are always
+// valid; explicitly out-of-range values are rejected.
+func (rc ReliableConfig) Validate() error {
+	if rc.RetransmitAfter < 0 {
+		return fmt.Errorf("node: non-positive RetransmitAfter %d", rc.RetransmitAfter)
+	}
+	if rc.MaxRetries < 0 {
+		return fmt.Errorf("node: negative retry budget MaxRetries %d", rc.MaxRetries)
+	}
+	if rc.Backoff != 0 && rc.Backoff < 1 {
+		return fmt.Errorf("node: Backoff %v below 1 would shrink timeouts", rc.Backoff)
+	}
+	if rc.MinRTO < 0 || rc.MaxRTO < 0 {
+		return fmt.Errorf("node: negative RTO bound [%d, %d]", rc.MinRTO, rc.MaxRTO)
+	}
+	if rc.MinRTO != 0 && rc.MaxRTO != 0 && rc.MinRTO > rc.MaxRTO {
+		return fmt.Errorf("node: inverted RTO bounds: MinRTO %d exceeds MaxRTO %d", rc.MinRTO, rc.MaxRTO)
+	}
 	return nil
 }
 
@@ -91,7 +123,35 @@ type pendingMsg struct {
 	attempts int
 	timeout  sim.Time
 	timer    *sim.Event
+	// sentAt and retransmitted implement Karn's rule for the adaptive
+	// estimator: only messages acked without any retransmission produce an
+	// RTT sample (a retransmitted message's ack is ambiguous).
+	sentAt        sim.Time
+	retransmitted bool
 }
+
+// rttEstimator is the Jacobson/Karels smoothed RTT tracker of one
+// directed pair: SRTT gains 1/8 of each error, RTTVAR 1/4 of its
+// magnitude, and the retransmission timeout is SRTT + 4·RTTVAR.
+type rttEstimator struct {
+	srtt, rttvar float64
+	inited       bool
+}
+
+func (e *rttEstimator) sample(rtt float64) {
+	if !e.inited {
+		e.srtt, e.rttvar, e.inited = rtt, rtt/2, true
+		return
+	}
+	err := e.srtt - rtt
+	if err < 0 {
+		err = -err
+	}
+	e.rttvar = 0.75*e.rttvar + 0.25*err
+	e.srtt = 0.875*e.srtt + 0.125*rtt
+}
+
+func (e *rttEstimator) rto() float64 { return e.srtt + 4*e.rttvar }
 
 type reliableLayer struct {
 	cfg ReliableConfig
@@ -102,15 +162,39 @@ type reliableLayer struct {
 	// (receiver side), so retransmitted copies are acked but not replayed.
 	delivered map[uint64]bool
 	stats     map[graph.NodeID]*ReliableCounters
+	// rtt holds the adaptive estimator per directed pair (Adaptive only).
+	rtt map[[2]graph.NodeID]*rttEstimator
 }
 
 func newReliableLayer(cfg ReliableConfig) *reliableLayer {
-	return &reliableLayer{
+	rl := &reliableLayer{
 		cfg:       cfg,
 		pending:   make(map[uint64]*pendingMsg),
 		delivered: make(map[uint64]bool),
 		stats:     make(map[graph.NodeID]*ReliableCounters),
 	}
+	if cfg.Adaptive {
+		rl.rtt = make(map[[2]graph.NodeID]*rttEstimator)
+	}
+	return rl
+}
+
+// rtoFor is the first timeout of a fresh message toward to: the clamped
+// adaptive estimate when one exists, the fixed schedule otherwise.
+func (rl *reliableLayer) rtoFor(from, to graph.NodeID) sim.Time {
+	if rl.rtt != nil {
+		if e := rl.rtt[[2]graph.NodeID{from, to}]; e != nil && e.inited {
+			rto := sim.Time(e.rto() + 0.5)
+			if rto < rl.cfg.MinRTO {
+				rto = rl.cfg.MinRTO
+			}
+			if rto > rl.cfg.MaxRTO {
+				rto = rl.cfg.MaxRTO
+			}
+			return rto
+		}
+	}
+	return rl.cfg.RetransmitAfter
 }
 
 func (rl *reliableLayer) counters(id graph.NodeID) *ReliableCounters {
@@ -126,7 +210,7 @@ func (rl *reliableLayer) counters(id graph.NodeID) *ReliableCounters {
 func (rl *reliableLayer) send(w *World, m Message) {
 	rl.seq++
 	m.seq = rl.seq
-	pm := &pendingMsg{m: m, timeout: rl.cfg.RetransmitAfter}
+	pm := &pendingMsg{m: m, timeout: rl.rtoFor(m.From, m.To), sentAt: w.Engine.Now()}
 	rl.pending[m.seq] = pm
 	w.transmit(m)
 	rl.scheduleRetry(w, pm)
@@ -154,6 +238,7 @@ func (rl *reliableLayer) scheduleRetry(w *World, pm *pendingMsg) {
 			return
 		}
 		pm.attempts++
+		pm.retransmitted = true
 		rl.counters(pm.m.From).Retries++
 		w.Trace.Mark(now, pm.m.From, MarkRetry)
 		w.transmit(pm.m)
@@ -180,6 +265,15 @@ func (rl *reliableLayer) onAck(w *World, m Message) {
 		pm.timer.Cancel()
 	}
 	rl.counters(pm.m.From).Acked++
+	if rl.rtt != nil && !pm.retransmitted {
+		pair := [2]graph.NodeID{pm.m.From, pm.m.To}
+		e := rl.rtt[pair]
+		if e == nil {
+			e = &rttEstimator{}
+			rl.rtt[pair] = e
+		}
+		e.sample(float64(w.Engine.Now() - pm.sentAt))
+	}
 }
 
 // ReliableStats returns a copy of the per-entity sender-side counters of

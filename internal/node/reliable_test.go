@@ -239,3 +239,162 @@ func TestNewWorldPanicsOnInvalidConfig(t *testing.T) {
 	}()
 	NewWorld(sim.New(), topology.NewMesh(), nil, Config{MinLatency: 9, MaxLatency: 2})
 }
+
+// TestReliableConfigValidate pins the sublayer config's own contract:
+// zero-valued fields mean defaults and always pass; explicit out-of-range
+// values are each rejected with a distinct error.
+func TestReliableConfigValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  ReliableConfig
+		ok   bool
+	}{
+		{"zero value", ReliableConfig{}, true},
+		{"enabled defaults", ReliableConfig{Enabled: true}, true},
+		{"explicit sane", ReliableConfig{Enabled: true, RetransmitAfter: 3, Backoff: 1.5, MaxRetries: 4}, true},
+		{"backoff exactly one", ReliableConfig{Backoff: 1}, true},
+		{"adaptive defaults", ReliableConfig{Enabled: true, Adaptive: true}, true},
+		{"equal RTO bounds", ReliableConfig{Adaptive: true, MinRTO: 8, MaxRTO: 8}, true},
+		{"negative timeout", ReliableConfig{RetransmitAfter: -1}, false},
+		{"negative retry budget", ReliableConfig{MaxRetries: -2}, false},
+		{"shrinking backoff", ReliableConfig{Backoff: 0.5}, false},
+		{"negative min RTO", ReliableConfig{MinRTO: -1}, false},
+		{"negative max RTO", ReliableConfig{MaxRTO: -3}, false},
+		{"inverted RTO bounds", ReliableConfig{MinRTO: 10, MaxRTO: 4}, false},
+	} {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+	}
+}
+
+// TestNewWorldPanicsOnInvalidReliableConfig: the sublayer config is
+// validated through the same front door as the channel config.
+func TestNewWorldPanicsOnInvalidReliableConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWorld accepted a shrinking Backoff")
+		}
+	}()
+	NewWorld(sim.New(), topology.NewMesh(), nil, Config{
+		Reliable: ReliableConfig{Enabled: true, Backoff: 0.5},
+	})
+}
+
+// TestRTTEstimator pins the Jacobson/Karels update rule at the unit
+// level: the first sample seeds SRTT and RTTVAR, and a steady RTT
+// collapses the variance so the timeout converges onto the RTT itself.
+func TestRTTEstimator(t *testing.T) {
+	var e rttEstimator
+	e.sample(8)
+	if e.srtt != 8 || e.rttvar != 4 {
+		t.Fatalf("first sample: srtt=%v rttvar=%v, want 8 and 4", e.srtt, e.rttvar)
+	}
+	if e.rto() != 8+4*4 {
+		t.Fatalf("initial rto = %v, want srtt + 4·rttvar = 24", e.rto())
+	}
+	for i := 0; i < 60; i++ {
+		e.sample(8)
+	}
+	if e.srtt != 8 {
+		t.Fatalf("steady samples moved srtt to %v", e.srtt)
+	}
+	if e.rttvar > 0.01 {
+		t.Fatalf("steady samples left rttvar at %v, want near 0", e.rttvar)
+	}
+	if e.rto() >= 9 {
+		t.Fatalf("converged rto = %v, want just above the true RTT 8", e.rto())
+	}
+	// A latency spike reopens the variance and lifts the timeout.
+	e.sample(40)
+	if e.rto() <= 12 {
+		t.Fatalf("rto after a 5x spike = %v, should have reopened", e.rto())
+	}
+}
+
+// TestAdaptiveTightensTimeout: on a fixed-latency channel the estimator
+// learns the true round trip and the next message's timeout collapses
+// from the pessimistic configured schedule down near the RTT.
+func TestAdaptiveTightensTimeout(t *testing.T) {
+	w, e, sink := pairWorld(Config{
+		Seed:       13,
+		MinLatency: 2,
+		MaxLatency: 2,
+		Reliable: ReliableConfig{
+			Enabled: true, Adaptive: true,
+			RetransmitAfter: 40, Jitter: -1,
+		},
+	})
+	const n = 10
+	for i := 0; i < n; i++ {
+		i := i
+		e.At(sim.Time(1+10*i), func() { w.Proc(1).Send(2, "data", i) })
+	}
+	e.RunUntil(500)
+	w.Close()
+	if len(sink.got) != n {
+		t.Fatalf("lossless adaptive channel delivered %d/%d", len(sink.got), n)
+	}
+	est := w.rel.rtt[[2]graph.NodeID{1, 2}]
+	if est == nil || !est.inited {
+		t.Fatal("acked messages produced no RTT samples")
+	}
+	// RTT is exactly 4 (2 out + 2 back); the learned timeout must sit far
+	// below the configured 40 and at or above the RTT itself.
+	if rto := w.rel.rtoFor(1, 2); rto >= 40 || rto < 4 {
+		t.Fatalf("adaptive rtoFor = %d, want in [4, 40)", rto)
+	}
+	if tot := w.ReliableTotals(); tot.Retries != 0 {
+		t.Fatalf("lossless channel retransmitted %d times", tot.Retries)
+	}
+}
+
+// TestAdaptiveDeliversUnderLoss: the adaptive schedule keeps the
+// exactly-once guarantee under heavy loss (Karn's rule never poisons the
+// estimator with a retransmitted message's ambiguous ack, so the learned
+// timeout stays sane while retries hammer the channel).
+func TestAdaptiveDeliversUnderLoss(t *testing.T) {
+	w, e, sink := pairWorld(Config{
+		Seed:       17,
+		LossRate:   0.4,
+		MinLatency: 1,
+		MaxLatency: 4,
+		Reliable: ReliableConfig{
+			Enabled: true, Adaptive: true,
+			MaxRetries: 12, MinRTO: 3,
+		},
+	})
+	const n = 20
+	for i := 0; i < n; i++ {
+		i := i
+		e.At(sim.Time(1+10*i), func() { w.Proc(1).Send(2, "data", i) })
+	}
+	e.RunUntil(5000)
+	w.Close()
+	if len(sink.got) != n {
+		t.Fatalf("delivered %d payloads, want %d exactly once: %v", len(sink.got), n, sink.got)
+	}
+	seen := map[int]bool{}
+	for _, v := range sink.got {
+		if seen[v] {
+			t.Fatalf("payload %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+	tot := w.ReliableTotals()
+	if tot.Retries == 0 {
+		t.Fatal("40% loss produced no retransmissions")
+	}
+	if est := w.rel.rtt[[2]graph.NodeID{1, 2}]; est == nil || !est.inited {
+		t.Fatal("no clean ack ever fed the estimator")
+	}
+	// Karn's rule: the timeout derived from clean samples can never sink
+	// below the configured floor.
+	if rto := w.rel.rtoFor(1, 2); rto < 3 {
+		t.Fatalf("rtoFor = %d violates MinRTO 3", rto)
+	}
+}

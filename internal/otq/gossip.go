@@ -145,3 +145,29 @@ func (g *GossipPushSum) Launch(w *node.World, querier graph.NodeID) *Run {
 	})
 	return g.run
 }
+
+// gossipSnapshot is the crash-survivable state of a push-sum member: its
+// share of the system's mass and its round budget. The neighbor-choice
+// rng is deliberately not part of it — the factory re-derives the same
+// per-identity stream on recovery, which restarts it from the beginning;
+// the choices stay deterministic, and push-sum's convergence is
+// indifferent to WHICH random neighbor a round picks.
+type gossipSnapshot struct {
+	s, w  float64
+	ticks int
+}
+
+// Snapshot implements node.Recoverable.
+func (b *gossipBehavior) Snapshot() any {
+	return gossipSnapshot{s: b.s, w: b.w, ticks: b.ticks}
+}
+
+// Restore implements node.Recoverable: the member resumes gossiping with
+// its snapshotted mass instead of re-injecting a fresh (value, 1) pair —
+// re-running Init after a crash would double-count the entity's mass and
+// bias the estimated mean.
+func (b *gossipBehavior) Restore(p *node.Proc, snap any) {
+	s := snap.(gossipSnapshot)
+	b.s, b.w, b.ticks = s.s, s.w, s.ticks
+	b.schedule(p)
+}

@@ -120,6 +120,15 @@ type Outcome struct {
 	// WrongValue lists contributors whose reported value differs from
 	// their actual one.
 	WrongValue []graph.NodeID
+	// Quarantined lists the entities some receiver quarantined during the
+	// run (the authentication sublayer's auth.quarantine marks). A fully
+	// quarantined entity's own value becomes unreachable through its
+	// direct links even though it is, by the trace, a stable participant.
+	Quarantined []graph.NodeID
+	// MissedQuarantined restricts MissedStable to quarantined entities:
+	// misses the authentication layer itself caused (or that a forger
+	// caused by framing them) rather than protocol failures.
+	MissedQuarantined []graph.NodeID
 	// StableCount and CoveredStable quantify coverage of the stable set.
 	StableCount, CoveredStable int
 }
@@ -140,6 +149,18 @@ func (o Outcome) ReachableValid() bool {
 
 // OK reports Termination and Validity together (the full OTQ spec).
 func (o Outcome) OK() bool { return o.Terminated && o.Valid() }
+
+// ValidModuloQuarantine reports Validity with quarantine-caused misses
+// excused: nothing fabricated or corrupted reached the answer, and every
+// missed stable participant had been quarantined by some receiver. This
+// is the strongest verdict an authenticated run under active Byzantine
+// faults can honestly earn — the sublayer silenced the offender (or a
+// framed scapegoat), and the protocol cannot be blamed for not hearing
+// it. In a run without quarantines it coincides with Valid.
+func (o Outcome) ValidModuloQuarantine() bool {
+	return o.Terminated && len(o.Fabricated) == 0 && len(o.WrongValue) == 0 &&
+		len(o.MissedStable) == len(o.MissedQuarantined)
+}
 
 func (o Outcome) String() string {
 	if o.QuerierLeft {
@@ -191,6 +212,11 @@ func CheckWith(tr *core.Trace, r *Run, valueOf func(graph.NodeID) float64, opts 
 	out := Outcome{Terminated: true, Duration: ans.At - r.Started}
 	stable := stableBetween(r.Started, ans.At)
 	out.StableCount = len(stable)
+	out.Quarantined = tr.MarkedEntities(node.MarkAuthQuarantine)
+	quarantined := map[graph.NodeID]bool{}
+	for _, id := range out.Quarantined {
+		quarantined[id] = true
+	}
 	everPresent := map[graph.NodeID]bool{}
 	for _, id := range tr.EverPresentBetween(r.Started, ans.At) {
 		everPresent[id] = true
@@ -203,6 +229,9 @@ func CheckWith(tr *core.Trace, r *Run, valueOf func(graph.NodeID) float64, opts 
 			out.MissedStable = append(out.MissedStable, id)
 			if reachable[id] {
 				out.MissedReachableStable = append(out.MissedReachableStable, id)
+			}
+			if quarantined[id] {
+				out.MissedQuarantined = append(out.MissedQuarantined, id)
 			}
 		}
 	}

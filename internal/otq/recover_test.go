@@ -1,0 +1,141 @@
+package otq
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestTreeEchoCrashRecoverRoundTrip: an inner tree node crashes after
+// the wave passed through it and recovers from stable storage mid-run.
+// Over reliable channels the echoes its children sent into the gap are
+// retransmitted past it, so the restored wave still collapses — and the
+// answer is exactly Valid with stability judged over the bridged
+// sessions.
+func TestTreeEchoCrashRecoverRoundTrip(t *testing.T) {
+	const n = 12
+	e := sim.New()
+	proto := &TreeEcho{}
+	w := node.NewWorld(e, topology.NewManual(), proto.Factory(), node.Config{
+		Seed:     3,
+		Reliable: node.ReliableConfig{Enabled: true, RetransmitAfter: 4, MaxRetries: 10},
+	})
+	joinCycle(w, n)
+	run := proto.Launch(w, 1)
+	// The wave reaches the antipodal region around t = n/2; crash entity
+	// 6 after it forwarded the query, recover it 30 ticks later.
+	e.At(8, func() { w.Crash(6) })
+	e.At(38, func() {
+		if w.Proc(6) == nil {
+			w.Recover(6)
+		}
+	})
+	e.RunUntil(3000)
+	w.Close()
+
+	out := CheckWith(w.Trace, run, defaultValue, CheckOptions{BridgeRecoveries: true})
+	if !out.Terminated {
+		t.Fatal("wave never collapsed back onto the querier after the recovery")
+	}
+	if !out.Valid() {
+		t.Fatalf("recovered wave should stay exactly valid: %v, missed %v", out, out.MissedStable)
+	}
+	if out.CoveredStable != n {
+		t.Fatalf("covered %d/%d (the recovered entity's subtree must not be lost)", out.CoveredStable, n)
+	}
+}
+
+// TestTreeEchoSnapshotCarriesWaveState: the snapshot/restore round-trip
+// at the state level — parent, pending set and collected subtree survive
+// the gap; a fresh Init would have forgotten all three.
+func TestTreeEchoSnapshotCarriesWaveState(t *testing.T) {
+	const n = 12
+	e := sim.New()
+	st := node.NewMemStore()
+	proto := &TreeEcho{}
+	w := node.NewWorld(e, topology.NewManual(), proto.Factory(), node.Config{
+		Seed:     3,
+		Store:    st,
+		Reliable: node.ReliableConfig{Enabled: true, RetransmitAfter: 4, MaxRetries: 10},
+	})
+	joinCycle(w, n)
+	proto.Launch(w, 1)
+	e.RunUntil(8)
+	w.Crash(6)
+	snap, ok := st.Load(6)
+	if !ok {
+		t.Fatal("crash did not persist a snapshot")
+	}
+	ts := snap.(treeEchoSnapshot)
+	if !ts.seen || ts.echoed {
+		t.Fatalf("entity 6 should have been crashed mid-wave: %+v", ts)
+	}
+	if len(ts.collected) == 0 || len(ts.pending) == 0 {
+		t.Fatalf("snapshot lost the wave state: %+v", ts)
+	}
+	w.Recover(6)
+	b, ok := node.FindBehavior[*treeEchoBehavior](w.Proc(6).Behavior())
+	if !ok {
+		t.Fatal("recovered entity lost its behavior")
+	}
+	if !b.seen || b.parent != ts.parent || len(b.collected) != len(ts.collected) {
+		t.Fatalf("restore did not reproduce the snapshot: %+v vs %+v", b, ts)
+	}
+}
+
+// TestGossipCrashRecoverRoundTrip: a push-sum member crashes mid-run and
+// recovers; its mass comes back from the snapshot instead of being
+// re-injected by Init (which would double-count it), so the querier's
+// estimate of the mean stays close to the truth.
+func TestGossipCrashRecoverRoundTrip(t *testing.T) {
+	const n = 8
+	e := sim.New()
+	st := node.NewMemStore()
+	proto := &GossipPushSum{Seed: 5, Rounds: 120}
+	w := node.NewWorld(e, topology.NewMesh(), proto.Factory(), node.Config{
+		Seed:  9,
+		Store: st,
+	})
+	for i := 1; i <= n; i++ {
+		w.Join(graph.NodeID(i))
+	}
+	run := proto.Launch(w, 1)
+	e.RunUntil(50)
+	w.Crash(3)
+	snap, ok := st.Load(3)
+	if !ok {
+		t.Fatal("crash did not persist a snapshot")
+	}
+	gs := snap.(gossipSnapshot)
+	if gs.ticks == 0 {
+		t.Fatalf("entity 3 was crashed mid-run but its snapshot has no rounds: %+v", gs)
+	}
+	w.Recover(3)
+	b, ok := node.FindBehavior[*gossipBehavior](w.Proc(3).Behavior())
+	if !ok {
+		t.Fatal("recovered entity lost its behavior")
+	}
+	// Restore re-arms the gossip timer, which charges one round tick.
+	if b.s != gs.s || b.w != gs.w || b.ticks != gs.ticks+1 {
+		t.Fatalf("restore did not reproduce the snapshot: s=%v w=%v ticks=%d vs %+v", b.s, b.w, b.ticks, gs)
+	}
+	if b.w == 1 && b.s == 3 {
+		t.Fatal("recovered member re-injected fresh mass (Init ran instead of Restore)")
+	}
+	e.RunUntil(5000)
+	w.Close()
+
+	ans := run.Answer()
+	if ans == nil {
+		t.Fatal("querier never answered")
+	}
+	trueMean := float64(1+n) / 2
+	est := ans.State.Sum / ans.State.Count
+	if math.Abs(est-trueMean)/trueMean > 0.25 {
+		t.Fatalf("estimate %v too far from true mean %v after a clean recovery", est, trueMean)
+	}
+}

@@ -1,0 +1,90 @@
+package otq
+
+// Byzantine tampering of the protocols' wire payloads (node.Tamperable).
+// Each Tamper returns a NEW payload of the same concrete type — the
+// original must stay untouched because other copies of the same logical
+// message may still deliver it honestly. All randomness comes from the
+// fault engine's deterministic stream, and every perturbation is built
+// from ordered draws, so the same plan under the same seed replays the
+// identical corruption.
+//
+// The perturbations are chosen to attack exactly what the OTQ checker
+// judges: contribution maps gain a fabricated entity (an ID no real run
+// allocates) and a corrupted value for one existing entity (WrongValue);
+// gossip messages inflate their mass (wrong average); sketches absorb
+// phantom items (inflated count); flood queries lose TTL (coverage).
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// fabricatedBase starts the ID range Tamper fabricates contributors in.
+// Experiment populations are tiny (tens of entities), so the range never
+// collides with a real participant — which is what lets the checker
+// attribute such contributors to fabrication rather than churn.
+const fabricatedBase = 9000
+
+// tamperContrib perturbs a contribution map: one existing entity's value
+// is shifted and one fabricated contributor is added. Keys are visited in
+// sorted order so the victim choice is deterministic.
+func tamperContrib(m map[graph.NodeID]float64, r *rng.Rand) map[graph.NodeID]float64 {
+	out := make(map[graph.NodeID]float64, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	if len(out) > 0 {
+		ids := make([]graph.NodeID, 0, len(out))
+		for k := range out {
+			ids = append(ids, k)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		victim := ids[r.Intn(len(ids))]
+		out[victim] += 100 + float64(r.Intn(900))
+	}
+	fake := graph.NodeID(fabricatedBase + r.Intn(1000))
+	out[fake] = float64(fake)
+	return out
+}
+
+// Tamper implements node.Tamperable.
+func (m echoSetMsg) Tamper(r *rng.Rand) any {
+	return echoSetMsg{Contrib: tamperContrib(m.Contrib, r)}
+}
+
+// Tamper implements node.Tamperable.
+func (m treeEchoMsg) Tamper(r *rng.Rand) any {
+	return treeEchoMsg{Contrib: tamperContrib(m.Contrib, r)}
+}
+
+// Tamper implements node.Tamperable: the copy claims extra mass, skewing
+// the push-sum average a raw receiver folds in.
+func (m gossipMsg) Tamper(r *rng.Rand) any {
+	return gossipMsg{S: m.S + 100 + float64(r.Intn(900)), W: m.W + 1}
+}
+
+// Tamper implements node.Tamperable: the cloned sketch absorbs phantom
+// items, inflating every downstream count estimate merged from it.
+func (m sketchMsg) Tamper(r *rng.Rand) any {
+	if m.SK == nil {
+		return m
+	}
+	sk := m.SK.Clone()
+	for i := 0; i < 32; i++ {
+		sk.Add(r.Uint64())
+	}
+	return sketchMsg{SK: sk}
+}
+
+// Tamper implements node.Tamperable: the query wave's reach collapses.
+func (m queryMsg) Tamper(r *rng.Rand) any {
+	ttl := r.Intn(m.TTL + 1)
+	return queryMsg{QID: m.QID, TTL: ttl}
+}
+
+// Tamper implements node.Tamperable.
+func (m reportMsg) Tamper(r *rng.Rand) any {
+	return reportMsg{QID: m.QID, Contrib: tamperContrib(m.Contrib, r)}
+}

@@ -195,3 +195,56 @@ func (te *TreeEcho) Launch(w *node.World, querier graph.NodeID) *Run {
 	b.start(p, querier, true)
 	return te.run
 }
+
+// treeEchoSnapshot is the crash-survivable state of a tree-echo entity.
+type treeEchoSnapshot struct {
+	seen      bool
+	echoed    bool
+	parent    graph.NodeID
+	pending   map[graph.NodeID]bool
+	collected map[graph.NodeID]float64
+	isQuerier bool
+}
+
+// Snapshot implements node.Recoverable.
+func (b *treeEchoBehavior) Snapshot() any {
+	s := treeEchoSnapshot{
+		seen:      b.seen,
+		echoed:    b.echoed,
+		parent:    b.parent,
+		isQuerier: b.isQuerier,
+	}
+	if b.pending != nil {
+		s.pending = make(map[graph.NodeID]bool, len(b.pending))
+		for k, v := range b.pending {
+			s.pending[k] = v
+		}
+	}
+	if b.collected != nil {
+		s.collected = copyContrib(b.collected)
+	}
+	return s
+}
+
+// Restore implements node.Recoverable: the entity rejoins the wave where
+// the crash interrupted it — parent pointer, pending children and the
+// collected subtree come back from stable storage; the departure-check
+// budget restarts. Echoes its children sent INTO the gap were dropped
+// with the crashed entity, so collapsing the wave across a gap needs
+// either retrying channels (the reliable sublayer) or departure
+// detection to write the silent children off.
+func (b *treeEchoBehavior) Restore(p *node.Proc, snap any) {
+	s := snap.(treeEchoSnapshot)
+	b.seen = s.seen
+	b.echoed = s.echoed
+	b.parent = s.parent
+	b.pending = s.pending
+	b.collected = s.collected
+	b.isQuerier = s.isQuerier
+	if b.seen && !b.echoed {
+		if b.proto.DetectDepartures {
+			b.scheduleCheck(p)
+		}
+		b.maybeComplete(p)
+	}
+}
