@@ -22,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/object/... ./internal/sketch/ ./internal/node/... ./internal/fault/...
+	$(GO) test -race ./internal/object/... ./internal/sketch/ ./internal/node/... ./internal/fault/... ./internal/exp/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -40,6 +40,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeTrace -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=10s ./internal/fault/
 	$(GO) test -fuzz=FuzzEquivSplit -fuzztime=10s ./internal/fault/
+	$(GO) test -fuzz=FuzzReceipt -fuzztime=10s ./internal/fault/
 
 fmt:
 	gofmt -w .

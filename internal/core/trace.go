@@ -43,6 +43,12 @@ func (k TraceEventKind) String() string {
 const (
 	MarkCrash   = "crash"
 	MarkRecover = "recover"
+	// MarkProvenEquivocator is recorded at an entity when some receiver
+	// establishes transferable PROOF that it equivocated (two of its own
+	// signatures over divergent payloads of one broadcast). The audit
+	// sublayer emits it; checkers read it through ProvenEquivocators to
+	// separate evidence-backed quarantines from mere suspicion.
+	MarkProvenEquivocator = "audit.proven"
 )
 
 // TraceEvent is one recorded occurrence in a run. P is the subject entity;
@@ -480,6 +486,15 @@ func (tr *Trace) MarkedEntities(tag string) []graph.NodeID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// ProvenEquivocators returns the entities marked MarkProvenEquivocator —
+// those some receiver holds signature-backed equivocation proof against —
+// ascending. Unlike quarantine marks (which a forger can direct at a
+// scapegoat), an entity appears here only if its own key signed two
+// divergent payloads under one broadcast number.
+func (tr *Trace) ProvenEquivocators() []graph.NodeID {
+	return tr.MarkedEntities(MarkProvenEquivocator)
 }
 
 // FirstMark returns the time of the earliest mark with the given tag, and

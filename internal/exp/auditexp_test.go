@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestE23PlansParse: every audit level's spec string parses and validates
+// (a typo should fail in tests, not when the suite runs).
+func TestE23PlansParse(t *testing.T) {
+	for _, level := range AuditLevels {
+		pl := e23Plan(level, 1)
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("level %s: %v", level, err)
+		}
+		if len(e23Offenders(level)) == 0 {
+			t.Fatalf("level %s has no ground-truth offender set", level)
+		}
+	}
+}
+
+// TestE23Deterministic is an acceptance gate: one E23 audit-arm cell under
+// a fixed seed replays the byte-identical trace — broadcast numbering,
+// lie draws, receipt gossip cadence, hold releases, convictions and
+// paroles all come from seeded streams and sorted iteration.
+func TestE23Deterministic(t *testing.T) {
+	encode := func() []byte {
+		r := e23Run(Config{Quick: true}, e21Echo(), "equiv+forge", 3, true)
+		var buf bytes.Buffer
+		if err := core.EncodeTrace(&buf, r.tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(encode(), encode()) {
+		t.Fatal("identical seed produced different E23 traces")
+	}
+}
+
+// TestE23AuditProvesEquivocators is the tentpole's acceptance gate: at the
+// default gossip cadence at least 90% of the equivocated broadcasts
+// (divergent copies actually delivered) are proven, only ground-truth
+// offenders are ever convicted (framing is impossible), and the audit arm
+// is valid modulo PROVEN equivocators — a verdict the auth-only arm cannot
+// earn because it never sees the divergence at all.
+func TestE23AuditProvesEquivocators(t *testing.T) {
+	for s := 1; s <= 2; s++ {
+		seed := uint64(s)
+		ar := e23Run(Config{Seeds: 1}, e21Echo(), "equiv", seed, false)
+		if ar.out.ValidModuloQuarantine() {
+			t.Errorf("seed %d: auth-only arm was valid despite the equivocator; the adversary is too tame", s)
+		}
+		if n := len(ar.tr.ProvenEquivocators()); n != 0 {
+			t.Errorf("seed %d: auth-only arm proved %d equivocators without an audit layer", s, n)
+		}
+		dr := e23Run(Config{Seeds: 1}, e21Echo(), "equiv", seed, true)
+		if dr.summary.EquivocatedBroadcasts == 0 {
+			t.Fatalf("seed %d: no equivocated broadcast was delivered; nothing to audit", s)
+		}
+		frac, ok := e23ProvenFrac(dr.summary)
+		if !ok || frac < 0.9 {
+			t.Errorf("seed %d: proven fraction %.2f (ok=%v), want >= 0.90", s, frac, ok)
+		}
+		if !dr.out.ValidModuloProven() {
+			t.Errorf("seed %d: audit arm not valid modulo proven: %+v (missed %v, proven %v)",
+				s, dr.out, dr.out.MissedStable, dr.out.ProvenEquivocators)
+		}
+		offenders := e23Offenders("equiv")
+		for _, id := range dr.tr.ProvenEquivocators() {
+			if !offenders[id] {
+				t.Errorf("seed %d: honest entity %d was convicted — framing should be impossible", s, id)
+			}
+		}
+		if _, ok := dr.tr.FirstMark(core.MarkProvenEquivocator); !ok {
+			t.Errorf("seed %d: no conviction mark despite a proven fraction of %.2f", s, frac)
+		}
+	}
+}
+
+// TestE23ParoleRecoversFramedLink: under the forge level the framed
+// scapegoat's link is falsely quarantined in both arms, but only the
+// parole-carrying audit arm ever reinstates it — the auth-only arm's
+// false quarantine is a permanent outage (recovery time infinite).
+func TestE23ParoleRecoversFramedLink(t *testing.T) {
+	offenders := e23Offenders("equiv+forge")
+	recovered := false
+	for s := 1; s <= 3; s++ {
+		seed := uint64(s)
+		ar := e23Run(Config{Seeds: 1}, e21Echo(), "equiv+forge", seed, false)
+		if _, rec, none := e23Recovery(ar.quars, ar.paroles, offenders); !none && rec {
+			t.Errorf("seed %d: auth-only arm recovered a false quarantine with no parole configured", s)
+		}
+		dr := e23Run(Config{Seeds: 1}, e21Echo(), "equiv+forge", seed, true)
+		if tm, rec, none := e23Recovery(dr.quars, dr.paroles, offenders); !none {
+			if !rec {
+				t.Errorf("seed %d: audit arm never paroled a falsely quarantined link", s)
+			} else {
+				recovered = true
+				if tm <= 0 {
+					t.Errorf("seed %d: nonpositive recovery time %.1f", s, tm)
+				}
+			}
+		}
+	}
+	if !recovered {
+		t.Error("no seed framed anybody; the forge level demonstrates nothing")
+	}
+}
+
+// TestE23CleanRunIsInvisible: with no adversary the audit sublayer holds
+// and gossips but never convicts, never drops a held delivery, and the
+// run stays exactly valid — the false-conviction rate of a clean
+// deployment must be 0.
+func TestE23CleanRunIsInvisible(t *testing.T) {
+	for s := 1; s <= 2; s++ {
+		out := e23Run(Config{Seeds: 1}, e21Echo(), "none", uint64(s), true)
+		if !out.out.Valid() {
+			t.Errorf("seed %d: clean audited run invalid: %+v", s, out.out)
+		}
+		if n := len(out.tr.ProvenEquivocators()); n != 0 {
+			t.Errorf("seed %d: clean run convicted %d entities", s, n)
+		}
+		if out.summary.EquivocatedBroadcasts != 0 || out.audit.HeldDropped != 0 {
+			t.Errorf("seed %d: clean run saw divergence or dropped held deliveries: %+v %+v",
+				s, out.summary, out.audit)
+		}
+	}
+}

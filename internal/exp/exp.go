@@ -5,7 +5,7 @@
 //
 // The paper is a position paper with no numbered tables or figures; each
 // experiment here operationalizes one of its qualitative claims (C1-C6 in
-// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E22 are
+// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E23 are
 // ours and are indexed in DESIGN.md.
 package exp
 
@@ -47,6 +47,8 @@ type Scenario struct {
 	Reliable node.ReliableConfig
 	// Auth configures the authentication/quarantine channel sublayer.
 	Auth node.AuthConfig
+	// Audit configures the equivocation audit sublayer (requires Auth).
+	Audit node.AuditConfig
 	// BridgeRecoveries judges Validity over recovery-bridged sessions:
 	// entities that crash and recover within the query interval still
 	// count as stable participants (see otq.CheckOptions).
@@ -75,8 +77,12 @@ type RunResult struct {
 	Reliable node.ReliableCounters
 	// Auth sums the authentication sublayer's counters (zero when the
 	// sublayer was not enabled).
-	Auth    node.AuthCounters
-	Querier graph.NodeID
+	Auth node.AuthCounters
+	// Audit sums the audit sublayer's counters, and AuditSummary holds its
+	// run-level evidence view (zero when the sublayer was not enabled).
+	Audit        node.AuditCounters
+	AuditSummary node.AuditSummary
+	Querier      graph.NodeID
 }
 
 // Execute runs a scenario to completion and judges it.
@@ -93,6 +99,7 @@ func Execute(sc Scenario) RunResult {
 		LossRate:   sc.LossRate,
 		Reliable:   sc.Reliable,
 		Auth:       sc.Auth,
+		Audit:      sc.Audit,
 		Seed:       sc.Seed ^ 0xdddd,
 		ValueOf:    valueOf,
 	})
@@ -126,14 +133,16 @@ func Execute(sc Scenario) RunResult {
 		valueOf = func(id graph.NodeID) float64 { return float64(id) }
 	}
 	return RunResult{
-		Outcome:  otq.CheckWith(w.Trace, run, valueOf, otq.CheckOptions{BridgeRecoveries: sc.BridgeRecoveries}),
-		Trace:    w.Trace,
-		Run:      run,
-		Inferred: core.InferClass(w.Trace),
-		Messages: w.Trace.Messages(""),
-		Reliable: w.ReliableTotals(),
-		Auth:     w.AuthTotals(),
-		Querier:  querier,
+		Outcome:      otq.CheckWith(w.Trace, run, valueOf, otq.CheckOptions{BridgeRecoveries: sc.BridgeRecoveries}),
+		Trace:        w.Trace,
+		Run:          run,
+		Inferred:     core.InferClass(w.Trace),
+		Messages:     w.Trace.Messages(""),
+		Reliable:     w.ReliableTotals(),
+		Auth:         w.AuthTotals(),
+		Audit:        w.AuditTotals(),
+		AuditSummary: w.AuditSummary(),
+		Querier:      querier,
 	}
 }
 
@@ -222,5 +231,6 @@ func All() []Experiment {
 		{"E20", "link flapping: geography dynamics with frozen membership", E20},
 		{"E21", "fault storms: raw vs reliable channels, exact vs sketch", E21},
 		{"E22", "byzantine links: raw vs authenticated channels, exact vs sketch", E22},
+		{"E23", "equivocation storms: auth alone vs auth + audit with parole", E23},
 	}
 }

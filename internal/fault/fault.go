@@ -471,8 +471,17 @@ func (e *engine) corruptFn() func(any) (any, bool) {
 // senderHook builds the node.SenderHook evaluating equiv clauses: the lie
 // is injected before the authentication layer tags the message, so an
 // equivocating sender's divergent copies all verify.
+//
+// When the runtime stamps broadcasts (bseq != 0, i.e. the audit sublayer
+// is on), the lie draws come from an rng keyed on (plan seed, from, to,
+// bseq) instead of the engine's shared stream: re-sends of the same
+// broadcast toward the same peer then lie IDENTICALLY, so a receiver's
+// repeated observations of one (sender, bseq) never self-conflict, while
+// different peers still get divergent payloads — exactly the shape the
+// audit layer must catch. With bseq == 0 the shared stream is used
+// unchanged, preserving the draw sequence of pre-audit experiments.
 func (e *engine) senderHook(w *node.World) node.SenderHook {
-	return func(now sim.Time, from, to graph.NodeID, tag string, payload any) (any, bool) {
+	return func(now sim.Time, from, to graph.NodeID, tag string, bseq uint64, payload any) (any, bool) {
 		applied := false
 		for i := range e.plan.Clauses {
 			c := &e.plan.Clauses[i]
@@ -480,17 +489,32 @@ func (e *engine) senderHook(w *node.World) node.SenderHook {
 				!c.matchesNode(from) || !c.matchesPeer(to) {
 				continue
 			}
-			if !e.r.Bool(c.P) {
+			r := e.r
+			if bseq != 0 {
+				r = e.lieRNG(from, to, bseq)
+			}
+			if !r.Bool(c.P) {
 				continue
 			}
 			tp, ok := payload.(node.Tamperable)
 			if !ok {
 				continue
 			}
-			payload = tp.Tamper(e.r)
+			payload = tp.Tamper(r)
 			applied = true
 			w.Trace.Mark(core.Time(now), from, MarkEquiv)
 		}
 		return payload, applied
 	}
+}
+
+// lieRNG derives the per-copy lie stream of one stamped broadcast. Keying
+// on the peer (not the copy) makes the equivocation stable: same
+// (sender, peer, bseq) always yields the same lie.
+func (e *engine) lieRNG(from, to graph.NodeID, bseq uint64) *rng.Rand {
+	seed := e.plan.Seed ^
+		uint64(from)*0x9e3779b97f4a7c15 ^
+		uint64(to)*0xc2b2ae3d27d4eb4f ^
+		bseq*0x165667b19e3779f9
+	return rng.New(seed)
 }

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"reflect"
 	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/node"
 )
 
 // FuzzParse checks the parser's two safety properties on arbitrary input:
@@ -99,6 +102,67 @@ func FuzzEquivSplit(f *testing.F) {
 		a := again.Clauses[0]
 		if !reflect.DeepEqual(c.Nodes, a.Nodes) || !reflect.DeepEqual(c.Peers, a.Peers) {
 			t.Fatalf("split lists changed across the round trip: %+v vs %+v", c, a)
+		}
+	})
+}
+
+// FuzzReceipt hammers the audit receipt's wire form — the one piece of
+// evidence the equivocation adversary is most motivated to malform. Three
+// properties must hold for arbitrary bytes and field values: decode never
+// panics and accepts exactly 32-byte inputs, encode/decode round-trips
+// every receipt bit-exactly (a lossy field would let two distinct
+// fingerprints collapse into one and erase a contradiction), and a
+// verifier is fooled by a signature only when it was honestly produced —
+// in particular, flipping any field of a validly signed receipt must
+// invalidate it.
+func FuzzReceipt(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(42), uint64(3), uint64(1), uint64(0xdeadbeef), uint64(7))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0))
+	f.Add(uint64(9), uint64(5), uint64(1)<<63, uint64(0x9e3779b97f4a7c15), uint64(1))
+	f.Fuzz(func(t *testing.T, seed, sender, bseq, fp, junk uint64) {
+		r := node.Receipt{Sender: graph.NodeID(sender), BSeq: bseq, FP: fp, Sig: junk}
+		wire := node.EncodeReceipt(r)
+		if len(wire) != 32 {
+			t.Fatalf("wire form is %d bytes, want 32", len(wire))
+		}
+		back, err := node.DecodeReceipt(wire)
+		if err != nil {
+			t.Fatalf("canonical wire form did not decode: %v", err)
+		}
+		if back != r {
+			t.Fatalf("round trip changed the receipt: %+v -> %+v", r, back)
+		}
+		if _, err := node.DecodeReceipt(wire[:31]); err == nil {
+			t.Fatal("truncated wire form decoded without error")
+		}
+		if _, err := node.DecodeReceipt(append(wire, 0)); err == nil {
+			t.Fatal("oversized wire form decoded without error")
+		}
+		// A junk signature must only verify if it happens to be the honest
+		// one; re-signing honestly must always verify, including across the
+		// wire.
+		signed := node.SignReceipt(seed, graph.NodeID(sender), bseq, fp)
+		if !node.VerifyReceipt(seed, signed) {
+			t.Fatalf("honestly signed receipt failed verification: %+v", signed)
+		}
+		rewired, err := node.DecodeReceipt(node.EncodeReceipt(signed))
+		if err != nil || !node.VerifyReceipt(seed, rewired) {
+			t.Fatalf("signed receipt did not survive the wire: %+v err=%v", rewired, err)
+		}
+		if node.VerifyReceipt(seed, r) && r.Sig != signed.Sig {
+			t.Fatalf("two distinct signatures verified for one statement: %x and %x", r.Sig, signed.Sig)
+		}
+		// Any single-field perturbation of a valid receipt must break it.
+		for i, bad := range []node.Receipt{
+			{Sender: signed.Sender + 1, BSeq: signed.BSeq, FP: signed.FP, Sig: signed.Sig},
+			{Sender: signed.Sender, BSeq: signed.BSeq + 1, FP: signed.FP, Sig: signed.Sig},
+			{Sender: signed.Sender, BSeq: signed.BSeq, FP: signed.FP + 1, Sig: signed.Sig},
+			{Sender: signed.Sender, BSeq: signed.BSeq, FP: signed.FP, Sig: signed.Sig + 1},
+		} {
+			if node.VerifyReceipt(seed, bad) {
+				t.Fatalf("perturbation %d of a valid receipt still verified: %+v", i, bad)
+			}
 		}
 	})
 }

@@ -1,0 +1,609 @@
+package node
+
+// The equivocation audit sublayer: the opt-in answer to the auth
+// sublayer's documented blind spot. Per-pair MACs authenticate the
+// CHANNEL, so a Byzantine sender that signs its own lies equivocates
+// freely — every divergent copy of its broadcast verifies at its
+// receiver, and no single receiver can tell. Catching it needs exactly
+// two things the MAC cannot give: a transferable signature (any receiver
+// can check it, only the sender can produce it) and cross-receiver
+// comparison (two receivers must discover they were told different
+// things under the same broadcast number).
+//
+// This sublayer supplies both, locally, in the paper's
+// geography/knowledge discipline — entities talk only to their
+// neighbors:
+//
+//   - Senders stamp every logical broadcast with a broadcast sequence
+//     number (bseq) and sign (bseq, payload fingerprint) with a
+//     sender-held signing key. Per-neighbor copies of one broadcast share
+//     the bseq; the signature travels with the copy.
+//   - Receivers distill each accepted copy into a compact receipt
+//     (sender, bseq, fingerprint, signature) and gossip pending receipts
+//     to their neighbors on a budgeted cadence.
+//   - Two validly-signed receipts with the same (sender, bseq) but
+//     different fingerprints are PROOF of equivocation: only the sender
+//     can sign, so it signed both, so it lied to someone. The prover
+//     quarantines the sender through the auth sublayer's machinery and
+//     forwards the receipt pair to its neighbors, so the proof propagates
+//     transitively — every entity the pair reaches convicts independently.
+//   - Framing is impossible this way: convicting an honest entity would
+//     require exhibiting two of ITS signatures on divergent payloads,
+//     i.e. forging a signature. (Contrast the MAC layer, where a forger
+//     makes receivers quarantine the innocent claimed sender.)
+//
+// Deliveries are additionally HELD for a short audit window: the payload
+// waits while receipts gossip, so a proof established in the meantime
+// kills the lie before the behavior folds it in. Honest traffic pays the
+// hold as uniform, bounded extra latency.
+//
+// The signing key stands in for a public-key signature: derivation from
+// SigSeed is the model's "key generation", verification recomputes what
+// only the sender could have produced. Like the pair keys, it models the
+// cryptography's guarantees, not its bits. Sender-side audit state (the
+// signing key and broadcast counters) is modeled as living on the same
+// stable storage as the key itself, so it survives crash–recovery; the
+// volatile per-pair MAC counters are what Crash persists explicitly.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Audit sublayer message tags. Like acks, audit traffic is invisible to
+// behaviors and excluded from tag-filtered protocol accounting.
+const (
+	// AuditReceiptTag carries a batch of receipts ([]Receipt) from a
+	// receiver to a neighbor.
+	AuditReceiptTag = "node.audit-receipt"
+	// AuditProofTag carries a convicting receipt pair ([2]Receipt).
+	AuditProofTag = "node.audit-proof"
+)
+
+// Trace mark tags emitted by the audit sublayer. The conviction itself is
+// recorded as core.MarkProvenEquivocator at the offender (the core
+// package owns the tag so trace checkers need not import this one).
+const (
+	// MarkAuditHeldDrop is recorded at the receiver when a held delivery
+	// is discarded because its sender was proven an equivocator (or
+	// quarantined) during the audit hold window.
+	MarkAuditHeldDrop = "audit.held-drop"
+)
+
+// AuditConfig parameterizes the audit sublayer. It requires the auth
+// sublayer: receipts and proofs travel authenticated, and a proof
+// quarantines through the auth layer's per-link machinery (so
+// AuthConfig.Parole governs proof-based quarantines too).
+type AuditConfig struct {
+	// Enabled turns the sublayer on.
+	Enabled bool
+	// SigSeed derives the per-sender signing keys (the model's key
+	// generation ceremony). Zero is a valid seed.
+	SigSeed uint64
+	// GossipInterval is the receipt-gossip cadence in ticks. Default 8.
+	GossipInterval sim.Time
+	// GossipBudget caps the receipts carried per gossip message. Pending
+	// receipts beyond the budget wait for the next round. Default 8.
+	GossipBudget int
+	// Retain caps the receipts each entity stores per run; the oldest are
+	// evicted first. Default 256.
+	Retain int
+	// HoldFor is the audit hold window: accepted deliveries wait this many
+	// ticks before reaching the behavior, giving receipts time to gossip
+	// and proofs time to land. Default 2*GossipInterval.
+	HoldFor sim.Time
+}
+
+func (ac AuditConfig) withDefaults() AuditConfig {
+	if ac.GossipInterval == 0 {
+		ac.GossipInterval = 8
+	}
+	if ac.GossipBudget == 0 {
+		ac.GossipBudget = 8
+	}
+	if ac.Retain == 0 {
+		ac.Retain = 256
+	}
+	if ac.HoldFor == 0 {
+		ac.HoldFor = 2 * ac.GossipInterval
+	}
+	return ac
+}
+
+// Validate reports the first configuration error, or nil. Zero fields
+// mean their defaults, exactly as in Config.Validate.
+func (ac AuditConfig) Validate() error {
+	if ac.GossipInterval < 0 {
+		return fmt.Errorf("node: negative audit GossipInterval %d", ac.GossipInterval)
+	}
+	if ac.GossipBudget < 0 {
+		return fmt.Errorf("node: negative audit GossipBudget %d", ac.GossipBudget)
+	}
+	if ac.Retain < 0 {
+		return fmt.Errorf("node: negative audit Retain %d", ac.Retain)
+	}
+	if ac.HoldFor < 0 {
+		return fmt.Errorf("node: negative audit HoldFor %d", ac.HoldFor)
+	}
+	return nil
+}
+
+// Receipt is the compact evidence one receiver distills from one accepted
+// copy: who broadcast, under which broadcast number, what the payload
+// hashed to, and the sender's transferable signature over exactly that.
+// Receipts are what gossips between neighbors; a pair with equal
+// (Sender, BSeq) and unequal FP is a self-signed contradiction.
+type Receipt struct {
+	Sender graph.NodeID
+	BSeq   uint64
+	FP     uint64
+	Sig    uint64
+}
+
+// receiptWire is the canonical 32-byte encoding of a receipt.
+const receiptWire = 32
+
+// EncodeReceipt renders a receipt in its canonical 32-byte wire form.
+func EncodeReceipt(r Receipt) []byte {
+	out := make([]byte, receiptWire)
+	binary.LittleEndian.PutUint64(out[0:], uint64(r.Sender))
+	binary.LittleEndian.PutUint64(out[8:], r.BSeq)
+	binary.LittleEndian.PutUint64(out[16:], r.FP)
+	binary.LittleEndian.PutUint64(out[24:], r.Sig)
+	return out
+}
+
+// DecodeReceipt parses the canonical wire form. Every 32-byte input is a
+// structurally valid receipt (validity of the SIGNATURE is a separate,
+// keyed question — see VerifyReceipt).
+func DecodeReceipt(b []byte) (Receipt, error) {
+	if len(b) != receiptWire {
+		return Receipt{}, fmt.Errorf("node: receipt wire form is %d bytes, got %d", receiptWire, len(b))
+	}
+	return Receipt{
+		Sender: graph.NodeID(binary.LittleEndian.Uint64(b[0:])),
+		BSeq:   binary.LittleEndian.Uint64(b[8:]),
+		FP:     binary.LittleEndian.Uint64(b[16:]),
+		Sig:    binary.LittleEndian.Uint64(b[24:]),
+	}, nil
+}
+
+// sigKey derives a sender's signing key from the audit seed — the
+// model's key-generation ceremony.
+func sigKey(sigSeed uint64, sender graph.NodeID) uint64 {
+	return rng.New(sigSeed ^ uint64(sender)*0xa24baed4963ee407).Uint64()
+}
+
+// sigOver computes the transferable signature of (sender, bseq, fp).
+func sigOver(sigSeed uint64, sender graph.NodeID, bseq, fp uint64) uint64 {
+	h := sigKey(sigSeed, sender) ^ bseq*0x9fb21c651e98df25 ^ fp*0xd1b54a32d192ed03
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// VerifyReceipt checks a receipt's signature against the sender's derived
+// key. In the model, passing verification means "only Sender could have
+// produced Sig over (BSeq, FP)".
+func VerifyReceipt(sigSeed uint64, r Receipt) bool {
+	return r.Sig == sigOver(sigSeed, r.Sender, r.BSeq, r.FP)
+}
+
+// SignReceipt produces the honestly signed receipt for one statement —
+// what a sender's channel sublayer stamps on every outgoing copy. It is
+// exported for tests and fuzzers that need valid evidence to perturb.
+func SignReceipt(sigSeed uint64, sender graph.NodeID, bseq, fp uint64) Receipt {
+	return Receipt{Sender: sender, BSeq: bseq, FP: fp, Sig: sigOver(sigSeed, sender, bseq, fp)}
+}
+
+// AuditCounters are one entity's audit-sublayer statistics.
+type AuditCounters struct {
+	// ReceiptsSent counts receipt-gossip messages this entity sent.
+	ReceiptsSent int
+	// ReceiptsCarried counts individual receipts inside those messages.
+	ReceiptsCarried int
+	// ProofsForwarded counts proof-pair messages this entity sent.
+	ProofsForwarded int
+	// ProofsHeld counts distinct offenders this entity holds proof against.
+	ProofsHeld int
+	// BadSig counts receipts or stamped copies whose signature failed.
+	BadSig int
+	// HeldDropped counts held deliveries discarded because the sender was
+	// proven (or quarantined) during the hold window.
+	HeldDropped int
+}
+
+// AuditSummary is the run-level view of the audit sublayer's evidence: the
+// world-held ground truth of delivered divergence versus what the gossip
+// actually proved.
+type AuditSummary struct {
+	// EquivocatedBroadcasts counts (sender, bseq) pairs for which
+	// DIVERGENT copies were actually delivered somewhere — the ground
+	// truth the proven fraction is measured against. (Lies the channel
+	// dropped before delivery harmed nobody and are unprovable.)
+	EquivocatedBroadcasts int
+	// ProvenBroadcasts counts equivocated (sender, bseq) pairs some
+	// entity established proof for.
+	ProvenBroadcasts int
+	// ProvenOffenders lists the senders proven equivocators by at least
+	// one entity, ascending.
+	ProvenOffenders []graph.NodeID
+	// Holders maps each proven offender to the number of entities that
+	// ever held proof against it (the proof-propagation count; parole
+	// does not shrink it).
+	Holders map[graph.NodeID]int
+}
+
+// bcastKey identifies one logical broadcast on the sender side: the same
+// (tag, honest payload) gets the same bseq toward every neighbor.
+type bcastKey struct {
+	from graph.NodeID
+	tag  string
+	fp   uint64
+}
+
+// rkey identifies the subject of a receipt.
+type rkey struct {
+	sender graph.NodeID
+	bseq   uint64
+}
+
+type auditLayer struct {
+	cfg AuditConfig
+	// bseqNext and bseqOf are sender-side: the per-sender broadcast
+	// counter and the bseq memo per (tag, honest fingerprint). Modeled as
+	// durable (they live with the signing key), so Crash leaves them.
+	bseqNext map[graph.NodeID]uint64
+	bseqOf   map[bcastKey]uint64
+	// receipts, order and pending are receiver-side, per observer: the
+	// retained receipt per (sender, bseq), the retention order, and the
+	// own-observed receipts not yet gossiped.
+	receipts map[graph.NodeID]map[rkey]Receipt
+	order    map[graph.NodeID][]rkey
+	pending  map[graph.NodeID][]Receipt
+	// proven and proofs are per (observer, offender): the standing
+	// conviction and the receipt pair behind it. everProven survives
+	// parole, for propagation accounting.
+	proven     map[[2]graph.NodeID]bool
+	proofs     map[[2]graph.NodeID][2]Receipt
+	everProven map[[2]graph.NodeID]bool
+	// truthFP tracks, per broadcast, every fingerprint DELIVERED anywhere
+	// — the world-held ground truth. provenB marks broadcasts proven.
+	truthFP map[rkey]map[uint64]bool
+	provenB map[rkey]bool
+	stats   map[graph.NodeID]*AuditCounters
+}
+
+func newAuditLayer(cfg AuditConfig) *auditLayer {
+	return &auditLayer{
+		cfg:        cfg,
+		bseqNext:   make(map[graph.NodeID]uint64),
+		bseqOf:     make(map[bcastKey]uint64),
+		receipts:   make(map[graph.NodeID]map[rkey]Receipt),
+		order:      make(map[graph.NodeID][]rkey),
+		pending:    make(map[graph.NodeID][]Receipt),
+		proven:     make(map[[2]graph.NodeID]bool),
+		proofs:     make(map[[2]graph.NodeID][2]Receipt),
+		everProven: make(map[[2]graph.NodeID]bool),
+		truthFP:    make(map[rkey]map[uint64]bool),
+		provenB:    make(map[rkey]bool),
+		stats:      make(map[graph.NodeID]*AuditCounters),
+	}
+}
+
+func (au *auditLayer) counters(id graph.NodeID) *AuditCounters {
+	c := au.stats[id]
+	if c == nil {
+		c = &AuditCounters{}
+		au.stats[id] = c
+	}
+	return c
+}
+
+// stamps reports whether outgoing messages with this tag get a broadcast
+// number and signature. The sublayer's own traffic does not: receipts
+// about receipts would regress forever.
+func (au *auditLayer) stamps(tag string) bool {
+	return tag != AuditReceiptTag && tag != AuditProofTag
+}
+
+// bseqFor assigns (or recalls) the broadcast sequence number of one
+// logical broadcast: per-neighbor copies of the same honest (tag,
+// payload) share it. Called BEFORE the sender hook can replace the
+// payload — the number binds to what the sender was supposed to say.
+func (au *auditLayer) bseqFor(from graph.NodeID, tag string, payload any) uint64 {
+	key := bcastKey{from: from, tag: tag, fp: fingerprint(payload)}
+	if b, ok := au.bseqOf[key]; ok {
+		return b
+	}
+	au.bseqNext[from]++
+	b := au.bseqNext[from]
+	au.bseqOf[key] = b
+	return b
+}
+
+// sign computes the sender's transferable signature over the FINAL
+// payload of one copy. An equivocator signs its lies — each copy
+// verifies individually, and precisely that makes the divergent pair
+// self-convicting.
+func (au *auditLayer) sign(from graph.NodeID, bseq uint64, payload any) uint64 {
+	return sigOver(au.cfg.SigSeed, from, bseq, fingerprint(payload))
+}
+
+// observe distills an accepted protocol delivery into a receipt at the
+// receiver, feeding both the gossip queue and the world-held ground
+// truth.
+func (au *auditLayer) observe(w *World, m Message) {
+	fp := fingerprint(m.Payload)
+	r := Receipt{Sender: m.From, BSeq: m.bseq, FP: fp, Sig: m.sig}
+	if !VerifyReceipt(au.cfg.SigSeed, r) {
+		au.counters(m.To).BadSig++
+		return
+	}
+	k := rkey{sender: m.From, bseq: m.bseq}
+	fps := au.truthFP[k]
+	if fps == nil {
+		fps = make(map[uint64]bool)
+		au.truthFP[k] = fps
+	}
+	fps[fp] = true
+	au.record(w, m.To, r, true)
+}
+
+// record stores one verified receipt at an observer. A conflicting
+// receipt already on file for the same (sender, bseq) triggers the
+// conviction; own observations (not gossiped-in ones) additionally queue
+// for the next gossip round.
+func (au *auditLayer) record(w *World, at graph.NodeID, r Receipt, own bool) {
+	st := au.receipts[at]
+	if st == nil {
+		st = make(map[rkey]Receipt)
+		au.receipts[at] = st
+	}
+	k := rkey{sender: r.Sender, bseq: r.BSeq}
+	if prev, ok := st[k]; ok {
+		if prev.FP != r.FP {
+			au.prove(w, at, r.Sender, prev, r)
+		}
+		return
+	}
+	st[k] = r
+	au.order[at] = append(au.order[at], k)
+	if len(au.order[at]) > au.cfg.Retain {
+		evict := au.order[at][0]
+		au.order[at] = au.order[at][1:]
+		delete(st, evict)
+	}
+	if own {
+		au.pending[at] = append(au.pending[at], r)
+	}
+}
+
+// prove convicts: `by` now holds two of offender's signatures on
+// divergent payloads under one broadcast number. The link quarantines
+// through the auth sublayer (parole applies there uniformly), the
+// conviction is marked at the offender for trace checkers, and the
+// receipt pair is forwarded so every neighbor can convict independently
+// — transitive propagation with no trust in the forwarder.
+func (au *auditLayer) prove(w *World, by, offender graph.NodeID, a, b Receipt) {
+	if by == offender {
+		// The evidence reached the offender itself (gossip is undirected);
+		// an entity neither convicts nor quarantines its own link.
+		return
+	}
+	// The BROADCAST is proven regardless of whether this observer already
+	// convicted the sender over earlier evidence.
+	au.provenB[rkey{sender: a.Sender, bseq: a.BSeq}] = true
+	pair := [2]graph.NodeID{by, offender}
+	if au.proven[pair] {
+		return
+	}
+	au.proven[pair] = true
+	au.proofs[pair] = [2]Receipt{a, b}
+	if !au.everProven[pair] {
+		au.everProven[pair] = true
+		au.counters(by).ProofsHeld++
+	}
+	now := int64(w.Engine.Now())
+	w.Trace.Mark(now, offender, core.MarkProvenEquivocator)
+	w.auth.quarantine(w, by, offender)
+	p := w.procs[by]
+	if p == nil || !p.alive {
+		return
+	}
+	proof := [2]Receipt{a, b}
+	for _, u := range p.Neighbors() {
+		if u == offender {
+			continue
+		}
+		p.Send(u, AuditProofTag, proof)
+		au.counters(by).ProofsForwarded++
+	}
+}
+
+// onAudit handles the sublayer's own traffic at the receiver: receipt
+// batches merge into the local store (convicting on conflict), proof
+// pairs are re-verified from scratch — the pair convicts by its
+// signatures alone, so a lying forwarder can frame nobody.
+func (au *auditLayer) onAudit(w *World, m Message) {
+	switch pl := m.Payload.(type) {
+	case []Receipt:
+		for _, r := range pl {
+			if !VerifyReceipt(au.cfg.SigSeed, r) {
+				au.counters(m.To).BadSig++
+				continue
+			}
+			au.record(w, m.To, r, false)
+		}
+	case [2]Receipt:
+		a, b := pl[0], pl[1]
+		if a.Sender != b.Sender || a.BSeq != b.BSeq || a.FP == b.FP {
+			au.counters(m.To).BadSig++
+			return
+		}
+		if !VerifyReceipt(au.cfg.SigSeed, a) || !VerifyReceipt(au.cfg.SigSeed, b) {
+			au.counters(m.To).BadSig++
+			return
+		}
+		au.prove(w, m.To, a.Sender, a, b)
+	}
+}
+
+// hold defers an accepted delivery for the audit window. At release the
+// copy is dropped if its sender has been proven (or otherwise
+// quarantined) at this receiver in the meantime — the proof beat the
+// poison — and delivered normally otherwise.
+func (au *auditLayer) hold(w *World, m Message) {
+	w.Engine.After(au.cfg.HoldFor, func() {
+		now := int64(w.Engine.Now())
+		q, ok := w.procs[m.To]
+		if !ok {
+			w.Trace.Drop(now, m.From, m.To, m.Tag)
+			return
+		}
+		pair := [2]graph.NodeID{m.To, m.From}
+		if au.proven[pair] || (w.auth != nil && w.auth.quarantined[pair]) {
+			au.counters(m.To).HeldDropped++
+			w.Trace.Mark(now, m.To, MarkAuditHeldDrop)
+			w.Trace.Drop(now, m.From, m.To, m.Tag)
+			return
+		}
+		w.Trace.Deliver(now, m.To, m.From, m.Tag)
+		q.behavior.Receive(q, m)
+	})
+}
+
+// start schedules an entity's receipt-gossip loop, offset by identity so
+// rounds desynchronize. The timers die with the entity (Proc.After).
+func (au *auditLayer) start(p *Proc) {
+	if au.cfg.GossipInterval <= 0 {
+		return
+	}
+	offset := 1 + sim.Time(uint64(p.ID)%uint64(au.cfg.GossipInterval))
+	p.After(offset, func() { au.gossipTick(p) })
+}
+
+func (au *auditLayer) gossipTick(p *Proc) {
+	au.flush(p)
+	p.After(au.cfg.GossipInterval, func() { au.gossipTick(p) })
+}
+
+// flush gossips up to GossipBudget pending receipts to every neighbor;
+// the rest wait for the next round.
+func (au *auditLayer) flush(p *Proc) {
+	q := au.pending[p.ID]
+	if len(q) == 0 {
+		return
+	}
+	n := au.cfg.GossipBudget
+	if n > len(q) {
+		n = len(q)
+	}
+	batch := make([]Receipt, n)
+	copy(batch, q[:n])
+	au.pending[p.ID] = q[n:]
+	c := au.counters(p.ID)
+	for _, u := range p.Neighbors() {
+		p.Send(u, AuditReceiptTag, batch)
+		c.ReceiptsSent++
+		c.ReceiptsCarried += n
+	}
+}
+
+// pardon clears the audit conviction behind a paroled link, including the
+// offender's stored and pending receipts at that observer: re-conviction
+// requires FRESH conflicting evidence, not a replay of the old pair.
+func (au *auditLayer) pardon(by, offender graph.NodeID) {
+	pair := [2]graph.NodeID{by, offender}
+	delete(au.proven, pair)
+	delete(au.proofs, pair)
+	if st := au.receipts[by]; st != nil {
+		kept := au.order[by][:0]
+		for _, k := range au.order[by] {
+			if k.sender == offender {
+				delete(st, k)
+			} else {
+				kept = append(kept, k)
+			}
+		}
+		au.order[by] = kept
+	}
+	if q := au.pending[by]; len(q) > 0 {
+		kept := q[:0]
+		for _, r := range q {
+			if r.Sender != offender {
+				kept = append(kept, r)
+			}
+		}
+		au.pending[by] = kept
+	}
+}
+
+// AuditStats returns a copy of the per-entity audit counters, or nil when
+// the sublayer is disabled.
+func (w *World) AuditStats() map[graph.NodeID]AuditCounters {
+	if w.audit == nil {
+		return nil
+	}
+	out := make(map[graph.NodeID]AuditCounters, len(w.audit.stats))
+	for id, c := range w.audit.stats {
+		out[id] = *c
+	}
+	return out
+}
+
+// AuditTotals sums the audit sublayer's counters over every entity (the
+// zero value when the sublayer is disabled).
+func (w *World) AuditTotals() AuditCounters {
+	var total AuditCounters
+	if w.audit == nil {
+		return total
+	}
+	for _, c := range w.audit.stats {
+		total.ReceiptsSent += c.ReceiptsSent
+		total.ReceiptsCarried += c.ReceiptsCarried
+		total.ProofsForwarded += c.ProofsForwarded
+		total.ProofsHeld += c.ProofsHeld
+		total.BadSig += c.BadSig
+		total.HeldDropped += c.HeldDropped
+	}
+	return total
+}
+
+// AuditSummary reports the run's equivocation ground truth against what
+// the gossip proved (the zero value when the sublayer is disabled).
+func (w *World) AuditSummary() AuditSummary {
+	var s AuditSummary
+	if w.audit == nil {
+		return s
+	}
+	for k, fps := range w.audit.truthFP {
+		if len(fps) < 2 {
+			continue
+		}
+		s.EquivocatedBroadcasts++
+		if w.audit.provenB[k] {
+			s.ProvenBroadcasts++
+		}
+	}
+	holders := make(map[graph.NodeID]int)
+	for pair := range w.audit.everProven {
+		holders[pair[1]]++
+	}
+	if len(holders) > 0 {
+		s.Holders = holders
+		for id := range holders {
+			s.ProvenOffenders = append(s.ProvenOffenders, id)
+		}
+		sort.Slice(s.ProvenOffenders, func(i, j int) bool {
+			return s.ProvenOffenders[i] < s.ProvenOffenders[j]
+		})
+	}
+	return s
+}

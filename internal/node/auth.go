@@ -17,6 +17,10 @@ package node
 // (signatures) plus cross-neighbor comparison, which per-pair MACs cannot
 // provide. The fault DSL models this distinction precisely: equivocation
 // clauses mutate the payload BEFORE tagging, corruption clauses after.
+// The opt-in audit sublayer (audit.go) supplies exactly that missing
+// piece: transferable per-message signatures plus cross-receiver receipt
+// gossip, converging on this layer's quarantine machinery once a lie is
+// proven.
 //
 // Quarantine is per-neighbor (per directed link), not global: entities
 // arrive anonymously and are known only to their neighbors, so there is no
@@ -31,6 +35,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/sim"
 )
 
 // Trace mark tags emitted by the authentication sublayer.
@@ -48,6 +53,9 @@ const (
 	// trace checkers can collect the quarantined set without knowing the
 	// sublayer's internals.
 	MarkAuthQuarantine = "auth.quarantine"
+	// MarkAuthParole is recorded at the OFFENDER when a receiver's parole
+	// timer reinstates a quarantined link (with a halved budget).
+	MarkAuthParole = "auth.parole"
 )
 
 // AuthConfig parameterizes the authentication sublayer.
@@ -64,6 +72,13 @@ type AuthConfig struct {
 	// Budget is the number of rejected copies a receiver tolerates from
 	// one claimed sender before quarantining that link. Default 3.
 	Budget int
+	// Parole, when positive, reinstates a quarantined link that many ticks
+	// after the quarantine decision — with the link's misbehavior budget
+	// HALVED, so a framed scapegoat recovers once the forger moves on while
+	// a repeat offender re-quarantines geometrically faster each round
+	// (budget 3 -> 1 -> 0, where 0 means the first further rejection
+	// re-quarantines). Zero keeps quarantine permanent (the E22 behavior).
+	Parole int64
 }
 
 func (ac AuthConfig) withDefaults() AuthConfig {
@@ -77,13 +92,18 @@ func (ac AuthConfig) withDefaults() AuthConfig {
 }
 
 // Validate reports the first configuration error, or nil. Zero fields mean
-// their defaults, exactly as in Config.Validate.
+// their defaults, exactly as in Config.Validate: ReplayWindow 0 selects the
+// default width of 64, so the rejected range is exactly what the message
+// states.
 func (ac AuthConfig) Validate() error {
 	if ac.ReplayWindow < 0 || ac.ReplayWindow > 64 {
-		return fmt.Errorf("node: auth ReplayWindow %d outside [1, 64]", ac.ReplayWindow)
+		return fmt.Errorf("node: auth ReplayWindow %d outside [0, 64] (0 means the default, 64)", ac.ReplayWindow)
 	}
 	if ac.Budget < 0 {
 		return fmt.Errorf("node: negative auth Budget %d", ac.Budget)
+	}
+	if ac.Parole < 0 {
+		return fmt.Errorf("node: negative auth Parole %d", ac.Parole)
 	}
 	return nil
 }
@@ -112,15 +132,19 @@ type QuarantineEvent struct {
 }
 
 // replayWindow is an IPsec-style sliding anti-replay window: the highest
-// accepted sequence number plus a bitmap of the w numbers below it.
+// accepted sequence number plus a bitmap of the w numbers below it. The
+// fresh state is an explicit flag, not a value encoding: (hi=0, bits=0)
+// never doubles as "uninitialized", so the first accepted sequence number
+// can be anything without aliasing the empty window.
 type replayWindow struct {
-	hi   uint64
-	bits uint64 // bit i set = hi-i accepted
+	inited bool
+	hi     uint64
+	bits   uint64 // bit i set = hi-i accepted
 }
 
 func (rw *replayWindow) accept(seq uint64, width int) bool {
-	if rw.hi == 0 && rw.bits == 0 {
-		rw.hi, rw.bits = seq, 1
+	if !rw.inited {
+		rw.inited, rw.hi, rw.bits = true, seq, 1
 		return true
 	}
 	if seq > rw.hi {
@@ -156,8 +180,12 @@ type authLayer struct {
 	windows     map[[2]graph.NodeID]*replayWindow
 	strikes     map[[2]graph.NodeID]int
 	quarantined map[[2]graph.NodeID]bool
-	stats       map[graph.NodeID]*AuthCounters
-	events      []QuarantineEvent
+	// budgets overrides cfg.Budget per link once parole has halved it;
+	// absent means the configured budget still applies.
+	budgets map[[2]graph.NodeID]int
+	stats   map[graph.NodeID]*AuthCounters
+	events  []QuarantineEvent
+	paroles []QuarantineEvent
 }
 
 func newAuthLayer(cfg AuthConfig) *authLayer {
@@ -168,6 +196,7 @@ func newAuthLayer(cfg AuthConfig) *authLayer {
 		windows:     make(map[[2]graph.NodeID]*replayWindow),
 		strikes:     make(map[[2]graph.NodeID]int),
 		quarantined: make(map[[2]graph.NodeID]bool),
+		budgets:     make(map[[2]graph.NodeID]int),
 		stats:       make(map[graph.NodeID]*AuthCounters),
 	}
 }
@@ -213,12 +242,18 @@ func fingerprint(payload any) uint64 {
 	return fnv1a(fmt.Sprintf("%T|%v", payload, payload))
 }
 
-// macFor computes the HMAC-style authenticator of one message.
-func (al *authLayer) macFor(from, to graph.NodeID, aseq uint64, tag string, payload any) uint64 {
+// macFor computes the HMAC-style authenticator of one message. The audit
+// sublayer's broadcast sequence number and signature are folded in when
+// present (both zero without the audit sublayer, which leaves the tag
+// unchanged), so a channel adversary cannot rewrite them in flight without
+// mangling the authenticator.
+func (al *authLayer) macFor(from, to graph.NodeID, aseq uint64, tag string, bseq, sig uint64, payload any) uint64 {
 	k := al.pairKey(from, to)
 	h := k ^ aseq*0xd6e8feb86659fd93
 	h ^= fnv1a(tag) * 0xa5a5a5a5a5a5a5a5
 	h ^= fingerprint(payload)
+	h ^= bseq * 0x8cb92ba72f3d8dd7
+	h ^= sig * 0xe7037ed1a0b428db
 	// One splitmix64 round so related inputs do not produce related tags.
 	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
 	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
@@ -231,7 +266,44 @@ func (al *authLayer) tag(m *Message) {
 	pair := [2]graph.NodeID{m.From, m.To}
 	al.nextSeq[pair]++
 	m.aseq = al.nextSeq[pair]
-	m.mac = al.macFor(m.From, m.To, m.aseq, m.Tag, m.Payload)
+	m.mac = al.macFor(m.From, m.To, m.aseq, m.Tag, m.bseq, m.sig, m.Payload)
+}
+
+// senderSnapshot extracts the per-pair send counters of one entity — the
+// volatile sender-side state a crash would lose unless persisted. The
+// returned map is detached from the layer.
+func (al *authLayer) senderSnapshot(id graph.NodeID) map[graph.NodeID]uint64 {
+	var out map[graph.NodeID]uint64
+	for pair, seq := range al.nextSeq {
+		if pair[0] != id {
+			continue
+		}
+		if out == nil {
+			out = make(map[graph.NodeID]uint64)
+		}
+		out[pair[1]] = seq
+	}
+	return out
+}
+
+// dropSenderState forgets an entity's per-pair send counters — what a
+// crash does to state that was only in memory. Without a restore from
+// stable storage, the recovered entity restarts its counters at 1 and its
+// first sends land inside peers' anti-replay windows as replays.
+func (al *authLayer) dropSenderState(id graph.NodeID) {
+	for pair := range al.nextSeq {
+		if pair[0] == id {
+			delete(al.nextSeq, pair)
+		}
+	}
+}
+
+// restoreSenderState reinstates persisted per-pair send counters on
+// recovery.
+func (al *authLayer) restoreSenderState(id graph.NodeID, seqs map[graph.NodeID]uint64) {
+	for to, seq := range seqs {
+		al.nextSeq[[2]graph.NodeID{id, to}] = seq
+	}
 }
 
 // admit is the receiver's first gate: quarantine filter, then
@@ -245,7 +317,7 @@ func (al *authLayer) admit(w *World, m Message) bool {
 		w.Trace.Drop(now, m.From, m.To, m.Tag)
 		return false
 	}
-	if m.aseq == 0 || m.mac != al.macFor(m.From, m.To, m.aseq, m.Tag, m.Payload) {
+	if m.aseq == 0 || m.mac != al.macFor(m.From, m.To, m.aseq, m.Tag, m.bseq, m.sig, m.Payload) {
 		al.counters(m.To).RejectedCorrupt++
 		w.Trace.Mark(now, m.To, MarkAuthRejectCorrupt)
 		w.Trace.Drop(now, m.From, m.To, m.Tag)
@@ -278,12 +350,33 @@ func (al *authLayer) admitSeq(w *World, m Message) bool {
 	return true
 }
 
+// budget returns the link's current misbehavior budget: the configured one
+// until parole has halved it.
+func (al *authLayer) budget(pair [2]graph.NodeID) int {
+	if b, ok := al.budgets[pair]; ok {
+		return b
+	}
+	return al.cfg.Budget
+}
+
 // strike charges one misbehavior to the (receiver, claimed sender) budget
 // and quarantines the link when it runs out.
 func (al *authLayer) strike(w *World, by, offender graph.NodeID) {
 	pair := [2]graph.NodeID{by, offender}
 	al.strikes[pair]++
-	if al.strikes[pair] <= al.cfg.Budget || al.quarantined[pair] {
+	if al.strikes[pair] <= al.budget(pair) || al.quarantined[pair] {
+		return
+	}
+	al.quarantine(w, by, offender)
+}
+
+// quarantine cuts the (by, offender) link and, with parole configured,
+// schedules its timed reinstatement. Both the budget path (strike) and the
+// audit sublayer's proof path converge here so parole governs every kind
+// of quarantine uniformly.
+func (al *authLayer) quarantine(w *World, by, offender graph.NodeID) {
+	pair := [2]graph.NodeID{by, offender}
+	if al.quarantined[pair] {
 		return
 	}
 	al.quarantined[pair] = true
@@ -291,6 +384,31 @@ func (al *authLayer) strike(w *World, by, offender graph.NodeID) {
 	al.counters(by).Quarantines++
 	w.Trace.Mark(now, offender, MarkAuthQuarantine)
 	al.events = append(al.events, QuarantineEvent{At: now, By: by, Offender: offender})
+	if al.cfg.Parole > 0 {
+		w.Engine.After(sim.Time(al.cfg.Parole), func() { al.parole(w, by, offender) })
+	}
+}
+
+// parole reinstates a quarantined link with its misbehavior budget halved:
+// the strike count resets, but the next quarantine of the same link needs
+// half as much evidence. A budget that reaches 0 re-quarantines on the
+// first further rejection — the geometric squeeze on repeat offenders.
+// Proof state the audit sublayer holds against the offender is cleared
+// too; re-conviction requires fresh conflicting receipts.
+func (al *authLayer) parole(w *World, by, offender graph.NodeID) {
+	pair := [2]graph.NodeID{by, offender}
+	if !al.quarantined[pair] {
+		return
+	}
+	delete(al.quarantined, pair)
+	al.strikes[pair] = 0
+	al.budgets[pair] = al.budget(pair) / 2
+	now := int64(w.Engine.Now())
+	w.Trace.Mark(now, offender, MarkAuthParole)
+	al.paroles = append(al.paroles, QuarantineEvent{At: now, By: by, Offender: offender})
+	if w.audit != nil {
+		w.audit.pardon(by, offender)
+	}
 }
 
 // AuthStats returns a copy of the per-entity receiver-side counters of the
@@ -332,4 +450,20 @@ func (w *World) QuarantineEvents() []QuarantineEvent {
 	out := make([]QuarantineEvent, len(w.auth.events))
 	copy(out, w.auth.events)
 	return out
+}
+
+// ParoleEvents returns the parole reinstatements of the run, in time order
+// (nil when the sublayer is disabled or parole never fired).
+func (w *World) ParoleEvents() []QuarantineEvent {
+	if w.auth == nil {
+		return nil
+	}
+	out := make([]QuarantineEvent, len(w.auth.paroles))
+	copy(out, w.auth.paroles)
+	return out
+}
+
+// Quarantined reports whether the (by, offender) link is currently cut.
+func (w *World) Quarantined(by, offender graph.NodeID) bool {
+	return w.auth != nil && w.auth.quarantined[[2]graph.NodeID{by, offender}]
 }

@@ -330,6 +330,111 @@ func TestReplayWindowSemantics(t *testing.T) {
 	}
 }
 
+// TestReplayWindowEdges exercises the exact boundaries the sliding
+// window's arithmetic turns on: the explicit uninitialized state (so the
+// first sequence number — even 0 — never aliases an empty window), the
+// bitmap shift at 63/64/65 (shifting a uint64 by >= 64 is not a plain
+// shift in Go), and the behind == width-1 / width acceptance edge.
+func TestReplayWindowEdges(t *testing.T) {
+	t.Run("first seq zero", func(t *testing.T) {
+		var rw replayWindow
+		if !rw.accept(0, 64) {
+			t.Fatal("the first sequence number 0 must be accepted")
+		}
+		if rw.accept(0, 64) {
+			t.Fatal("replay of the first sequence number 0 accepted")
+		}
+		if !rw.accept(1, 64) {
+			t.Fatal("advance past 0 rejected")
+		}
+	})
+	t.Run("first seq large", func(t *testing.T) {
+		var rw replayWindow
+		if !rw.accept(1<<40, 64) {
+			t.Fatal("a large first sequence number must be accepted")
+		}
+		if rw.accept(1<<40, 64) {
+			t.Fatal("replay of the first sequence number accepted")
+		}
+	})
+	t.Run("shift 63", func(t *testing.T) {
+		var rw replayWindow
+		rw.accept(100, 64)
+		if !rw.accept(163, 64) { // shift 63: bit for 100 lands at position 63
+			t.Fatal("jump by 63 rejected")
+		}
+		if rw.accept(100, 64) {
+			t.Fatal("seq 100 at behind 63 is still in the window and marked accepted")
+		}
+	})
+	t.Run("shift 64", func(t *testing.T) {
+		var rw replayWindow
+		rw.accept(100, 64)
+		if !rw.accept(164, 64) { // shift 64: the whole bitmap falls off
+			t.Fatal("jump by 64 rejected")
+		}
+		if rw.accept(100, 64) {
+			t.Fatal("seq 100 at behind 64 accepted despite behind >= width")
+		}
+		if !rw.accept(101, 64) { // behind 63: bitmap cleared, genuinely new
+			t.Fatal("seq 101 rejected — the shift-64 path must clear, not garble, the bitmap")
+		}
+	})
+	t.Run("shift 65", func(t *testing.T) {
+		var rw replayWindow
+		rw.accept(100, 64)
+		if !rw.accept(165, 64) {
+			t.Fatal("jump by 65 rejected")
+		}
+		if !rw.accept(102, 64) { // behind 63, cleared bitmap
+			t.Fatal("in-window seq after a 65 jump rejected")
+		}
+	})
+	t.Run("behind width edge", func(t *testing.T) {
+		var rw replayWindow
+		rw.accept(100, 4)
+		if !rw.accept(97, 4) { // behind 3 == width-1: judgeable, new
+			t.Fatal("behind width-1 rejected")
+		}
+		if rw.accept(96, 4) { // behind 4 == width: too old to judge
+			t.Fatal("behind width accepted")
+		}
+	})
+	t.Run("width 1", func(t *testing.T) {
+		var rw replayWindow
+		rw.accept(5, 1)
+		if rw.accept(5, 1) {
+			t.Fatal("replay of hi accepted at width 1")
+		}
+		if !rw.accept(7, 1) {
+			t.Fatal("advance rejected at width 1")
+		}
+		if rw.accept(6, 1) { // behind 1 >= width 1: everything but hi is too old
+			t.Fatal("width 1 accepted a late copy")
+		}
+		if !rw.accept(8, 1) {
+			t.Fatal("further advance rejected at width 1")
+		}
+	})
+	t.Run("width 64 full span", func(t *testing.T) {
+		var rw replayWindow
+		rw.accept(200, 64)
+		for behind := uint64(1); behind < 64; behind++ {
+			if !rw.accept(200-behind, 64) {
+				t.Fatalf("behind %d rejected on first sight", behind)
+			}
+		}
+		for behind := uint64(0); behind < 64; behind++ {
+			if rw.accept(200-behind, 64) {
+				t.Fatalf("behind %d accepted twice", behind)
+			}
+		}
+		if rw.accept(136, 64) { // behind 64 == width
+			t.Fatal("behind width accepted at width 64")
+		}
+	})
+}
+
 // TestAuthConfigValidate pins the edge cases.
 func TestAuthConfigValidate(t *testing.T) {
 	ok := []AuthConfig{{}, {Enabled: true}, {ReplayWindow: 64, Budget: 1}}

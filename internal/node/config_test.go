@@ -1,0 +1,103 @@
+package node
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSublayerConfigBoundaries is the table pinning every sublayer
+// config's Validate/withDefaults contract at its boundaries: zero means
+// the documented default (and always validates), the first out-of-range
+// value on each side is rejected, and the error message names the field
+// and agrees with the enforced range. A config whose message and check
+// disagree ships a lie to the operator; this table is where the two are
+// held together.
+func TestSublayerConfigBoundaries(t *testing.T) {
+	type probe struct {
+		name     string
+		validate func() error
+		wantErr  string // "" = must validate
+	}
+	probes := []probe{
+		// ReliableConfig: zero-valued fields select the defaults.
+		{"reliable zero", ReliableConfig{}.Validate, ""},
+		{"reliable explicit defaults", ReliableConfig{RetransmitAfter: 6, Backoff: 2, MaxRetries: 8, Jitter: 2, MinRTO: 2, MaxRTO: 64}.Validate, ""},
+		{"reliable backoff exactly 1", ReliableConfig{Backoff: 1}.Validate, ""},
+		{"reliable equal RTO bounds", ReliableConfig{MinRTO: 8, MaxRTO: 8}.Validate, ""},
+		{"reliable negative RetransmitAfter", ReliableConfig{RetransmitAfter: -1}.Validate, "RetransmitAfter"},
+		{"reliable negative Jitter", ReliableConfig{Jitter: -1}.Validate, "Jitter"},
+		{"reliable negative MaxRetries", ReliableConfig{MaxRetries: -1}.Validate, "MaxRetries"},
+		{"reliable shrinking Backoff", ReliableConfig{Backoff: 0.5}.Validate, "Backoff"},
+		{"reliable negative MinRTO", ReliableConfig{MinRTO: -1}.Validate, "RTO"},
+		{"reliable negative MaxRTO", ReliableConfig{MaxRTO: -1}.Validate, "RTO"},
+		{"reliable inverted RTO bounds", ReliableConfig{MinRTO: 9, MaxRTO: 8}.Validate, "MinRTO 9 exceeds MaxRTO 8"},
+
+		// AuthConfig: ReplayWindow lives in [0, 64], 0 meaning the default.
+		{"auth zero", AuthConfig{}.Validate, ""},
+		{"auth window low edge", AuthConfig{ReplayWindow: 1}.Validate, ""},
+		{"auth window high edge", AuthConfig{ReplayWindow: 64}.Validate, ""},
+		{"auth window below range", AuthConfig{ReplayWindow: -1}.Validate, "outside [0, 64]"},
+		{"auth window above range", AuthConfig{ReplayWindow: 65}.Validate, "outside [0, 64]"},
+		{"auth negative Budget", AuthConfig{Budget: -1}.Validate, "Budget"},
+		{"auth negative Parole", AuthConfig{Parole: -1}.Validate, "Parole"},
+
+		// AuditConfig: every knob is nonnegative, 0 meaning the default.
+		{"audit zero", AuditConfig{}.Validate, ""},
+		{"audit negative GossipInterval", AuditConfig{GossipInterval: -1}.Validate, "GossipInterval"},
+		{"audit negative GossipBudget", AuditConfig{GossipBudget: -1}.Validate, "GossipBudget"},
+		{"audit negative Retain", AuditConfig{Retain: -1}.Validate, "Retain"},
+		{"audit negative HoldFor", AuditConfig{HoldFor: -1}.Validate, "HoldFor"},
+	}
+	for _, p := range probes {
+		err := p.validate()
+		if p.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: should validate, got %v", p.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: should be rejected", p.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), p.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", p.name, err, p.wantErr)
+		}
+	}
+}
+
+// TestSublayerConfigDefaults pins what each zero field defaults to — the
+// boundary Validate's "0 means the default" promise depends on.
+func TestSublayerConfigDefaults(t *testing.T) {
+	rc := ReliableConfig{}.withDefaults()
+	if rc.RetransmitAfter != 6 || rc.Backoff != 2 || rc.MaxRetries != 8 ||
+		rc.Jitter != 2 || rc.MinRTO != 2 || rc.MaxRTO != 64 {
+		t.Errorf("reliable defaults: %+v", rc)
+	}
+	// Explicit values pass through untouched.
+	rc = ReliableConfig{RetransmitAfter: 3, Backoff: 1.5, MaxRetries: 2, Jitter: 1, MinRTO: 4, MaxRTO: 16}.withDefaults()
+	if rc.RetransmitAfter != 3 || rc.Backoff != 1.5 || rc.MaxRetries != 2 ||
+		rc.Jitter != 1 || rc.MinRTO != 4 || rc.MaxRTO != 16 {
+		t.Errorf("reliable explicit values rewritten: %+v", rc)
+	}
+
+	ac := AuthConfig{}.withDefaults()
+	if ac.ReplayWindow != 64 || ac.Budget != 3 {
+		t.Errorf("auth defaults: %+v", ac)
+	}
+	if got := (AuthConfig{ReplayWindow: 8, Budget: 1}).withDefaults(); got.ReplayWindow != 8 || got.Budget != 1 {
+		t.Errorf("auth explicit values rewritten: %+v", got)
+	}
+
+	dc := AuditConfig{}.withDefaults()
+	if dc.GossipInterval != 8 || dc.GossipBudget != 8 || dc.Retain != 256 || dc.HoldFor != 16 {
+		t.Errorf("audit defaults: %+v", dc)
+	}
+	// HoldFor's default follows the CONFIGURED gossip interval, not 8.
+	if got := (AuditConfig{GossipInterval: 5}).withDefaults(); got.HoldFor != 10 {
+		t.Errorf("audit HoldFor default should be 2*GossipInterval: %+v", got)
+	}
+	if got := (AuditConfig{GossipInterval: 5, HoldFor: 3}).withDefaults(); got.HoldFor != 3 {
+		t.Errorf("audit explicit HoldFor rewritten: %+v", got)
+	}
+}

@@ -38,6 +38,14 @@ type Message struct {
 	// aseq the receiver's anti-replay window has already accepted.
 	aseq uint64
 	mac  uint64
+	// bseq and sig are set by the audit sublayer: the sender's broadcast
+	// sequence number (one per logical broadcast — every per-neighbor copy
+	// of the same payload shares it) and the transferable signature over
+	// (sender key, bseq, payload fingerprint). Unlike mac, sig is
+	// verifiable by ANY receiver, so two receivers comparing receipts for
+	// one (sender, bseq) can prove equivocation to each other.
+	bseq uint64
+	sig  uint64
 }
 
 // Tamperable payloads know how to produce a corrupted-but-parseable copy
@@ -95,6 +103,13 @@ type Config struct {
 	// budget. Composes with Reliable: rejected copies are not acked, so
 	// the reliable sender retransmits a clean copy.
 	Auth AuthConfig
+	// Audit enables the equivocation audit sublayer (see AuditConfig) on
+	// top of Auth: senders sign every broadcast with a transferable
+	// signature, receivers gossip compact receipts to their neighbors, and
+	// two validly-signed receipts with one (sender, bseq) but different
+	// fingerprints are proof of equivocation — the prover quarantines the
+	// sender and forwards the pair so the proof propagates. Requires Auth.
+	Audit AuditConfig
 	// Store persists behavior snapshots across crash–recovery gaps
 	// (see Recoverable). Defaults to an in-memory store.
 	Store StableStore
@@ -124,7 +139,16 @@ func (cfg Config) Validate() error {
 	if err := cfg.Reliable.Validate(); err != nil {
 		return err
 	}
-	return cfg.Auth.Validate()
+	if err := cfg.Auth.Validate(); err != nil {
+		return err
+	}
+	if err := cfg.Audit.Validate(); err != nil {
+		return err
+	}
+	if cfg.Audit.Enabled && !cfg.Auth.Enabled {
+		return fmt.Errorf("node: the audit sublayer requires the auth sublayer (its receipts travel authenticated and its proofs quarantine through it)")
+	}
+	return nil
 }
 
 // Proc is one running entity.
@@ -176,8 +200,11 @@ type ChannelHook func(now sim.Time, from, to graph.NodeID, tag string) ChannelFa
 // is the Byzantine-sender surface: an equivocating entity signs its lies
 // with its real key, so they pass verification — unlike ChannelFault
 // corruption, which happens post-tag and is caught. Fault plans install
-// it next to the channel hook.
-type SenderHook func(now sim.Time, from, to graph.NodeID, tag string, payload any) (any, bool)
+// it next to the channel hook. bseq is the broadcast sequence number the
+// audit sublayer assigned to the HONEST payload (0 with the sublayer
+// off): per-neighbor copies of one logical broadcast share it, which is
+// what makes an equivocator's divergent lies comparable across receivers.
+type SenderHook func(now sim.Time, from, to graph.NodeID, tag string, bseq uint64, payload any) (any, bool)
 
 // World is a simulated dynamic system.
 type World struct {
@@ -196,6 +223,7 @@ type World struct {
 	sendHook     SenderHook
 	rel          *reliableLayer
 	auth         *authLayer
+	audit        *auditLayer
 	store        StableStore
 }
 
@@ -234,6 +262,9 @@ func NewWorld(engine *sim.Engine, overlay topology.Overlay, factory BehaviorFact
 	if cfg.Auth.Enabled {
 		w.auth = newAuthLayer(cfg.Auth.withDefaults())
 	}
+	if cfg.Audit.Enabled {
+		w.audit = newAuditLayer(cfg.Audit.withDefaults())
+	}
 	return w
 }
 
@@ -269,6 +300,9 @@ func (w *World) Join(id graph.NodeID) *Proc {
 	}
 	w.procs[id] = p
 	p.behavior.Init(p)
+	if w.audit != nil {
+		w.audit.start(p)
+	}
 	return p
 }
 
@@ -302,13 +336,31 @@ func (w *World) Leave(id graph.NodeID) {
 // If the entity's behavior implements Recoverable, its snapshot is saved
 // to the world's stable store so a later Recover can restore it: the
 // snapshot models state the entity had written durably before failing.
+// The auth sublayer's per-pair send counters are persisted alongside it
+// and their in-memory copies dropped: they are volatile sender state, and
+// a recovery that loses them would restart every counter at 1 — stale
+// numbers that land inside peers' anti-replay windows and read as
+// replays. (The audit sublayer's broadcast counters and signing key live
+// on the same stable storage by construction and survive in place.)
 func (w *World) Crash(id graph.NodeID) {
 	p, ok := w.procs[id]
 	if !ok {
 		return
 	}
+	snap := durableSnapshot{}
 	if rec, ok := p.behavior.(Recoverable); ok {
-		w.store.Save(id, rec.Snapshot())
+		snap.behavior, snap.hasBehavior = rec.Snapshot(), true
+	}
+	if w.auth != nil {
+		snap.authSeq = w.auth.senderSnapshot(id)
+		w.auth.dropSenderState(id)
+	}
+	if snap.authSeq != nil {
+		w.store.Save(id, snap)
+	} else if snap.hasBehavior {
+		// Nothing beyond the behavior's own snapshot is durable; store it
+		// bare, as pre-wrapper stores (and tests reading them) expect.
+		w.store.Save(id, snap.behavior)
 	}
 	now := int64(w.Engine.Now())
 	w.Trace.Mark(now, id, core.MarkCrash)
@@ -357,13 +409,30 @@ func (w *World) Recover(id graph.NodeID) *Proc {
 		alive:    true,
 	}
 	w.procs[id] = p
-	if snap, ok := w.store.Load(id); ok {
-		if rec, ok := p.behavior.(Recoverable); ok {
-			rec.Restore(p, snap)
-			return p
+	if raw, ok := w.store.Load(id); ok {
+		// Stores written before the durable wrapper existed (or by tests
+		// seeding snapshots directly) hold the bare behavior snapshot.
+		snap, wrapped := raw.(durableSnapshot)
+		if !wrapped {
+			snap = durableSnapshot{behavior: raw, hasBehavior: true}
+		}
+		if w.auth != nil && snap.authSeq != nil {
+			w.auth.restoreSenderState(id, snap.authSeq)
+		}
+		if snap.hasBehavior {
+			if rec, ok := p.behavior.(Recoverable); ok {
+				rec.Restore(p, snap.behavior)
+				if w.audit != nil {
+					w.audit.start(p)
+				}
+				return p
+			}
 		}
 	}
 	p.behavior.Init(p)
+	if w.audit != nil {
+		w.audit.start(p)
+	}
 	return p
 }
 
@@ -441,12 +510,26 @@ func (p *Proc) Send(to graph.NodeID, tag string, payload any) {
 		w.Trace.Drop(int64(w.Engine.Now()), p.ID, to, tag)
 		return
 	}
+	// The audit sublayer assigns the broadcast sequence number from the
+	// HONEST payload, before the sender hook can lie: every per-neighbor
+	// copy of one logical broadcast shares a bseq, so divergent copies are
+	// comparable across receivers. The signature is then computed over the
+	// FINAL payload — an equivocating sender signs its own lies, which is
+	// exactly what makes the receipt pair a transferable proof against it.
+	var bseq uint64
+	if w.audit != nil && w.audit.stamps(tag) {
+		bseq = w.audit.bseqFor(p.ID, tag, payload)
+	}
 	if w.sendHook != nil {
-		if rep, ok := w.sendHook(w.Engine.Now(), p.ID, to, tag, payload); ok {
+		if rep, ok := w.sendHook(w.Engine.Now(), p.ID, to, tag, bseq, payload); ok {
 			payload = rep
 		}
 	}
 	m := Message{From: p.ID, To: to, Tag: tag, Payload: payload}
+	if bseq != 0 {
+		m.bseq = bseq
+		m.sig = w.audit.sign(p.ID, bseq, payload)
+	}
 	if w.auth != nil {
 		w.auth.tag(&m)
 	}
@@ -563,6 +646,27 @@ func (w *World) deliver(m Message) {
 	}
 	if w.auth != nil && !w.auth.admitSeq(w, m) {
 		return
+	}
+	if w.audit != nil {
+		// Audit sublayer traffic (receipts, proof pairs) terminates here,
+		// like acks: behaviors never see it.
+		if m.Tag == AuditReceiptTag || m.Tag == AuditProofTag {
+			w.Trace.Deliver(now, m.To, m.From, m.Tag)
+			w.audit.onAudit(w, m)
+			return
+		}
+		// Record the receipt at arrival, then HOLD the delivery for the
+		// audit window: receipts gossip while the payload waits, so a
+		// proof of equivocation established in the meantime kills the lie
+		// before the behavior ever folds it in. Honest traffic pays the
+		// hold as uniform extra latency.
+		if m.bseq != 0 {
+			w.audit.observe(w, m)
+		}
+		if w.audit.cfg.HoldFor > 0 {
+			w.audit.hold(w, m)
+			return
+		}
 	}
 	w.Trace.Deliver(now, m.To, m.From, m.Tag)
 	q.behavior.Receive(q, m)

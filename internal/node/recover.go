@@ -56,3 +56,15 @@ func (s *MemStore) Load(id graph.NodeID) (any, bool) {
 
 // Delete implements StableStore.
 func (s *MemStore) Delete(id graph.NodeID) { delete(s.snaps, id) }
+
+// durableSnapshot is what Crash writes to the stable store: the behavior's
+// own snapshot (when it implements Recoverable) plus runtime sublayer
+// state the entity is modeled as having written durably — the auth
+// sublayer's per-pair send counters. Recover unwraps it; bare values in
+// the store (written by older code or seeded directly by tests) are
+// treated as behavior snapshots.
+type durableSnapshot struct {
+	behavior    any
+	hasBehavior bool
+	authSeq     map[graph.NodeID]uint64
+}

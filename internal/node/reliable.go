@@ -68,9 +68,7 @@ func (rc ReliableConfig) withDefaults() ReliableConfig {
 	if rc.MaxRetries == 0 {
 		rc.MaxRetries = 8
 	}
-	if rc.Jitter < 0 {
-		rc.Jitter = 0
-	} else if rc.Jitter == 0 {
+	if rc.Jitter == 0 {
 		rc.Jitter = 2
 	}
 	if rc.MinRTO == 0 {
@@ -87,7 +85,10 @@ func (rc ReliableConfig) withDefaults() ReliableConfig {
 // valid; explicitly out-of-range values are rejected.
 func (rc ReliableConfig) Validate() error {
 	if rc.RetransmitAfter < 0 {
-		return fmt.Errorf("node: non-positive RetransmitAfter %d", rc.RetransmitAfter)
+		return fmt.Errorf("node: negative RetransmitAfter %d", rc.RetransmitAfter)
+	}
+	if rc.Jitter < 0 {
+		return fmt.Errorf("node: negative Jitter %d", rc.Jitter)
 	}
 	if rc.MaxRetries < 0 {
 		return fmt.Errorf("node: negative retry budget MaxRetries %d", rc.MaxRetries)

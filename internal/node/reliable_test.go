@@ -90,7 +90,7 @@ func TestReliableGivesUpOnDeadChannel(t *testing.T) {
 	w, e, sink := pairWorld(Config{
 		Seed:     3,
 		LossRate: 1,
-		Reliable: ReliableConfig{Enabled: true, MaxRetries: 4, RetransmitAfter: 3, Jitter: -1},
+		Reliable: ReliableConfig{Enabled: true, MaxRetries: 4, RetransmitAfter: 3},
 	})
 	w.Proc(1).Send(2, "data", 1)
 	w.Proc(1).Send(2, "data", 2)
@@ -326,7 +326,7 @@ func TestAdaptiveTightensTimeout(t *testing.T) {
 		MaxLatency: 2,
 		Reliable: ReliableConfig{
 			Enabled: true, Adaptive: true,
-			RetransmitAfter: 40, Jitter: -1,
+			RetransmitAfter: 40,
 		},
 	})
 	const n = 10

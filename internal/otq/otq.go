@@ -129,6 +129,16 @@ type Outcome struct {
 	// misses the authentication layer itself caused (or that a forger
 	// caused by framing them) rather than protocol failures.
 	MissedQuarantined []graph.NodeID
+	// ProvenEquivocators lists the entities some receiver holds
+	// signature-backed equivocation proof against (the audit sublayer's
+	// core.MarkProvenEquivocator marks). Unlike Quarantined, this set
+	// cannot contain a framed scapegoat: membership requires the entity's
+	// own key on two divergent payloads of one broadcast.
+	ProvenEquivocators []graph.NodeID
+	// MissedProven restricts MissedStable to proven equivocators: misses
+	// the audit layer caused deliberately, each backed by transferable
+	// proof of the silenced entity's guilt.
+	MissedProven []graph.NodeID
 	// StableCount and CoveredStable quantify coverage of the stable set.
 	StableCount, CoveredStable int
 }
@@ -160,6 +170,19 @@ func (o Outcome) OK() bool { return o.Terminated && o.Valid() }
 func (o Outcome) ValidModuloQuarantine() bool {
 	return o.Terminated && len(o.Fabricated) == 0 && len(o.WrongValue) == 0 &&
 		len(o.MissedStable) == len(o.MissedQuarantined)
+}
+
+// ValidModuloProven is the strictly stronger excuse: every missed stable
+// participant is a PROVEN equivocator — silenced on transferable,
+// signature-backed evidence of its own guilt, not mere per-link
+// suspicion. ValidModuloProven implies ValidModuloQuarantine (a proven
+// equivocator is quarantined by its prover), and unlike it, this verdict
+// survives the framing attack: a forger can direct quarantines at a
+// scapegoat but cannot place the scapegoat's signature on two divergent
+// payloads. In a run without proven offenders it coincides with Valid.
+func (o Outcome) ValidModuloProven() bool {
+	return o.Terminated && len(o.Fabricated) == 0 && len(o.WrongValue) == 0 &&
+		len(o.MissedStable) == len(o.MissedProven)
 }
 
 func (o Outcome) String() string {
@@ -217,6 +240,11 @@ func CheckWith(tr *core.Trace, r *Run, valueOf func(graph.NodeID) float64, opts 
 	for _, id := range out.Quarantined {
 		quarantined[id] = true
 	}
+	out.ProvenEquivocators = tr.ProvenEquivocators()
+	proven := map[graph.NodeID]bool{}
+	for _, id := range out.ProvenEquivocators {
+		proven[id] = true
+	}
 	everPresent := map[graph.NodeID]bool{}
 	for _, id := range tr.EverPresentBetween(r.Started, ans.At) {
 		everPresent[id] = true
@@ -232,6 +260,9 @@ func CheckWith(tr *core.Trace, r *Run, valueOf func(graph.NodeID) float64, opts 
 			}
 			if quarantined[id] {
 				out.MissedQuarantined = append(out.MissedQuarantined, id)
+			}
+			if proven[id] {
+				out.MissedProven = append(out.MissedProven, id)
 			}
 		}
 	}
