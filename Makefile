@@ -41,6 +41,7 @@ fuzz:
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=10s ./internal/fault/
 	$(GO) test -fuzz=FuzzEquivSplit -fuzztime=10s ./internal/fault/
 	$(GO) test -fuzz=FuzzReceipt -fuzztime=10s ./internal/fault/
+	$(GO) test -fuzz=FuzzPullDigest -fuzztime=10s ./internal/node/
 
 fmt:
 	gofmt -w .

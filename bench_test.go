@@ -1,6 +1,6 @@
 package repro_test
 
-// One benchmark per experiment in the DESIGN.md index (E1-E23), each
+// One benchmark per experiment in the DESIGN.md index (E1-E24), each
 // executing a single representative cell of that experiment so that
 // `go test -bench=. -benchmem` regenerates the cost profile of the whole
 // suite. The full tables themselves are produced by cmd/otqbench.
@@ -558,6 +558,52 @@ func BenchmarkE23EquivAudit(b *testing.B) {
 		}
 		if !res.Outcome.ValidModuloProven() {
 			b.Fatalf("audit arm lost ValidModuloProven: %v", res.Outcome)
+		}
+	}
+}
+
+func BenchmarkE24ColludePull(b *testing.B) {
+	// Representative cell: the stretched echo wave on the chordal 16-ring
+	// with entity 3 colluding — partitioned victims, silence toward
+	// everyone else — and the audit sublayer running receipt pull
+	// anti-entropy (TTL 2) over pinned retention.
+	plan, err := fault.Parse("collude:nodes=3,peers=1+5,groups=2,p=1;seed=33")
+	if err != nil {
+		b.Fatal(err)
+	}
+	script := func(w *node.World, _ *sim.Engine) {
+		const n = 16
+		for i := 1; i <= n; i++ {
+			w.Join(graph.NodeID(i))
+		}
+		for i := 1; i <= n; i++ {
+			w.SetLink(graph.NodeID(i), graph.NodeID(i%n+1), true)
+			w.SetLink(graph.NodeID(i), graph.NodeID((i+1)%n+1), true)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		res := exp.Execute(exp.Scenario{
+			Seed:    uint64(i + 1),
+			Overlay: func(uint64) topology.Overlay { return topology.NewManual() },
+			Script:  script,
+			Protocol: func() otq.Protocol {
+				return &otq.EchoWave{RescanInterval: 3, QuietFor: 150, MaxRescans: 3000}
+			},
+			MinLatency: 1, MaxLatency: 2,
+			Faults:   plan,
+			Reliable: node.ReliableConfig{Enabled: true, RetransmitAfter: 5, MaxRetries: 6},
+			Auth:     node.AuthConfig{Enabled: true, Parole: 150},
+			Audit: node.AuditConfig{
+				Enabled: true, GossipInterval: 4, GossipBudget: 32, HoldFor: 40,
+				Pull: true, PullInterval: 8, PullTTL: 2,
+			},
+			QueryAt: 25, Horizon: 3000,
+		})
+		if !res.Outcome.Terminated {
+			b.Fatal("echo wave under collusion did not terminate")
+		}
+		if !res.Outcome.ValidModuloProven() {
+			b.Fatalf("pull arm lost ValidModuloProven: %v", res.Outcome)
 		}
 	}
 }

@@ -10,6 +10,7 @@
 //	ddsim -overlay ring -n 16 -protocol echo-wave -faults 'burst:pgb=0.1,pbg=0.2,lossbad=0.9;seed=7' -reliable
 //	ddsim -overlay ring -n 16 -protocol echo-wave -byzantine byz-storm -reliable -auth
 //	ddsim -overlay ring -n 16 -protocol echo-wave -byzantine equiv -reliable -audit -parole 150
+//	ddsim -overlay ring -n 16 -protocol echo-wave -faults 'collude:nodes=3,peers=1+5,groups=2,p=1' -reliable -pull -pull-ttl 2
 package main
 
 import (
@@ -48,6 +49,8 @@ func main() {
 		reliable    = flag.Bool("reliable", false, "run protocols over the ack/retransmit channel sublayer")
 		auth        = flag.Bool("auth", false, "run protocols over the authentication/quarantine channel sublayer")
 		audit       = flag.Bool("audit", false, "stack the equivocation audit sublayer (receipt gossip + proof forwarding; implies -auth)")
+		pull        = flag.Bool("pull", false, "add receipt pull anti-entropy to the audit sublayer (periodic store digests to rotating neighbors; implies -audit)")
+		pullTTL     = flag.Int("pull-ttl", 0, "forwarding budget of pull digests (0 = default 2)")
 		parole      = flag.Int64("parole", 0, "reinstate quarantined links after this many ticks, with a halved misbehavior budget (0 = permanent)")
 		bridge      = flag.Bool("bridge-recoveries", false, "judge Validity over recovery-bridged sessions (crashed-and-recovered entities count as stable)")
 	)
@@ -93,8 +96,8 @@ func main() {
 		cc.QuiesceAt = *quiesceAt
 	}
 	relCfg := node.ReliableConfig{Enabled: *reliable}
-	authCfg := node.AuthConfig{Enabled: *auth || *audit, Parole: *parole}
-	auditCfg := node.AuditConfig{Enabled: *audit}
+	authCfg := node.AuthConfig{Enabled: *auth || *audit || *pull, Parole: *parole}
+	auditCfg := node.AuditConfig{Enabled: *audit || *pull, Pull: *pull, PullTTL: *pullTTL}
 	if err := (node.Config{MinLatency: 1, MaxLatency: 2, Reliable: relCfg, Auth: authCfg, Audit: auditCfg}).Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "ddsim:", err)
 		os.Exit(2)
@@ -135,9 +138,13 @@ func main() {
 				res.Outcome.Quarantined, res.Outcome.MissedQuarantined)
 		}
 	}
-	if *audit {
+	if *audit || *pull {
 		fmt.Printf("audit sublayer: receipts sent %d (carrying %d), proofs forwarded %d, held-and-dropped %d\n",
 			res.Audit.ReceiptsSent, res.Audit.ReceiptsCarried, res.Audit.ProofsForwarded, res.Audit.HeldDropped)
+		if *pull {
+			fmt.Printf("pull anti-entropy: digests sent %d, relayed %d, answered %d; pins %d, evictions %d\n",
+				res.Audit.PullsSent, res.Audit.PullsRelayed, res.Audit.PullReplies, res.Audit.Pinned, res.Audit.Evicted)
+		}
 		fmt.Printf("audit evidence: %d equivocated broadcasts, %d proven; proven offenders %v\n",
 			res.AuditSummary.EquivocatedBroadcasts, res.AuditSummary.ProvenBroadcasts, res.AuditSummary.ProvenOffenders)
 		if len(res.Outcome.ProvenEquivocators) > 0 {

@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestE24PlansParse: the colluding-storm spec string parses and
+// validates in both flavors (with and without the chaff flood), and the
+// ground-truth colluder set matches the clauses' senders.
+func TestE24PlansParse(t *testing.T) {
+	for _, chaff := range []bool{false, true} {
+		pl := e24Plan(1, chaff)
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("chaff=%v: %v", chaff, err)
+		}
+		if len(pl.Clauses) != 3 {
+			t.Fatalf("chaff=%v: %d clauses, want one per colluder", chaff, len(pl.Clauses))
+		}
+		for _, c := range pl.Clauses {
+			if len(c.Nodes) != 1 || !e24Colluders[c.Nodes[0]] {
+				t.Fatalf("clause senders %v not in the ground-truth colluder set", c.Nodes)
+			}
+			if (c.Chaff > 0) != chaff {
+				t.Fatalf("chaff=%v but clause has Chaff=%d", chaff, c.Chaff)
+			}
+		}
+	}
+}
+
+// TestE24Deterministic: one pull-arm cell under a fixed seed replays the
+// byte-identical trace — digest rotation, forwarded walks, response
+// unwinding, pinning and evictions all come from seeded streams and
+// sorted iteration.
+func TestE24Deterministic(t *testing.T) {
+	arm := e24Arms[2] // pull ttl=2
+	encode := func() []byte {
+		r := e24Run(Config{Quick: true}, e24Wave(), 3, arm)
+		var buf bytes.Buffer
+		if err := core.EncodeTrace(&buf, r.tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(encode(), encode()) {
+		t.Fatal("identical seed produced different E24 traces")
+	}
+}
+
+// TestE24PullConvictsWherePushCannot is the tentpole's acceptance gate:
+// on the same seeds, the push-only arm proves under half of the
+// delivered colluding equivocations (in fact none — the partition
+// geometry is exactly the 1-hop blind spot) while the pull arm proves at
+// least 90%, earns ValidModuloProven, and never convicts an honest
+// entity.
+func TestE24PullConvictsWherePushCannot(t *testing.T) {
+	push, pull := e24Arms[0], e24Arms[2]
+	for s := 1; s <= 2; s++ {
+		seed := uint64(s)
+		pr := e24Run(Config{Quick: true}, e24Wave(), seed, push)
+		if pr.summary.EquivocatedBroadcasts == 0 {
+			t.Fatalf("seed %d: no divergent copy was delivered; the storm fizzled", s)
+		}
+		if frac, _ := e23ProvenFrac(pr.summary); frac >= 0.5 {
+			t.Errorf("seed %d: push-only proved %.2f; the collusion should defeat 1-hop push", s, frac)
+		}
+		dr := e24Run(Config{Quick: true}, e24Wave(), seed, pull)
+		frac, ok := e23ProvenFrac(dr.summary)
+		if !ok || frac < 0.9 {
+			t.Errorf("seed %d: pull arm proved %.2f (ok=%v), want >= 0.90", s, frac, ok)
+		}
+		if !dr.out.ValidModuloProven() {
+			t.Errorf("seed %d: pull arm not valid modulo proven: %+v", s, dr.out)
+		}
+		for _, id := range dr.tr.ProvenEquivocators() {
+			if !e24Colluders[id] {
+				t.Errorf("seed %d: honest entity %d convicted — framing should be impossible", s, id)
+			}
+		}
+		if n := len(e23FalseLinks(dr.quars, e24Colluders)); n != 0 {
+			t.Errorf("seed %d: %d honest links quarantined", s, n)
+		}
+		if dr.audit.PullsSent == 0 || dr.audit.PullReplies == 0 {
+			t.Errorf("seed %d: convictions did not travel the pull path: %+v", s, dr.audit)
+		}
+	}
+}
+
+// TestE24RetentionSavesConvictionUnderChaff: the bseq-cycling flood aimed
+// at a Retain-12 store. Under seed FIFO eviction the contested receipts
+// are churned out and fabricated values leak into answers on at least
+// one seed; the pinned policy (advertise before evicting, probationary
+// newcomers) holds every seed fabrication-free and valid.
+func TestE24RetentionSavesConvictionUnderChaff(t *testing.T) {
+	fifo, pinned := e24Arms[3], e24Arms[4]
+	fifoLeaked := false
+	for s := 1; s <= 3; s++ {
+		seed := uint64(s)
+		fr := e24Run(Config{Quick: true}, e24Wave(), seed, fifo)
+		if !fr.out.ValidModuloProven() || len(fr.out.Fabricated) > 0 {
+			fifoLeaked = true
+		}
+		pr := e24Run(Config{Quick: true}, e24Wave(), seed, pinned)
+		if !pr.out.ValidModuloProven() {
+			t.Errorf("seed %d: pinned retention lost validity under chaff: %+v", s, pr.out)
+		}
+		if n := len(pr.out.Fabricated); n != 0 {
+			t.Errorf("seed %d: pinned retention leaked %d fabricated values", s, n)
+		}
+		if pr.audit.Evicted == 0 {
+			t.Errorf("seed %d: the chaff flood never pressured the store; the attack fizzled", s)
+		}
+	}
+	if !fifoLeaked {
+		t.Error("FIFO retention survived every seed; the eviction attack demonstrates nothing")
+	}
+}

@@ -5,7 +5,7 @@
 //
 // The paper is a position paper with no numbered tables or figures; each
 // experiment here operationalizes one of its qualitative claims (C1-C6 in
-// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E23 are
+// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E24 are
 // ours and are indexed in DESIGN.md.
 package exp
 
@@ -232,5 +232,6 @@ func All() []Experiment {
 		{"E21", "fault storms: raw vs reliable channels, exact vs sketch", E21},
 		{"E22", "byzantine links: raw vs authenticated channels, exact vs sketch", E22},
 		{"E23", "equivocation storms: auth alone vs auth + audit with parole", E23},
+		{"E24", "colluding equivocators: 1-hop receipt push vs pull anti-entropy", E24},
 	}
 }

@@ -1,0 +1,170 @@
+package fault
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/node"
+)
+
+// TestColludeParseRoundTrip: the collude clause with every parameter —
+// including the chafffrom aim point — survives both canonical forms
+// unchanged, and the parsed fields land where Attach reads them.
+func TestColludeParseRoundTrip(t *testing.T) {
+	const src = "collude:nodes=3+7,peers=1+5+9,groups=3,p=0.75,chaff=40,chafffrom=72,chaffevery=2@10-900;seed=24"
+	pl := mustParse(t, src)
+	if len(pl.Clauses) != 1 {
+		t.Fatalf("parsed %d clauses", len(pl.Clauses))
+	}
+	c := pl.Clauses[0]
+	if c.Kind != KindCollude || len(c.Nodes) != 2 || len(c.Peers) != 3 ||
+		c.Groups != 3 || c.P != 0.75 || c.Chaff != 40 ||
+		c.ChaffFrom != 72 || c.ChaffEvery != 2 || c.From != 10 || c.To != 900 {
+		t.Fatalf("clause fields lost in parse: %+v", c)
+	}
+	again, err := Parse(pl.String())
+	if err != nil {
+		t.Fatalf("canonical form did not reparse: %v\n%s", err, pl.String())
+	}
+	if !reflect.DeepEqual(pl, again) {
+		t.Fatalf("string round trip changed the plan:\n%s\n%s", pl.String(), again.String())
+	}
+	data, err := json.Marshal(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pl, back) {
+		t.Fatalf("JSON round trip changed the plan:\n%s\n%s", pl.String(), back.String())
+	}
+}
+
+func TestColludeParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"collude:peers=2,p=1",                           // no colluding senders
+		"collude:nodes=3,p=1",                           // no victims
+		"collude:nodes=3,peers=2+5",                     // p=0 never fires
+		"collude:nodes=3,peers=2+5,p=1.5",               // probability out of range
+		"collude:nodes=3,peers=2+5,groups=1,p=1",        // one group is no partition
+		"collude:nodes=3,peers=2+5,groups=3,p=1",        // more groups than victims
+		"collude:nodes=3,peers=2+5,p=1,chaff=-1",        // negative chaff
+		"collude:nodes=3,peers=2+5,p=1,chafffrom=-1",    // negative chafffrom
+		"collude:nodes=3,peers=2+5,p=1,chaffevery=-1",   // negative chaffevery
+		"equiv:nodes=3,peers=2,p=1,chafffrom=10",        // chafffrom is collude-only
+		"dup:p=0.5,chaff=3",                             // chaff is collude-only
+		"collude:nodes=3,peers=2+5,p=1,groups=bananas",  // non-numeric groups
+		"collude:nodes=3,peers=2+5,p=1,chafffrom=1e5@0", // chafffrom must be an integer tick
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestColludeGroupConsistency pins the clause's defining property: the
+// lie is keyed on the victim's PARTITION, not the victim. On a 4-mesh
+// with sender 1 lying to peers 2+3+4 in two groups, peers 2 and 4 share
+// group 0 (round-robin by position) and must receive byte-identical
+// streams — receipts inside a partition can never conflict — while
+// group 1's peer 3 sees a different lie.
+func TestColludeGroupConsistency(t *testing.T) {
+	pl := mustParse(t, "collude:nodes=1,peers=2+3+4,groups=2,p=1;seed=6")
+	w, sinks := runByzPlan(t, pl, node.Config{Seed: 9}, 100)
+	if n := countTraceMarks(w.Trace, MarkCollude); n == 0 {
+		t.Fatal("no collusion was injected")
+	}
+	for id, s := range sinks {
+		if id != 1 && len(s.got) == 0 {
+			t.Fatalf("victim %d received nothing", id)
+		}
+	}
+	if honest(sinks[2].got) || honest(sinks[3].got) || honest(sinks[4].got) {
+		t.Fatal("every victim of a p=1 colluder should be lied to")
+	}
+	// Each victim's stream interleaves honest mesh chatter with the
+	// colluder's lies; the lies are the values != 1. One partition, one
+	// lie: mates must hold the identical tampered set.
+	if a, b := lies(sinks[2].got), lies(sinks[4].got); !reflect.DeepEqual(a, b) {
+		t.Fatalf("partition mates diverged: %v vs %v", a, b)
+	}
+	if a, b := lies(sinks[2].got), lies(sinks[3].got); reflect.DeepEqual(a, b) {
+		t.Fatal("distinct partitions received the identical lie")
+	}
+}
+
+// lies extracts the distinct tampered values from a received stream (the
+// honest chatter is the constant 1).
+func lies(got []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range got {
+		if v != 1 && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestColludeSilencesNonVictims: outside its victim set the colluder is
+// mute — the channel hook eats its data traffic so no honest witness
+// ever distills a receipt to compare against the lies. Here 4 is not a
+// peer, so it must hear nothing from 1 while the victims still do.
+func TestColludeSilencesNonVictims(t *testing.T) {
+	pl := mustParse(t, "collude:nodes=1,peers=2+3,p=1;seed=6")
+	_, sinks := runByzPlan(t, pl, node.Config{Seed: 9}, 100)
+	if len(sinks[2].got) == 0 || len(sinks[3].got) == 0 {
+		t.Fatal("victims should still receive the (lied-to) stream")
+	}
+	// 4 receives from 2 and 3 (honest mesh chatter) but never from the
+	// silenced 1: every value it holds must be the honest 1, since only
+	// colluder 1 tampers.
+	if !honest(sinks[4].got) {
+		t.Fatalf("non-victim 4 received tampered values from the silenced colluder: %v", sinks[4].got)
+	}
+	if got, want := len(sinks[4].got), len(sinks[2].got); got >= want {
+		t.Fatalf("silence dropped nothing: non-victim got %d values, victim %d", got, want)
+	}
+}
+
+// TestColludeChaffSchedule: chafffrom aims the bseq-cycling flood at an
+// absolute tick. With chafffrom=40 no chaff may arrive before t=40, and
+// exactly chaff×|peers| chaff messages arrive in total (one logical
+// broadcast per round, delivered to each victim); without chafffrom the
+// flood starts right after the clause window opens.
+func TestColludeChaffSchedule(t *testing.T) {
+	pl := mustParse(t, "collude:nodes=1,peers=2+3,p=1,chaff=5,chafffrom=40,chaffevery=2;seed=6")
+	w, _ := runByzPlan(t, pl, node.Config{Seed: 9}, 100)
+	first, n := chaffDeliveries(w)
+	if n != 10 {
+		t.Fatalf("delivered %d chaff messages, want 5 rounds x 2 victims", n)
+	}
+	if first < 40 {
+		t.Fatalf("chaff arrived at t=%d, before the chafffrom=40 aim point", first)
+	}
+	pl = mustParse(t, "collude:nodes=1,peers=2+3,p=1,chaff=5,chaffevery=2@20-;seed=6")
+	w, _ = runByzPlan(t, pl, node.Config{Seed: 9}, 100)
+	if first, n = chaffDeliveries(w); n != 10 || first >= 40 {
+		t.Fatalf("default chaff start: first=%d n=%d, want early start after window open", first, n)
+	}
+}
+
+// chaffDeliveries scans the trace for ChaffTag deliveries, returning the
+// earliest delivery time and the count.
+func chaffDeliveries(w *node.World) (first int64, n int) {
+	first = 1 << 30
+	for _, ev := range w.Trace.Events() {
+		if ev.Kind == core.TDeliver && ev.Tag == ChaffTag {
+			n++
+			if int64(ev.At) < first {
+				first = int64(ev.At)
+			}
+		}
+	}
+	return first, n
+}

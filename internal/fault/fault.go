@@ -42,6 +42,20 @@
 //     authentication layer tags them, so the lies carry valid tags;
 //     per-pair authentication cannot catch a sender that signs its own
 //     lies.
+//   - collude: the equivocation sharpened against the audit sublayer's
+//     geography. The chosen senders partition their Peers into Groups
+//     victim sets: every victim in one group receives the IDENTICAL lie
+//     (so no victim ever self-conflicts), different groups receive
+//     divergent lies, and all traffic from the sender to anyone OUTSIDE
+//     Peers is silenced (acks excepted) — no honest witness ever holds a
+//     receipt to compare. Unless two victims of different groups are
+//     adjacent, 1-hop receipt gossip can never bring the conflicting
+//     pair together; convicting needs the audit layer's pull
+//     anti-entropy. Chaff > 0 additionally schedules that many rounds of
+//     fresh honest broadcasts to the victims (every ChaffEvery ticks,
+//     starting at ChaffFrom when set), cycling broadcast numbers to push
+//     the contested receipts out of a bounded FIFO store — the retention
+//     attack named in ROADMAP.
 //
 // Channel clauses compose: each active clause inspects every transmission
 // in plan order, and their verdicts accumulate (drops win, delays and
@@ -74,7 +88,13 @@ const (
 	KindReplay    Kind = "replay"
 	KindForge     Kind = "forge"
 	KindEquiv     Kind = "equiv"
+	KindCollude   Kind = "collude"
 )
+
+// ChaffTag tags the honest filler broadcasts a collude clause's Chaff
+// schedule sends to its victims. Behaviors ignore the tag; the audit
+// sublayer still stamps and receipts it, which is the attack.
+const ChaffTag = "fault.chaff"
 
 // Trace mark tags recorded at injection time (subject entity: the sender
 // for channel faults, the victim for lifecycle faults — the crash and
@@ -90,6 +110,7 @@ const (
 	MarkReplay    = "fault.replay"
 	MarkForge     = "fault.forge"
 	MarkEquiv     = "fault.equiv"
+	MarkCollude   = "fault.collude"
 )
 
 // Clause is one typed fault with an activity window. Fields are
@@ -130,8 +151,25 @@ type Clause struct {
 	// As is the sender a forge clause claims its transmissions came from.
 	As *graph.NodeID `json:"as,omitempty"`
 	// Peers are the destinations an equiv clause sends its divergent
-	// copies to; everyone else receives the honest copy.
+	// copies to; everyone else receives the honest copy. For collude,
+	// Peers are the victims, partitioned into Groups.
 	Peers []graph.NodeID `json:"peers,omitempty"`
+	// Groups is the number of victim partitions of a collude clause
+	// (victims are assigned round-robin by their position in Peers).
+	// 0 means the default of 2.
+	Groups int `json:"groups,omitempty"`
+	// Chaff, on a collude clause, schedules that many rounds of honest
+	// filler broadcasts from each colluding sender to its victims,
+	// starting at the window's From; 0 disables.
+	Chaff int `json:"chaff,omitempty"`
+	// ChaffFrom is the absolute tick the first chaff round fires at; 0
+	// starts right after the clause window opens. Decoupled from the
+	// window so the flood can be aimed at receipts already in store (the
+	// eviction attack) without delaying the lies themselves.
+	ChaffFrom sim.Time `json:"chafffrom,omitempty"`
+	// ChaffEvery is the tick spacing of chaff rounds. 0 means the
+	// default of 2.
+	ChaffEvery sim.Time `json:"chaffevery,omitempty"`
 }
 
 func probability(name string, p float64) error {
@@ -243,6 +281,31 @@ func (c *Clause) Validate() error {
 		if len(c.Peers) == 0 {
 			return fmt.Errorf("fault: equiv clause needs the peers to lie to")
 		}
+	case KindCollude:
+		if err := probability("collude p", c.P); err != nil {
+			return err
+		}
+		if c.P == 0 {
+			return fmt.Errorf("fault: collude clause with p=0 never fires")
+		}
+		if len(c.Nodes) == 0 {
+			return fmt.Errorf("fault: collude clause needs explicit colluding senders")
+		}
+		if len(c.Peers) == 0 {
+			return fmt.Errorf("fault: collude clause needs the victim peers")
+		}
+		if g := c.Groups; g != 0 && (g < 2 || g > len(c.Peers)) {
+			return fmt.Errorf("fault: collude groups %d outside [2, %d]", g, len(c.Peers))
+		}
+		if c.Chaff < 0 {
+			return fmt.Errorf("fault: negative collude chaff %d", c.Chaff)
+		}
+		if c.ChaffEvery < 0 {
+			return fmt.Errorf("fault: negative collude chaffevery %d", c.ChaffEvery)
+		}
+		if c.ChaffFrom < 0 {
+			return fmt.Errorf("fault: negative collude chafffrom %d", c.ChaffFrom)
+		}
 	default:
 		return fmt.Errorf("fault: unknown clause kind %q", c.Kind)
 	}
@@ -285,6 +348,21 @@ func (c *Clause) matchesPeer(id graph.NodeID) bool {
 	return false
 }
 
+// groupOf maps a collude victim to its partition: round-robin by
+// position in Peers over the effective group count.
+func (c *Clause) groupOf(id graph.NodeID) int {
+	g := c.Groups
+	if g <= 0 {
+		g = 2
+	}
+	for i, p := range c.Peers {
+		if p == id {
+			return i % g
+		}
+	}
+	return 0
+}
+
 // Plan is a deterministic, seedable schedule of fault clauses.
 type Plan struct {
 	// Seed drives every random draw the plan makes, independently of the
@@ -319,7 +397,7 @@ func (pl *Plan) Attach(w *node.World) (stop func()) {
 	e := &engine{plan: pl, r: rng.New(pl.Seed ^ 0xfa017a57), burstBad: make([]bool, len(pl.Clauses))}
 	w.SetChannelHook(e.hook(w))
 	for _, c := range pl.Clauses {
-		if c.Kind == KindEquiv {
+		if c.Kind == KindEquiv || c.Kind == KindCollude {
 			w.SetSenderHook(e.senderHook(w))
 			break
 		}
@@ -327,28 +405,62 @@ func (pl *Plan) Attach(w *node.World) (stop func()) {
 	var events []*sim.Event
 	for i := range pl.Clauses {
 		c := &pl.Clauses[i]
-		if c.Kind != KindCrash {
-			continue
-		}
-		for _, id := range c.Nodes {
-			id := id
-			at := c.From
-			if at < w.Engine.Now() {
-				at = w.Engine.Now()
-			}
-			events = append(events, w.Engine.At(at, func() {
-				if w.Proc(id) == nil {
-					return // already gone; nothing to crash
+		switch c.Kind {
+		case KindCrash:
+			for _, id := range c.Nodes {
+				id := id
+				at := c.From
+				if at < w.Engine.Now() {
+					at = w.Engine.Now()
 				}
-				w.Crash(id)
-				if c.RecoverAfter > 0 {
-					events = append(events, w.Engine.After(c.RecoverAfter, func() {
-						if w.Proc(id) == nil {
-							w.Recover(id)
+				events = append(events, w.Engine.At(at, func() {
+					if w.Proc(id) == nil {
+						return // already gone; nothing to crash
+					}
+					w.Crash(id)
+					if c.RecoverAfter > 0 {
+						events = append(events, w.Engine.After(c.RecoverAfter, func() {
+							if w.Proc(id) == nil {
+								w.Recover(id)
+							}
+						}))
+					}
+				}))
+			}
+		case KindCollude:
+			if c.Chaff <= 0 {
+				continue
+			}
+			every := c.ChaffEvery
+			if every <= 0 {
+				every = 2
+			}
+			start := c.ChaffFrom
+			if start <= 0 {
+				start = c.From + 1
+			}
+			for _, id := range c.Nodes {
+				id := id
+				for round := 0; round < c.Chaff; round++ {
+					round := round
+					at := start + sim.Time(round)*every
+					if at < w.Engine.Now() {
+						at = w.Engine.Now()
+					}
+					events = append(events, w.Engine.At(at, func() {
+						p := w.Proc(id)
+						if p == nil || !p.Alive() {
+							return
+						}
+						// Distinct payload per round = fresh broadcast
+						// number per round; both victims of one round share
+						// it (one logical broadcast).
+						for _, peer := range c.Peers {
+							p.Send(peer, ChaffTag, round)
 						}
 					}))
 				}
-			}))
+			}
 		}
 	}
 	return func() {
@@ -445,6 +557,16 @@ func (e *engine) hook(w *node.World) node.ChannelHook {
 					f.SpoofFrom = c.As
 					w.Trace.Mark(t, from, MarkForge)
 				}
+			case KindCollude:
+				// A colluder goes silent toward everyone outside its victim
+				// set — no honest witness ever distills a receipt of its
+				// broadcasts to compare against the lies. Acks still flow so
+				// the silence reads as the sender having nothing to say, not
+				// as a dead link retransmitted into forever.
+				if c.matchesNode(from) && !c.matchesPeer(to) && tag != node.AckTag {
+					f.Drop = true
+					w.Trace.Mark(t, from, MarkCollude)
+				}
 			}
 		}
 		return f
@@ -485,13 +607,29 @@ func (e *engine) senderHook(w *node.World) node.SenderHook {
 		applied := false
 		for i := range e.plan.Clauses {
 			c := &e.plan.Clauses[i]
-			if c.Kind != KindEquiv || !c.activeAt(now) ||
+			if (c.Kind != KindEquiv && c.Kind != KindCollude) || !c.activeAt(now) ||
 				!c.matchesNode(from) || !c.matchesPeer(to) {
 				continue
 			}
-			r := e.r
-			if bseq != 0 {
-				r = e.lieRNG(from, to, bseq)
+			var r *rng.Rand
+			mark := MarkEquiv
+			switch c.Kind {
+			case KindEquiv:
+				r = e.r
+				if bseq != 0 {
+					r = e.lieRNG(from, to, bseq)
+				}
+			case KindCollude:
+				// The clause's own chaff is honest filler by design: lying
+				// on it would hand every victim pair fresh evidence.
+				if tag == ChaffTag {
+					continue
+				}
+				// Keying the lie on the GROUP (not the peer) makes all
+				// victims of one partition receive the identical lie —
+				// receipts inside a group can never conflict.
+				r = e.colludeRNG(from, bseq, c.groupOf(to))
+				mark = MarkCollude
 			}
 			if !r.Bool(c.P) {
 				continue
@@ -502,7 +640,7 @@ func (e *engine) senderHook(w *node.World) node.SenderHook {
 			}
 			payload = tp.Tamper(r)
 			applied = true
-			w.Trace.Mark(core.Time(now), from, MarkEquiv)
+			w.Trace.Mark(core.Time(now), from, mark)
 		}
 		return payload, applied
 	}
@@ -516,5 +654,16 @@ func (e *engine) lieRNG(from, to graph.NodeID, bseq uint64) *rng.Rand {
 		uint64(from)*0x9e3779b97f4a7c15 ^
 		uint64(to)*0xc2b2ae3d27d4eb4f ^
 		bseq*0x165667b19e3779f9
+	return rng.New(seed)
+}
+
+// colludeRNG derives the lie stream of one colluding broadcast toward one
+// victim GROUP: all members of the group draw from the same stream, so
+// they receive the identical lie, while different groups diverge.
+func (e *engine) colludeRNG(from graph.NodeID, bseq uint64, group int) *rng.Rand {
+	seed := e.plan.Seed ^
+		uint64(from)*0x9e3779b97f4a7c15 ^
+		bseq*0x165667b19e3779f9 ^
+		(uint64(group)+1)*0x27d4eb2f165667c5
 	return rng.New(seed)
 }

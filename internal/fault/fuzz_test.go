@@ -32,6 +32,8 @@ func FuzzParse(f *testing.F) {
 		"forge:nodes=7,as=5,p=0.3",
 		"equiv:nodes=3,peers=2+5,p=1",
 		"corrupt:nodes=1,p=0.5;replay:p=0.2;forge:as=2,p=0.1;equiv:nodes=1,peers=3,p=1;seed=9",
+		"collude:nodes=3,peers=1+5,groups=2,p=1",
+		"collude:nodes=3+7,peers=1+5+9,groups=3,p=0.75,chaff=40,chafffrom=72,chaffevery=2@10-900;seed=24",
 	} {
 		f.Add(seed)
 	}

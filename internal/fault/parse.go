@@ -100,6 +100,7 @@ var allowedKeys = map[Kind]map[string]bool{
 	KindReplay:    {"nodes": true, "p": true, "window": true},
 	KindForge:     {"nodes": true, "as": true, "p": true},
 	KindEquiv:     {"nodes": true, "peers": true, "p": true},
+	KindCollude:   {"nodes": true, "peers": true, "groups": true, "p": true, "chaff": true, "chafffrom": true, "chaffevery": true},
 }
 
 func (c *Clause) setParam(key, val string) error {
@@ -123,6 +124,14 @@ func (c *Clause) setParam(key, val string) error {
 		c.Delay, err = parseT()
 	case "recover":
 		c.RecoverAfter, err = parseT()
+	case "groups":
+		c.Groups, err = strconv.Atoi(val)
+	case "chaff":
+		c.Chaff, err = strconv.Atoi(val)
+	case "chafffrom":
+		c.ChaffFrom, err = parseT()
+	case "chaffevery":
+		c.ChaffEvery, err = parseT()
 	case "pgb":
 		c.PGB, err = parseF()
 	case "pbg":
@@ -248,6 +257,22 @@ func (c Clause) String() string {
 		add("nodes", fmtNodes(c.Nodes))
 		add("peers", fmtNodes(c.Peers))
 		add("p", fmtF(c.P))
+	case KindCollude:
+		add("nodes", fmtNodes(c.Nodes))
+		add("peers", fmtNodes(c.Peers))
+		if c.Groups != 0 {
+			add("groups", strconv.Itoa(c.Groups))
+		}
+		add("p", fmtF(c.P))
+		if c.Chaff != 0 {
+			add("chaff", strconv.Itoa(c.Chaff))
+		}
+		if c.ChaffFrom != 0 {
+			add("chafffrom", strconv.FormatInt(int64(c.ChaffFrom), 10))
+		}
+		if c.ChaffEvery != 0 {
+			add("chaffevery", strconv.FormatInt(int64(c.ChaffEvery), 10))
+		}
 	}
 	s := string(c.Kind)
 	if len(params) > 0 {

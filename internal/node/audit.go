@@ -64,6 +64,12 @@ const (
 	AuditReceiptTag = "node.audit-receipt"
 	// AuditProofTag carries a convicting receipt pair ([2]Receipt).
 	AuditProofTag = "node.audit-proof"
+	// AuditPullTag carries a receipt digest (PullRequest) on its bounded
+	// walk away from the origin.
+	AuditPullTag = "node.audit-pull"
+	// AuditPullRespTag carries divergent receipts (PullResponse) hopping
+	// back along the request's recorded path.
+	AuditPullRespTag = "node.audit-pull-resp"
 )
 
 // Trace mark tags emitted by the audit sublayer. The conviction itself is
@@ -98,7 +104,53 @@ type AuditConfig struct {
 	// ticks before reaching the behavior, giving receipts time to gossip
 	// and proofs time to land. Default 2*GossipInterval.
 	HoldFor sim.Time
+	// Pull enables receipt pull anti-entropy: each entity periodically
+	// sends a compact digest of its held (sender, bseq, fingerprint) keys
+	// on a bounded-TTL walk through rotating neighbor subsets; whoever
+	// holds a receipt whose fingerprint DIVERGES from a digest entry
+	// returns it along the walk's path. Push gossip alone never re-shares
+	// gossiped-in receipts, so two victims in disjoint partitions of a
+	// colluding equivocator's victim set stay ignorant of each other
+	// forever; pull digests cover the whole store and close that gap.
+	Pull bool
+	// PullInterval is the pull-digest cadence in ticks. Default
+	// 2*GossipInterval.
+	PullInterval sim.Time
+	// PullTTL bounds the walk length in hops: 1 reaches neighbors, 2
+	// reaches neighbors-of-neighbors, and so on. Default 2, max 16.
+	PullTTL int
+	// PullFanout is how many targets each hop forwards the digest to,
+	// rotating deterministically through the neighbor list round by
+	// round. Default 2.
+	PullFanout int
+	// PullBudget caps the digest entries per request; a larger store is
+	// advertised incrementally by a rotating cursor. Default 64.
+	PullBudget int
+	// Retention selects the receipt eviction policy: RetentionPinned
+	// (default) or RetentionFIFO (the original behavior, kept so the
+	// bseq-cycling eviction attack stays measurable).
+	Retention string
 }
+
+// Retention policies for the receipt store.
+const (
+	// RetentionPinned never evicts receipts pinned as known-divergent,
+	// and orders the rest advertise-before-evict: a receipt whose
+	// fingerprint has gone out in at least one pull digest is evictable
+	// (oldest such first — its anti-entropy chance has been taken), while
+	// a store holding only never-advertised receipts churns its
+	// probationary newest half FIFO and leaves the oldest half waiting
+	// for its digest turn. A bseq-cycling flood then mostly displaces its
+	// own fresh chaff; the older contested receipt keeps its store slot
+	// until a digest has advertised it, which is the window a conviction
+	// needs — and with pull disabled it keeps the slot outright.
+	RetentionPinned = "pinned"
+	// RetentionFIFO evicts the oldest receipt first, unconditionally.
+	RetentionFIFO = "fifo"
+)
+
+// maxPullTTL bounds the digest walk length representable on the wire.
+const maxPullTTL = 16
 
 func (ac AuditConfig) withDefaults() AuditConfig {
 	if ac.GossipInterval == 0 {
@@ -112,6 +164,21 @@ func (ac AuditConfig) withDefaults() AuditConfig {
 	}
 	if ac.HoldFor == 0 {
 		ac.HoldFor = 2 * ac.GossipInterval
+	}
+	if ac.PullInterval == 0 {
+		ac.PullInterval = 2 * ac.GossipInterval
+	}
+	if ac.PullTTL == 0 {
+		ac.PullTTL = 2
+	}
+	if ac.PullFanout == 0 {
+		ac.PullFanout = 2
+	}
+	if ac.PullBudget == 0 {
+		ac.PullBudget = 64
+	}
+	if ac.Retention == "" {
+		ac.Retention = RetentionPinned
 	}
 	return ac
 }
@@ -130,6 +197,23 @@ func (ac AuditConfig) Validate() error {
 	}
 	if ac.HoldFor < 0 {
 		return fmt.Errorf("node: negative audit HoldFor %d", ac.HoldFor)
+	}
+	if ac.PullInterval < 0 {
+		return fmt.Errorf("node: negative audit PullInterval %d", ac.PullInterval)
+	}
+	if ac.PullTTL < 0 || ac.PullTTL > maxPullTTL {
+		return fmt.Errorf("node: audit PullTTL %d outside [0, %d]", ac.PullTTL, maxPullTTL)
+	}
+	if ac.PullFanout < 0 {
+		return fmt.Errorf("node: negative audit PullFanout %d", ac.PullFanout)
+	}
+	if ac.PullBudget < 0 {
+		return fmt.Errorf("node: negative audit PullBudget %d", ac.PullBudget)
+	}
+	switch ac.Retention {
+	case "", RetentionPinned, RetentionFIFO:
+	default:
+		return fmt.Errorf("node: unknown audit Retention %q", ac.Retention)
 	}
 	return nil
 }
@@ -172,6 +256,91 @@ func DecodeReceipt(b []byte) (Receipt, error) {
 		FP:     binary.LittleEndian.Uint64(b[16:]),
 		Sig:    binary.LittleEndian.Uint64(b[24:]),
 	}, nil
+}
+
+// DigestEntry is one line of a pull digest: "I hold a receipt binding
+// this sender's broadcast number to this fingerprint." A responder that
+// holds the same (Sender, BSeq) under a DIFFERENT fingerprint has, with
+// the entry's origin, the two halves of a conviction.
+type DigestEntry struct {
+	Sender graph.NodeID
+	BSeq   uint64
+	FP     uint64
+}
+
+// PullRequest is a receipt digest on a bounded walk. Path records the
+// hops taken (Path[0] == Origin), both to route responses back and to
+// keep the walk loop-free; TTL is the remaining forward budget.
+type PullRequest struct {
+	Origin graph.NodeID
+	TTL    int
+	Path   []graph.NodeID
+	Digest []DigestEntry
+}
+
+// PullResponse carries receipts that diverged from a digest, unwinding
+// hop by hop along the request's recorded path. Every entity on the way
+// back verifies and records them — and convicts — independently.
+type PullResponse struct {
+	Path     []graph.NodeID
+	Receipts []Receipt
+}
+
+// Pull digest wire form: a 12-byte header (origin, ttl, entry count)
+// followed by 24 bytes per entry.
+const (
+	digestHeaderWire = 12
+	digestEntryWire  = 24
+)
+
+// EncodePullDigest renders a digest in its canonical wire form. The TTL
+// must lie in [0, maxPullTTL] and the entry count must fit 16 bits.
+func EncodePullDigest(origin graph.NodeID, ttl int, entries []DigestEntry) []byte {
+	if ttl < 0 || ttl > maxPullTTL {
+		panic(fmt.Sprintf("node: pull digest TTL %d outside [0, %d]", ttl, maxPullTTL))
+	}
+	if len(entries) > 0xffff {
+		panic(fmt.Sprintf("node: pull digest with %d entries", len(entries)))
+	}
+	out := make([]byte, digestHeaderWire+digestEntryWire*len(entries))
+	binary.LittleEndian.PutUint64(out[0:], uint64(origin))
+	binary.LittleEndian.PutUint16(out[8:], uint16(ttl))
+	binary.LittleEndian.PutUint16(out[10:], uint16(len(entries)))
+	for i, e := range entries {
+		off := digestHeaderWire + digestEntryWire*i
+		binary.LittleEndian.PutUint64(out[off:], uint64(e.Sender))
+		binary.LittleEndian.PutUint64(out[off+8:], e.BSeq)
+		binary.LittleEndian.PutUint64(out[off+16:], e.FP)
+	}
+	return out
+}
+
+// DecodePullDigest parses the canonical wire form, rejecting truncated
+// headers, entry counts that disagree with the length, and out-of-range
+// TTLs.
+func DecodePullDigest(b []byte) (graph.NodeID, int, []DigestEntry, error) {
+	if len(b) < digestHeaderWire {
+		return 0, 0, nil, fmt.Errorf("node: pull digest header is %d bytes, got %d", digestHeaderWire, len(b))
+	}
+	origin := graph.NodeID(binary.LittleEndian.Uint64(b[0:]))
+	ttl := int(binary.LittleEndian.Uint16(b[8:]))
+	if ttl > maxPullTTL {
+		return 0, 0, nil, fmt.Errorf("node: pull digest TTL %d outside [0, %d]", ttl, maxPullTTL)
+	}
+	n := int(binary.LittleEndian.Uint16(b[10:]))
+	if len(b) != digestHeaderWire+digestEntryWire*n {
+		return 0, 0, nil, fmt.Errorf("node: pull digest claims %d entries in %d bytes", n, len(b))
+	}
+	entries := make([]DigestEntry, n)
+	for i := range entries {
+		off := digestHeaderWire + digestEntryWire*i
+		entries[i] = DigestEntry{
+			Sender: graph.NodeID(binary.LittleEndian.Uint64(b[off:])),
+			BSeq:   binary.LittleEndian.Uint64(b[off+8:]),
+			FP:     binary.LittleEndian.Uint64(b[off+16:]),
+		}
+	}
+	return origin, ttl, entries, nil
 }
 
 // sigKey derives a sender's signing key from the audit seed — the
@@ -217,6 +386,16 @@ type AuditCounters struct {
 	// HeldDropped counts held deliveries discarded because the sender was
 	// proven (or quarantined) during the hold window.
 	HeldDropped int
+	// PullsSent counts pull requests this entity originated.
+	PullsSent int
+	// PullsRelayed counts pull requests this entity forwarded onward.
+	PullsRelayed int
+	// PullReplies counts pull responses this entity answered with.
+	PullReplies int
+	// Pinned counts receipts this entity pinned as known-divergent.
+	Pinned int
+	// Evicted counts receipts this entity evicted under the Retain cap.
+	Evicted int
 }
 
 // AuditSummary is the run-level view of the audit sublayer's evidence: the
@@ -267,6 +446,21 @@ type auditLayer struct {
 	receipts map[graph.NodeID]map[rkey]Receipt
 	order    map[graph.NodeID][]rkey
 	pending  map[graph.NodeID][]Receipt
+	// pinned and pinOrder are the retention policy's evidence pins, per
+	// observer: keys with a known-divergent fingerprint that eviction must
+	// not touch, bounded to Retain/2 FIFO.
+	pinned   map[graph.NodeID]map[rkey]bool
+	pinOrder map[graph.NodeID][]rkey
+	// advertised marks, per observer, the held keys whose fingerprint has
+	// appeared in at least one outgoing pull digest — the pinned policy's
+	// advertise-before-evict ordering reads it. Entries are cleared on
+	// eviction, so the map is bounded by the store.
+	advertised map[graph.NodeID]map[rkey]bool
+	// pullRound and pullCursor drive the pull anti-entropy rotation: which
+	// neighbor subset the next request targets and where in the retention
+	// order the next digest starts.
+	pullRound  map[graph.NodeID]uint64
+	pullCursor map[graph.NodeID]int
 	// proven and proofs are per (observer, offender): the standing
 	// conviction and the receipt pair behind it. everProven survives
 	// parole, for propagation accounting.
@@ -275,9 +469,14 @@ type auditLayer struct {
 	everProven map[[2]graph.NodeID]bool
 	// truthFP tracks, per broadcast, every fingerprint DELIVERED anywhere
 	// — the world-held ground truth. provenB marks broadcasts proven.
-	truthFP map[rkey]map[uint64]bool
-	provenB map[rkey]bool
-	stats   map[graph.NodeID]*AuditCounters
+	// truthSingle bounds the single-fingerprint entries: honest
+	// broadcasts cycle out FIFO past 8*Retain, while divergent (and
+	// proven) entries stay — they are the run's ground truth, bounded by
+	// the equivocations actually delivered.
+	truthFP     map[rkey]map[uint64]bool
+	truthSingle []rkey
+	provenB     map[rkey]bool
+	stats       map[graph.NodeID]*AuditCounters
 }
 
 func newAuditLayer(cfg AuditConfig) *auditLayer {
@@ -288,6 +487,11 @@ func newAuditLayer(cfg AuditConfig) *auditLayer {
 		receipts:   make(map[graph.NodeID]map[rkey]Receipt),
 		order:      make(map[graph.NodeID][]rkey),
 		pending:    make(map[graph.NodeID][]Receipt),
+		pinned:     make(map[graph.NodeID]map[rkey]bool),
+		pinOrder:   make(map[graph.NodeID][]rkey),
+		advertised: make(map[graph.NodeID]map[rkey]bool),
+		pullRound:  make(map[graph.NodeID]uint64),
+		pullCursor: make(map[graph.NodeID]int),
 		proven:     make(map[[2]graph.NodeID]bool),
 		proofs:     make(map[[2]graph.NodeID][2]Receipt),
 		everProven: make(map[[2]graph.NodeID]bool),
@@ -310,7 +514,8 @@ func (au *auditLayer) counters(id graph.NodeID) *AuditCounters {
 // number and signature. The sublayer's own traffic does not: receipts
 // about receipts would regress forever.
 func (au *auditLayer) stamps(tag string) bool {
-	return tag != AuditReceiptTag && tag != AuditProofTag
+	return tag != AuditReceiptTag && tag != AuditProofTag &&
+		tag != AuditPullTag && tag != AuditPullRespTag
 }
 
 // bseqFor assigns (or recalls) the broadcast sequence number of one
@@ -351,9 +556,26 @@ func (au *auditLayer) observe(w *World, m Message) {
 	if fps == nil {
 		fps = make(map[uint64]bool)
 		au.truthFP[k] = fps
+		au.truthSingle = append(au.truthSingle, k)
+		au.pruneTruth()
 	}
 	fps[fp] = true
 	au.record(w, m.To, r, true)
+}
+
+// pruneTruth bounds the ground-truth map: entries still holding a single
+// fingerprint (honest broadcasts) cycle out FIFO past 8*Retain. Entries
+// that turned divergent or proven simply leave the FIFO and stay in the
+// map — they grow only with equivocations actually delivered.
+func (au *auditLayer) pruneTruth() {
+	limit := 8 * au.cfg.Retain
+	for len(au.truthSingle) > limit {
+		k := au.truthSingle[0]
+		au.truthSingle = au.truthSingle[1:]
+		if fps := au.truthFP[k]; fps != nil && len(fps) < 2 && !au.provenB[k] {
+			delete(au.truthFP, k)
+		}
+	}
 }
 
 // record stores one verified receipt at an observer. A conflicting
@@ -369,20 +591,130 @@ func (au *auditLayer) record(w *World, at graph.NodeID, r Receipt, own bool) {
 	k := rkey{sender: r.Sender, bseq: r.BSeq}
 	if prev, ok := st[k]; ok {
 		if prev.FP != r.FP {
+			au.pin(at, k)
 			au.prove(w, at, r.Sender, prev, r)
 		}
 		return
 	}
 	st[k] = r
 	au.order[at] = append(au.order[at], k)
-	if len(au.order[at]) > au.cfg.Retain {
-		evict := au.order[at][0]
-		au.order[at] = au.order[at][1:]
-		delete(st, evict)
-	}
+	au.enforceRetain(at)
 	if own {
 		au.pending[at] = append(au.pending[at], r)
+		if au.cfg.GossipInterval <= 0 {
+			// No gossip loop is running to drain pending — flush inline so
+			// the queue cannot grow without bound.
+			if p := w.procs[at]; p != nil && p.alive {
+				au.flush(p)
+			}
+		}
 	}
+}
+
+// pin marks a held receipt as evidence the retention policy must keep: a
+// fingerprint for its (sender, bseq) is known to diverge somewhere. Pins
+// are themselves bounded to half the store, oldest unpinned first, so a
+// flood of divergence cannot freeze retention solid.
+func (au *auditLayer) pin(at graph.NodeID, k rkey) {
+	if _, held := au.receipts[at][k]; !held {
+		return
+	}
+	pins := au.pinned[at]
+	if pins == nil {
+		pins = make(map[rkey]bool)
+		au.pinned[at] = pins
+	}
+	if pins[k] {
+		return
+	}
+	limit := au.cfg.Retain / 2
+	if limit < 1 {
+		limit = 1
+	}
+	for len(au.pinOrder[at]) >= limit {
+		old := au.pinOrder[at][0]
+		au.pinOrder[at] = au.pinOrder[at][1:]
+		delete(pins, old)
+	}
+	pins[k] = true
+	au.pinOrder[at] = append(au.pinOrder[at], k)
+	au.counters(at).Pinned++
+}
+
+// enforceRetain holds the store to the exact Retain cap.
+func (au *auditLayer) enforceRetain(at graph.NodeID) {
+	for len(au.order[at]) > au.cfg.Retain {
+		au.evictOne(at)
+	}
+}
+
+// evictOne removes one receipt under the configured retention policy.
+// FIFO takes the oldest unconditionally. The pinned policy never touches
+// pinned (known-divergent) receipts and orders the rest
+// advertise-before-evict: the oldest receipt already covered by an
+// outgoing pull digest goes first — its anti-entropy chance has been
+// taken, and if anyone held a divergent fingerprint the response would
+// have pinned it by now. When nothing unpinned has been advertised, the
+// probationary newest half churns FIFO among itself and the oldest half
+// is left waiting for its digest turn. The store falls back to the
+// oldest unpinned outright, and to the oldest of all only when
+// everything is pinned.
+func (au *auditLayer) evictOne(at graph.NodeID) {
+	ord := au.order[at]
+	if len(ord) == 0 {
+		return
+	}
+	idx := 0
+	if au.cfg.Retention != RetentionFIFO {
+		idx = -1
+		pins := au.pinned[at]
+		adv := au.advertised[at]
+		for i := range ord {
+			if adv[ord[i]] && !pins[ord[i]] {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			// Nothing advertised: churn the probationary newest half FIFO
+			// among itself and leave the oldest half alone until a digest
+			// has covered it. A bseq-cycling flood then only displaces its
+			// own chaff; with pull disabled entirely the oldest half is
+			// simply immortal, which is what the push-path eviction attack
+			// needs defeated.
+			for i := len(ord) / 2; i < len(ord); i++ {
+				if !pins[ord[i]] {
+					idx = i
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			for i := range ord {
+				if !pins[ord[i]] {
+					idx = i
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			idx = 0
+		}
+	}
+	evict := ord[idx]
+	au.order[at] = append(ord[:idx], ord[idx+1:]...)
+	delete(au.receipts[at], evict)
+	delete(au.advertised[at], evict)
+	if pins := au.pinned[at]; pins[evict] {
+		delete(pins, evict)
+		for i, k := range au.pinOrder[at] {
+			if k == evict {
+				au.pinOrder[at] = append(au.pinOrder[at][:i], au.pinOrder[at][i+1:]...)
+				break
+			}
+		}
+	}
+	au.counters(at).Evicted++
 }
 
 // prove convicts: `by` now holds two of offender's signatures on
@@ -427,12 +759,181 @@ func (au *auditLayer) prove(w *World, by, offender graph.NodeID, a, b Receipt) {
 	}
 }
 
+// digest assembles up to PullBudget digest entries from the store,
+// starting at a rotating cursor so a store larger than the budget is
+// advertised incrementally across rounds.
+func (au *auditLayer) digest(at graph.NodeID) []DigestEntry {
+	ord := au.order[at]
+	st := au.receipts[at]
+	n := len(ord)
+	if n == 0 {
+		return nil
+	}
+	budget := au.cfg.PullBudget
+	if budget > n {
+		budget = n
+	}
+	adv := au.advertised[at]
+	if adv == nil {
+		adv = make(map[rkey]bool)
+		au.advertised[at] = adv
+	}
+	out := make([]DigestEntry, 0, budget)
+	start := au.pullCursor[at] % n
+	for i := 0; i < n && len(out) < budget; i++ {
+		k := ord[(start+i)%n]
+		r, ok := st[k]
+		if !ok {
+			continue
+		}
+		adv[k] = true
+		out = append(out, DigestEntry{Sender: k.sender, BSeq: k.bseq, FP: r.FP})
+	}
+	au.pullCursor[at] = (start + len(out)) % n
+	return out
+}
+
+// pullTargets picks this round's PullFanout targets by rotating through
+// the (sorted, hence deterministic) neighbor list, skipping excluded ids.
+func (au *auditLayer) pullTargets(p *Proc, round uint64, excluded func(graph.NodeID) bool) []graph.NodeID {
+	var cand []graph.NodeID
+	for _, u := range p.Neighbors() {
+		if !excluded(u) {
+			cand = append(cand, u)
+		}
+	}
+	if len(cand) == 0 {
+		return nil
+	}
+	f := au.cfg.PullFanout
+	if f > len(cand) {
+		f = len(cand)
+	}
+	start := int(round*uint64(au.cfg.PullFanout)) % len(cand)
+	out := make([]graph.NodeID, 0, f)
+	for i := 0; i < f; i++ {
+		out = append(out, cand[(start+i)%len(cand)])
+	}
+	return out
+}
+
+// pullTick originates one pull round: digest the store, send it to this
+// round's targets with the full TTL budget, reschedule.
+func (au *auditLayer) pullTick(p *Proc) {
+	if d := au.digest(p.ID); len(d) > 0 {
+		round := au.pullRound[p.ID]
+		au.pullRound[p.ID]++
+		req := PullRequest{
+			Origin: p.ID,
+			TTL:    au.cfg.PullTTL - 1,
+			Path:   []graph.NodeID{p.ID},
+			Digest: d,
+		}
+		c := au.counters(p.ID)
+		for _, u := range au.pullTargets(p, round, func(id graph.NodeID) bool { return id == p.ID }) {
+			p.Send(u, AuditPullTag, req)
+			c.PullsSent++
+		}
+	}
+	p.After(au.cfg.PullInterval, func() { au.pullTick(p) })
+}
+
+// onPull answers a digest and forwards it while TTL remains. Any held
+// receipt whose fingerprint diverges from a digest entry goes back
+// toward the origin along the recorded path — and is pinned locally,
+// since it is now known to be one half of a conviction. Malformed
+// requests (broken path, over-budget digest, loops) are dropped; a lying
+// relay can at worst waste its own neighborhood's messages, never frame
+// anyone, because convictions still re-verify both signatures.
+func (au *auditLayer) onPull(w *World, m Message, req PullRequest) {
+	at := m.To
+	if len(req.Path) == 0 || req.Path[0] != req.Origin ||
+		req.Path[len(req.Path)-1] != m.From || containsID(req.Path, at) ||
+		req.TTL < 0 || req.TTL > maxPullTTL || len(req.Digest) > au.cfg.PullBudget {
+		au.counters(at).BadSig++
+		return
+	}
+	st := au.receipts[at]
+	var div []Receipt
+	for _, e := range req.Digest {
+		k := rkey{sender: e.Sender, bseq: e.BSeq}
+		if r, held := st[k]; held && r.FP != e.FP {
+			au.pin(at, k)
+			div = append(div, r)
+		}
+	}
+	p := w.procs[at]
+	if p == nil || !p.alive {
+		return
+	}
+	c := au.counters(at)
+	if len(div) > 0 {
+		p.Send(m.From, AuditPullRespTag, PullResponse{Path: req.Path, Receipts: div})
+		c.PullReplies++
+	}
+	if req.TTL > 0 {
+		fwd := PullRequest{
+			Origin: req.Origin,
+			TTL:    req.TTL - 1,
+			Path:   append(append([]graph.NodeID{}, req.Path...), at),
+			Digest: req.Digest,
+		}
+		for _, u := range au.pullTargets(p, au.pullRound[at], func(id graph.NodeID) bool {
+			return id == at || containsID(fwd.Path, id)
+		}) {
+			p.Send(u, AuditPullTag, fwd)
+			c.PullsRelayed++
+		}
+	}
+}
+
+// onPullResp records a response's receipts (convicting on conflict with
+// the local store, exactly as for pushed gossip) and unwinds it one hop
+// closer to the origin.
+func (au *auditLayer) onPullResp(w *World, m Message, resp PullResponse) {
+	at := m.To
+	if len(resp.Path) == 0 || resp.Path[len(resp.Path)-1] != at {
+		au.counters(at).BadSig++
+		return
+	}
+	for _, r := range resp.Receipts {
+		if !VerifyReceipt(au.cfg.SigSeed, r) {
+			au.counters(at).BadSig++
+			continue
+		}
+		au.record(w, at, r, false)
+	}
+	rest := resp.Path[:len(resp.Path)-1]
+	if len(rest) == 0 {
+		return
+	}
+	p := w.procs[at]
+	if p == nil || !p.alive {
+		return
+	}
+	p.Send(rest[len(rest)-1], AuditPullRespTag, PullResponse{Path: rest, Receipts: resp.Receipts})
+}
+
+func containsID(ids []graph.NodeID, id graph.NodeID) bool {
+	for _, u := range ids {
+		if u == id {
+			return true
+		}
+	}
+	return false
+}
+
 // onAudit handles the sublayer's own traffic at the receiver: receipt
 // batches merge into the local store (convicting on conflict), proof
 // pairs are re-verified from scratch — the pair convicts by its
-// signatures alone, so a lying forwarder can frame nobody.
+// signatures alone, so a lying forwarder can frame nobody — and pull
+// requests/responses run the anti-entropy walk.
 func (au *auditLayer) onAudit(w *World, m Message) {
 	switch pl := m.Payload.(type) {
+	case PullRequest:
+		au.onPull(w, m, pl)
+	case PullResponse:
+		au.onPullResp(w, m, pl)
 	case []Receipt:
 		for _, r := range pl {
 			if !VerifyReceipt(au.cfg.SigSeed, r) {
@@ -479,14 +980,18 @@ func (au *auditLayer) hold(w *World, m Message) {
 	})
 }
 
-// start schedules an entity's receipt-gossip loop, offset by identity so
-// rounds desynchronize. The timers die with the entity (Proc.After).
+// start schedules an entity's receipt-gossip and pull loops, offset by
+// identity so rounds desynchronize. The timers die with the entity
+// (Proc.After).
 func (au *auditLayer) start(p *Proc) {
-	if au.cfg.GossipInterval <= 0 {
-		return
+	if au.cfg.GossipInterval > 0 {
+		offset := 1 + sim.Time(uint64(p.ID)%uint64(au.cfg.GossipInterval))
+		p.After(offset, func() { au.gossipTick(p) })
 	}
-	offset := 1 + sim.Time(uint64(p.ID)%uint64(au.cfg.GossipInterval))
-	p.After(offset, func() { au.gossipTick(p) })
+	if au.cfg.Pull && au.cfg.PullInterval > 0 && au.cfg.PullTTL > 0 && au.cfg.PullFanout > 0 {
+		offset := 1 + sim.Time((uint64(p.ID)*7)%uint64(au.cfg.PullInterval))
+		p.After(offset, func() { au.pullTick(p) })
+	}
 }
 
 func (au *auditLayer) gossipTick(p *Proc) {
@@ -528,6 +1033,7 @@ func (au *auditLayer) pardon(by, offender graph.NodeID) {
 		for _, k := range au.order[by] {
 			if k.sender == offender {
 				delete(st, k)
+				delete(au.advertised[by], k)
 			} else {
 				kept = append(kept, k)
 			}
@@ -542,6 +1048,17 @@ func (au *auditLayer) pardon(by, offender graph.NodeID) {
 			}
 		}
 		au.pending[by] = kept
+	}
+	if pins := au.pinned[by]; len(pins) > 0 {
+		kept := au.pinOrder[by][:0]
+		for _, k := range au.pinOrder[by] {
+			if k.sender == offender {
+				delete(pins, k)
+			} else {
+				kept = append(kept, k)
+			}
+		}
+		au.pinOrder[by] = kept
 	}
 }
 
@@ -572,6 +1089,11 @@ func (w *World) AuditTotals() AuditCounters {
 		total.ProofsHeld += c.ProofsHeld
 		total.BadSig += c.BadSig
 		total.HeldDropped += c.HeldDropped
+		total.PullsSent += c.PullsSent
+		total.PullsRelayed += c.PullsRelayed
+		total.PullReplies += c.PullReplies
+		total.Pinned += c.Pinned
+		total.Evicted += c.Evicted
 	}
 	return total
 }

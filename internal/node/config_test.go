@@ -47,6 +47,15 @@ func TestSublayerConfigBoundaries(t *testing.T) {
 		{"audit negative GossipBudget", AuditConfig{GossipBudget: -1}.Validate, "GossipBudget"},
 		{"audit negative Retain", AuditConfig{Retain: -1}.Validate, "Retain"},
 		{"audit negative HoldFor", AuditConfig{HoldFor: -1}.Validate, "HoldFor"},
+		{"audit negative PullInterval", AuditConfig{PullInterval: -1}.Validate, "PullInterval"},
+		{"audit negative PullFanout", AuditConfig{PullFanout: -1}.Validate, "PullFanout"},
+		{"audit negative PullBudget", AuditConfig{PullBudget: -1}.Validate, "PullBudget"},
+		{"audit PullTTL high edge", AuditConfig{PullTTL: 16}.Validate, ""},
+		{"audit PullTTL above range", AuditConfig{PullTTL: 17}.Validate, "outside [0, 16]"},
+		{"audit PullTTL below range", AuditConfig{PullTTL: -1}.Validate, "outside [0, 16]"},
+		{"audit retention fifo", AuditConfig{Retention: RetentionFIFO}.Validate, ""},
+		{"audit retention pinned", AuditConfig{Retention: RetentionPinned}.Validate, ""},
+		{"audit unknown retention", AuditConfig{Retention: "lru"}.Validate, "Retention"},
 	}
 	for _, p := range probes {
 		err := p.validate()
@@ -92,6 +101,17 @@ func TestSublayerConfigDefaults(t *testing.T) {
 	dc := AuditConfig{}.withDefaults()
 	if dc.GossipInterval != 8 || dc.GossipBudget != 8 || dc.Retain != 256 || dc.HoldFor != 16 {
 		t.Errorf("audit defaults: %+v", dc)
+	}
+	if dc.PullInterval != 16 || dc.PullTTL != 2 || dc.PullFanout != 2 ||
+		dc.PullBudget != 64 || dc.Retention != RetentionPinned {
+		t.Errorf("audit pull defaults: %+v", dc)
+	}
+	// PullInterval's default follows the CONFIGURED gossip interval too.
+	if got := (AuditConfig{GossipInterval: 5}).withDefaults(); got.PullInterval != 10 {
+		t.Errorf("audit PullInterval default should be 2*GossipInterval: %+v", got)
+	}
+	if got := (AuditConfig{PullInterval: 3, PullTTL: 5, Retention: RetentionFIFO}).withDefaults(); got.PullInterval != 3 || got.PullTTL != 5 || got.Retention != RetentionFIFO {
+		t.Errorf("audit explicit pull values rewritten: %+v", got)
 	}
 	// HoldFor's default follows the CONFIGURED gossip interval, not 8.
 	if got := (AuditConfig{GossipInterval: 5}).withDefaults(); got.HoldFor != 10 {

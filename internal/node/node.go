@@ -648,9 +648,11 @@ func (w *World) deliver(m Message) {
 		return
 	}
 	if w.audit != nil {
-		// Audit sublayer traffic (receipts, proof pairs) terminates here,
-		// like acks: behaviors never see it.
-		if m.Tag == AuditReceiptTag || m.Tag == AuditProofTag {
+		// Audit sublayer traffic (receipts, proof pairs, pull digests and
+		// their responses) terminates here, like acks: behaviors never see
+		// it.
+		if m.Tag == AuditReceiptTag || m.Tag == AuditProofTag ||
+			m.Tag == AuditPullTag || m.Tag == AuditPullRespTag {
 			w.Trace.Deliver(now, m.To, m.From, m.Tag)
 			w.audit.onAudit(w, m)
 			return
