@@ -42,6 +42,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzEquivSplit -fuzztime=10s ./internal/fault/
 	$(GO) test -fuzz=FuzzReceipt -fuzztime=10s ./internal/fault/
 	$(GO) test -fuzz=FuzzPullDigest -fuzztime=10s ./internal/node/
+	$(GO) test -fuzz=FuzzRejoinClause -fuzztime=10s ./internal/fault/
+	$(GO) test -fuzz=FuzzIdentityRecord -fuzztime=10s ./internal/node/
 
 fmt:
 	gofmt -w .

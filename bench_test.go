@@ -1,6 +1,6 @@
 package repro_test
 
-// One benchmark per experiment in the DESIGN.md index (E1-E24), each
+// One benchmark per experiment in the DESIGN.md index (E1-E25), each
 // executing a single representative cell of that experiment so that
 // `go test -bench=. -benchmem` regenerates the cost profile of the whole
 // suite. The full tables themselves are produced by cmd/otqbench.
@@ -604,6 +604,59 @@ func BenchmarkE24ColludePull(b *testing.B) {
 		}
 		if !res.Outcome.ValidModuloProven() {
 			b.Fatalf("pull arm lost ValidModuloProven: %v", res.Outcome)
+		}
+	}
+}
+
+func BenchmarkE25ByzChurn(b *testing.B) {
+	// Representative cell: the stretched echo wave on the chordal 16-ring
+	// under the churn-laundering storm — entity 3 equivocates, is
+	// convicted, then leaves and rejoins mid-query alongside two honest
+	// churners — with durable identity continuity carrying every record
+	// through the stable store. The delta against BenchmarkE24ColludePull
+	// prices the identity save/restore path.
+	plan, err := fault.Parse("equiv:nodes=3,peers=2+4,p=1@0-200;" +
+		"rejoin:nodes=3,down=40@200;rejoin:nodes=6+12,down=40@200;seed=33")
+	if err != nil {
+		b.Fatal(err)
+	}
+	script := func(w *node.World, _ *sim.Engine) {
+		const n = 16
+		for i := 1; i <= n; i++ {
+			w.Join(graph.NodeID(i))
+		}
+		for i := 1; i <= n; i++ {
+			w.SetLink(graph.NodeID(i), graph.NodeID(i%n+1), true)
+			w.SetLink(graph.NodeID(i), graph.NodeID((i+1)%n+1), true)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		res := exp.Execute(exp.Scenario{
+			Seed:    uint64(i + 1),
+			Overlay: func(uint64) topology.Overlay { return topology.NewManual() },
+			Script:  script,
+			Protocol: func() otq.Protocol {
+				return &otq.EchoWave{RescanInterval: 3, QuietFor: 150, MaxRescans: 3000}
+			},
+			MinLatency: 1, MaxLatency: 2,
+			Faults:   plan,
+			Reliable: node.ReliableConfig{Enabled: true, RetransmitAfter: 5, MaxRetries: 6},
+			Auth:     node.AuthConfig{Enabled: true},
+			Audit: node.AuditConfig{
+				Enabled: true, GossipInterval: 4, GossipBudget: 32, HoldFor: 40,
+			},
+			Identity:      node.IdentityConfig{Durable: true},
+			BridgeRejoins: true,
+			QueryAt:       25, Horizon: 1500,
+		})
+		if !res.Outcome.Terminated {
+			b.Fatal("echo wave under churn laundering did not terminate")
+		}
+		if res.Identity.Restores != 3 {
+			b.Fatalf("expected every churner's record restored, got %+v", res.Identity)
+		}
+		if res.Identity.QuarantinesLaundered != 0 {
+			b.Fatalf("durable identity laundered: %+v", res.Identity)
 		}
 	}
 }

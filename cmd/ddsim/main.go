@@ -11,6 +11,7 @@
 //	ddsim -overlay ring -n 16 -protocol echo-wave -byzantine byz-storm -reliable -auth
 //	ddsim -overlay ring -n 16 -protocol echo-wave -byzantine equiv -reliable -audit -parole 150
 //	ddsim -overlay ring -n 16 -protocol echo-wave -faults 'collude:nodes=3,peers=1+5,groups=2,p=1' -reliable -pull -pull-ttl 2
+//	ddsim -overlay ring -n 16 -protocol echo-wave -byzantine equiv -reliable -audit -rejoin 'nodes=3,down=40@200' -durable-identity -bridge-rejoins
 package main
 
 import (
@@ -53,6 +54,9 @@ func main() {
 		pullTTL     = flag.Int("pull-ttl", 0, "forwarding budget of pull digests (0 = default 2)")
 		parole      = flag.Int64("parole", 0, "reinstate quarantined links after this many ticks, with a halved misbehavior budget (0 = permanent)")
 		bridge      = flag.Bool("bridge-recoveries", false, "judge Validity over recovery-bridged sessions (crashed-and-recovered entities count as stable)")
+		durableID   = flag.Bool("durable-identity", false, "persist identity records (auth counters, replay windows, quarantines, audit bseq space) across Leave/Join")
+		rejoinSpec  = flag.String("rejoin", "", "rejoin clause body appended to -faults, e.g. 'nodes=3,down=40@200' or 'nodes=3,down=40,reset=1@200' (see internal/fault)")
+		bridgeRe    = flag.Bool("bridge-rejoins", false, "judge Validity over rejoin-bridged sessions (same-identity rejoiners and crash-recoverers count as stable; subsumes -bridge-recoveries)")
 	)
 	flag.Parse()
 
@@ -88,6 +92,19 @@ func main() {
 		}
 	}
 
+	if *rejoinSpec != "" {
+		re, err := fault.Parse("rejoin:" + *rejoinSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim:", err)
+			os.Exit(2)
+		}
+		if plan == nil {
+			plan = re
+		} else {
+			plan.Clauses = append(plan.Clauses, re.Clauses...)
+		}
+	}
+
 	cc := churn.Config{InitialPopulation: *n, Immortal: true}
 	if *arrival > 0 {
 		cc.ArrivalRate = *arrival
@@ -98,7 +115,8 @@ func main() {
 	relCfg := node.ReliableConfig{Enabled: *reliable}
 	authCfg := node.AuthConfig{Enabled: *auth || *audit || *pull, Parole: *parole}
 	auditCfg := node.AuditConfig{Enabled: *audit || *pull, Pull: *pull, PullTTL: *pullTTL}
-	if err := (node.Config{MinLatency: 1, MaxLatency: 2, Reliable: relCfg, Auth: authCfg, Audit: auditCfg}).Validate(); err != nil {
+	identCfg := node.IdentityConfig{Durable: *durableID}
+	if err := (node.Config{MinLatency: 1, MaxLatency: 2, Reliable: relCfg, Auth: authCfg, Audit: auditCfg, Identity: identCfg}).Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "ddsim:", err)
 		os.Exit(2)
 	}
@@ -112,7 +130,9 @@ func main() {
 		Reliable:         relCfg,
 		Auth:             authCfg,
 		Audit:            auditCfg,
+		Identity:         identCfg,
 		BridgeRecoveries: *bridge,
+		BridgeRejoins:    *bridgeRe,
 		QueryAt:          sim.Time(*queryAt),
 		Horizon:          sim.Time(*horizon),
 	})
@@ -151,6 +171,11 @@ func main() {
 			fmt.Printf("proven equivocators: %v (missed-but-proven %v)\n",
 				res.Outcome.ProvenEquivocators, res.Outcome.MissedProven)
 		}
+	}
+	if *durableID || res.Identity != (node.IdentityCounters{}) {
+		fmt.Printf("identity continuity: saved %d, restored %d, session resets %d, laundered %d quarantines + %d convictions\n",
+			res.Identity.Saves, res.Identity.Restores, res.Identity.SessionResets,
+			res.Identity.QuarantinesLaundered, res.Identity.ConvictionsLaundered)
 	}
 	fmt.Printf("inferred class: %s\n", res.Inferred)
 

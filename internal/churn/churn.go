@@ -98,6 +98,16 @@ type Config struct {
 	// and present entities stay forever, yielding an eventually-stable
 	// run. 0 means never quiesce.
 	QuiesceAt Time
+	// RejoinProb makes each departing entity return later under the SAME
+	// identity with this probability — churners rather than one-shot
+	// visitors, the membership shape durable-identity experiments need.
+	// Requires Downtime. Returning entities bypass MaxConcurrent (the
+	// member reclaims its place) and draw a fresh session on return, so
+	// an entity may cycle repeatedly. 0 disables.
+	RejoinProb float64
+	// Downtime samples how long a rejoining entity stays out between its
+	// leave and its return.
+	Downtime SessionDist
 }
 
 // Generator lazily produces the membership events of one run.
@@ -108,6 +118,7 @@ type Generator struct {
 	nextID graph.NodeID
 
 	departures  departureHeap
+	rejoins     departureHeap // same-identity returns still pending
 	nextArrival Time
 	// arrCursor is the continuous-time position of the Poisson arrival
 	// process. Emission times are the ceiling of the cursor, but the
@@ -149,6 +160,12 @@ func (h *departureHeap) Pop() any {
 func New(seed uint64, cfg Config) *Generator {
 	if cfg.Session == nil && (cfg.InitialPopulation > 0 && !cfg.Immortal || cfg.ArrivalRate > 0) {
 		panic("churn: Config.Session required when entities can churn")
+	}
+	if cfg.RejoinProb < 0 || cfg.RejoinProb > 1 || math.IsNaN(cfg.RejoinProb) {
+		panic(fmt.Sprintf("churn: Config.RejoinProb %v outside [0, 1]", cfg.RejoinProb))
+	}
+	if cfg.RejoinProb > 0 && cfg.Downtime == nil {
+		panic("churn: Config.Downtime required when RejoinProb > 0")
 	}
 	g := &Generator{cfg: cfg, r: rng.New(seed), nextArrival: -1}
 	for i := 0; i < cfg.InitialPopulation; i++ {
@@ -211,6 +228,7 @@ func (g *Generator) Next() (Event, bool) {
 		g.initial = nil
 		g.pending = nil
 		g.departures = nil
+		g.rejoins = nil
 		g.nextArrival = -1
 		return Event{}, false
 	}
@@ -229,14 +247,30 @@ func (g *Generator) rawNext() (Event, bool) {
 		return ev, true
 	}
 	hasDep := g.departures.Len() > 0
+	hasRej := g.rejoins.Len() > 0
 	hasArr := g.nextArrival >= 0
+	var depAt, rejAt Time
+	if hasDep {
+		depAt = g.departures[0].at
+	}
+	if hasRej {
+		rejAt = g.rejoins[0].at
+	}
 	switch {
-	case !hasDep && !hasArr:
+	case !hasDep && !hasRej && !hasArr:
 		return Event{}, false
-	case hasDep && (!hasArr || g.departures[0].at <= g.nextArrival):
-		d := heap.Pop(&g.departures).(departure)
-		g.present--
+	case hasDep && (!hasRej || depAt <= rejAt) && (!hasArr || depAt <= g.nextArrival):
+		d := g.popDeparture()
 		return Event{At: d.at, Join: false, Node: d.node}, true
+	case hasRej && (!hasArr || rejAt <= g.nextArrival):
+		// A churner returns under its old identity and draws a fresh
+		// session, so it may cycle again.
+		d := heap.Pop(&g.rejoins).(departure)
+		g.present++
+		if g.cfg.Session != nil {
+			heap.Push(&g.departures, departure{at: d.at + g.cfg.Session(g.r), node: d.node})
+		}
+		return Event{At: d.at, Join: true, Node: d.node}, true
 	default:
 		t := g.nextArrival
 		if g.cfg.MaxConcurrent > 0 && g.present >= g.cfg.MaxConcurrent {
@@ -247,8 +281,7 @@ func (g *Generator) rawNext() (Event, bool) {
 				g.nextArrival = -1
 				return g.rawNext()
 			}
-			d := heap.Pop(&g.departures).(departure)
-			g.present--
+			d := g.popDeparture()
 			g.nextArrival = d.at // join follows at the same tick
 			return Event{At: d.at, Join: false, Node: d.node}, true
 		}
@@ -260,6 +293,18 @@ func (g *Generator) rawNext() (Event, bool) {
 		g.nextArrival = g.drawArrival(t)
 		return Event{At: t, Join: true, Node: id}, true
 	}
+}
+
+// popDeparture emits the earliest departure, flipping the rejoin coin:
+// a returning churner is queued on the rejoins heap under the same
+// identity, Downtime ticks out.
+func (g *Generator) popDeparture() departure {
+	d := heap.Pop(&g.departures).(departure)
+	g.present--
+	if g.cfg.RejoinProb > 0 && g.r.Bool(g.cfg.RejoinProb) {
+		heap.Push(&g.rejoins, departure{at: d.at + g.cfg.Downtime(g.r), node: d.node})
+	}
+	return d
 }
 
 // Replay returns a generator that replays a fixed membership event

@@ -326,6 +326,107 @@ func TestPropertyBoundedConcurrency(t *testing.T) {
 	}
 }
 
+// TestRejoinSameIdentity: with RejoinProb set, some departures come back
+// under the SAME identity after their downtime — the churn pattern the
+// durable-identity mode exists for. Non-rejoin joins still use fresh IDs,
+// a rejoin is never earlier than its leave plus the minimum downtime, and
+// the stream stays time-ordered with leaves matching open joins.
+func TestRejoinSameIdentity(t *testing.T) {
+	g := New(11, Config{
+		InitialPopulation: 10,
+		ArrivalRate:       0.5,
+		Session:           ExpSessions(20),
+		RejoinProb:        0.6,
+		Downtime:          FixedSessions(15),
+	})
+	evs := drain(g, 2000)
+	rejoins := 0
+	leftAt := map[graph.NodeID]Time{}
+	open := map[graph.NodeID]bool{}
+	last := Time(0)
+	for _, ev := range evs {
+		if ev.At < last {
+			t.Fatalf("events out of order at %v", ev)
+		}
+		last = ev.At
+		if ev.Join {
+			if open[ev.Node] {
+				t.Fatalf("node %d joined while present", ev.Node)
+			}
+			if at, seen := leftAt[ev.Node]; seen {
+				rejoins++
+				if ev.At != at+15 {
+					t.Fatalf("node %d rejoined at %d, left at %d, want fixed downtime 15", ev.Node, ev.At, at)
+				}
+			}
+			open[ev.Node] = true
+		} else {
+			if !open[ev.Node] {
+				t.Fatalf("node %d left without joining", ev.Node)
+			}
+			delete(open, ev.Node)
+			leftAt[ev.Node] = ev.At
+		}
+	}
+	if rejoins == 0 {
+		t.Fatal("RejoinProb=0.6 produced no same-identity rejoins")
+	}
+}
+
+// TestRejoinDeterministic: the rejoin coin and downtime draws ride the
+// generator's single stream, so replays are exact.
+func TestRejoinDeterministic(t *testing.T) {
+	cfg := Config{
+		InitialPopulation: 8,
+		ArrivalRate:       0.4,
+		Session:           ExpSessions(25),
+		RejoinProb:        0.5,
+		Downtime:          ExpSessions(10),
+	}
+	a := drain(New(17, cfg), 800)
+	b := drain(New(17, cfg), 800)
+	if len(a) != len(b) {
+		t.Fatalf("replays differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replays diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRejoinConfigPanics: a rejoin probability outside [0,1] and a
+// probability without a downtime distribution are both coding errors.
+func TestRejoinConfigPanics(t *testing.T) {
+	base := Config{InitialPopulation: 1, ArrivalRate: 1, Session: ExpSessions(10)}
+	for name, f := range map[string]func(){
+		"negative prob": func() {
+			cfg := base
+			cfg.RejoinProb, cfg.Downtime = -0.1, FixedSessions(5)
+			New(1, cfg)
+		},
+		"prob above one": func() {
+			cfg := base
+			cfg.RejoinProb, cfg.Downtime = 1.5, FixedSessions(5)
+			New(1, cfg)
+		},
+		"missing downtime": func() {
+			cfg := base
+			cfg.RejoinProb = 0.5
+			New(1, cfg)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 func BenchmarkGenerate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		g := New(uint64(i), Config{InitialPopulation: 50, ArrivalRate: 1, Session: ExpSessions(30)})

@@ -43,6 +43,12 @@ func (k TraceEventKind) String() string {
 const (
 	MarkCrash   = "crash"
 	MarkRecover = "recover"
+	// MarkRejoin is recorded when an entity joins under an identity that
+	// was present before (an announced Leave followed by a later Join of
+	// the same ID). The runtime records it for every such re-arrival, so
+	// checkers can tell a returning participant from a first arrival
+	// without guessing from ID reuse. SessionsBridgingRejoin keys on it.
+	MarkRejoin = "rejoin"
 	// MarkProvenEquivocator is recorded at an entity when some receiver
 	// establishes transferable PROOF that it equivocated (two of its own
 	// signatures over divergent payloads of one broadcast). The audit
@@ -260,6 +266,83 @@ func (tr *Trace) SessionsBridgingRecovery() map[graph.NodeID][]Interval {
 	for _, ivs := range out {
 		sort.Slice(ivs, func(i, j int) bool { return ivs[i].From < ivs[j].From })
 	}
+	return out
+}
+
+// SessionsBridgingRejoin returns presence intervals with BOTH kinds of
+// announced-return gaps bridged: crash–recovery gaps (as in
+// SessionsBridgingRecovery) and leave–rejoin gaps — a session that ended
+// in a plain Leave and resumed in a Join of the same identity flanked by
+// a MarkRejoin mark is reported as ONE interval spanning the downtime.
+// This is the participation notion for durable identities: an entity
+// whose security state persists across departures never stopped being
+// the same principal, it was merely absent for a while. A departure that
+// never returns closes its interval at the leave, exactly like Sessions.
+func (tr *Trace) SessionsBridgingRejoin() map[graph.NodeID][]Interval {
+	open := make(map[graph.NodeID]Time)
+	suspended := make(map[graph.NodeID]Time) // start of a departed session
+	lastLeaveAt := make(map[graph.NodeID]Time)
+	pendingReturn := make(map[graph.NodeID]bool)
+	out := make(map[graph.NodeID][]Interval)
+	for _, ev := range tr.events {
+		switch ev.Kind {
+		case TMark:
+			switch ev.Tag {
+			case MarkRecover, MarkRejoin:
+				pendingReturn[ev.P] = true
+			}
+		case TJoin:
+			if _, isOpen := open[ev.P]; isOpen {
+				break
+			}
+			if from, wasSuspended := suspended[ev.P]; wasSuspended && pendingReturn[ev.P] {
+				open[ev.P] = from // resume the suspended session
+			} else {
+				open[ev.P] = ev.At
+			}
+			delete(suspended, ev.P)
+			delete(pendingReturn, ev.P)
+		case TLeave:
+			from, isOpen := open[ev.P]
+			if !isOpen {
+				break
+			}
+			delete(open, ev.P)
+			// Every departure suspends: only the trace's end tells us
+			// whether the identity comes back.
+			suspended[ev.P] = from
+			lastLeaveAt[ev.P] = ev.At
+		}
+	}
+	for p, from := range open {
+		out[p] = append(out[p], Interval{From: from, To: tr.end + 1})
+	}
+	for p, from := range suspended {
+		// Departed and never came back: the session ended at the leave.
+		out[p] = append(out[p], Interval{From: from, To: lastLeaveAt[p]})
+	}
+	for _, ivs := range out {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].From < ivs[j].From })
+	}
+	return out
+}
+
+// StableBetweenRejoinBridged is StableBetween computed over rejoin-bridged
+// sessions (SessionsBridgingRejoin): a durable identity whose bridged
+// presence covers [t1, t2] counts as a stable participant even while it
+// was between sessions. This is the accounting a churn-storm experiment
+// holds a protocol to when identities persist across join/leave cycles.
+func (tr *Trace) StableBetweenRejoinBridged(t1, t2 Time) []graph.NodeID {
+	var out []graph.NodeID
+	for p, ivs := range tr.SessionsBridgingRejoin() {
+		for _, iv := range ivs {
+			if iv.Covers(t1, t2) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

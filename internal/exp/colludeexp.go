@@ -54,12 +54,19 @@ var (
 // the two chord neighbors on opposite sides (1+5, 5+9, 9+13), one
 // victim per partition, with certainty. The victims of one sender are
 // NOT adjacent, and the sender goes silent toward its other neighbors —
-// under 1-hop push the conflicting receipts provably never meet.
-func e24Plan(seed uint64, chaff bool) *fault.Plan {
+// under 1-hop push the conflicting receipts provably never meet. With
+// droppull the colluders additionally refuse to originate, relay or
+// answer pull digests — the uncooperative-relay escalation: every
+// colluder sits on the 2-hop walk between its own victims, so the
+// digests must find the paths around it.
+func e24Plan(seed uint64, chaff, droppull bool) *fault.Plan {
 	extra := ""
 	if chaff {
 		extra = fmt.Sprintf(",chaff=%d,chafffrom=%d,chaffevery=%d",
 			e24Chaff, e24ChaffFrom, e24ChaffEvery)
+	}
+	if droppull {
+		extra += ",droppull=1"
 	}
 	spec := fmt.Sprintf(
 		"collude:nodes=3,peers=1+5,groups=2,p=1%[1]s;"+
@@ -81,6 +88,7 @@ type e24Arm struct {
 	retention string
 	retain    int
 	chaff     bool
+	droppull  bool
 }
 
 // e24Arms: the push/pull contrast on the default store, then the
@@ -90,6 +98,7 @@ var e24Arms = []e24Arm{
 	{name: "push-only"},
 	{name: "pull ttl=1", pull: true, ttl: 1},
 	{name: "pull ttl=2", pull: true, ttl: 2},
+	{name: "droppull ttl=2", pull: true, ttl: 2, droppull: true},
 	{name: "chaff fifo r=12", pull: true, ttl: 2, retention: node.RetentionFIFO, retain: 12, chaff: true},
 	{name: "chaff pinned r=12", pull: true, ttl: 2, retention: node.RetentionPinned, retain: 12, chaff: true},
 }
@@ -152,7 +161,7 @@ func e24Run(cfg Config, proto otq.Protocol, seed uint64, arm e24Arm) e23Result {
 		Audit:    e24AuditConfig(arm),
 	}
 	w := node.NewWorld(engine, manualOverlay(seed), proto.Factory(), ncfg)
-	stop := e24Plan(seed, arm.chaff).Attach(w)
+	stop := e24Plan(seed, arm.chaff, arm.droppull).Attach(w)
 	chordScript(16)(w, engine)
 	engine.RunUntil(25)
 	r := proto.Launch(w, 1)
@@ -224,7 +233,7 @@ func E24(cfg Config) *Report {
 		Claim: "equivocators that partition their victim sets and silence honest witnesses defeat 1-hop receipt gossip outright — no two conflicting receipts ever share an entity — while bounded-TTL pull digests over the whole store (gossiped-in receipts included) reunite the evidence and convict; and when the adversary cycles fresh broadcast numbers to evict the contested receipt from a bounded store, conviction-aware retention (pin known-divergent keys, advertise before evicting) keeps the conviction where FIFO loses it",
 		Table: tb,
 		Notes: []string{
-			fmt.Sprintf("chordal 16-ring, query at t=25 from entity 1, horizon 3000; colluders 3, 7, 11 each lie with p=1 to the two chord neighbors on opposite sides (1+5, 5+9, 9+13), one victim per partition, identical lie within a partition, silent toward everyone else (acks excepted); audit on every arm: gossip every 4 ticks budget 32, hold window 40, pull every 8 ticks fanout 2 where enabled; chaff arms flood each victim with %d fresh honest broadcasts (1/tick) into a Retain-12 store", e24Chaff),
+			fmt.Sprintf("chordal 16-ring, query at t=25 from entity 1, horizon 3000; colluders 3, 7, 11 each lie with p=1 to the two chord neighbors on opposite sides (1+5, 5+9, 9+13), one victim per partition, identical lie within a partition, silent toward everyone else (acks excepted); audit on every arm: gossip every 4 ticks budget 32, hold window 40, pull every 8 ticks fanout 2 where enabled; the droppull arm's colluders additionally refuse to originate, relay or answer pull digests (each colluder sits on the 2-hop walk between its own victims), so conviction must route around them; chaff arms flood each victim with %d fresh honest broadcasts (1/tick) into a Retain-12 store", e24Chaff),
 			"valid** = ValidModuloProven; proven frac = equivocated broadcasts (divergent copies actually delivered) some entity proved; convict t = first conviction (absolute tick; query at 25, lies start once the wave reaches a colluder); pull msgs = pull requests originated + relayed + responses; evict/pins = store evictions and known-divergent pins across all entities; false quar = falsely quarantined links (framing — must be 0: convictions re-verify both signatures); msg amp = messages over the push-only arm, same seed",
 		},
 	}

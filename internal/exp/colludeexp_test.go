@@ -5,26 +5,32 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/node"
 )
 
 // TestE24PlansParse: the colluding-storm spec string parses and
 // validates in both flavors (with and without the chaff flood), and the
 // ground-truth colluder set matches the clauses' senders.
 func TestE24PlansParse(t *testing.T) {
-	for _, chaff := range []bool{false, true} {
-		pl := e24Plan(1, chaff)
+	for _, tc := range []struct{ chaff, droppull bool }{
+		{false, false}, {true, false}, {false, true}, {true, true},
+	} {
+		pl := e24Plan(1, tc.chaff, tc.droppull)
 		if err := pl.Validate(); err != nil {
-			t.Fatalf("chaff=%v: %v", chaff, err)
+			t.Fatalf("%+v: %v", tc, err)
 		}
 		if len(pl.Clauses) != 3 {
-			t.Fatalf("chaff=%v: %d clauses, want one per colluder", chaff, len(pl.Clauses))
+			t.Fatalf("%+v: %d clauses, want one per colluder", tc, len(pl.Clauses))
 		}
 		for _, c := range pl.Clauses {
 			if len(c.Nodes) != 1 || !e24Colluders[c.Nodes[0]] {
 				t.Fatalf("clause senders %v not in the ground-truth colluder set", c.Nodes)
 			}
-			if (c.Chaff > 0) != chaff {
-				t.Fatalf("chaff=%v but clause has Chaff=%d", chaff, c.Chaff)
+			if (c.Chaff > 0) != tc.chaff {
+				t.Fatalf("chaff=%v but clause has Chaff=%d", tc.chaff, c.Chaff)
+			}
+			if c.DropPull != tc.droppull {
+				t.Fatalf("droppull=%v but clause has DropPull=%v", tc.droppull, c.DropPull)
 			}
 		}
 	}
@@ -88,13 +94,47 @@ func TestE24PullConvictsWherePushCannot(t *testing.T) {
 	}
 }
 
+// TestE24DropPullConvictsAroundColluders: the uncooperative-relay
+// escalation. Every colluder sits on the 2-hop pull walk between its own
+// victims and refuses to originate, relay or answer digests — yet the
+// gossiped-in receipts at the victims' HONEST neighbors give the digests
+// paths around the silent relays, so the storm still convicts at full
+// strength, no colluder ever delivers a pull message, and no honest link
+// is quarantined.
+func TestE24DropPullConvictsAroundColluders(t *testing.T) {
+	arm := e24Arms[3] // droppull ttl=2
+	if !arm.droppull {
+		t.Fatalf("arm %q is not the droppull arm", arm.name)
+	}
+	for s := 1; s <= 2; s++ {
+		seed := uint64(s)
+		r := e24Run(Config{Quick: true}, e24Wave(), seed, arm)
+		frac, ok := e23ProvenFrac(r.summary)
+		if !ok || frac < 0.9 {
+			t.Errorf("seed %d: droppull arm proved %.2f (ok=%v), want >= 0.90", s, frac, ok)
+		}
+		if !r.out.ValidModuloProven() {
+			t.Errorf("seed %d: droppull arm not valid modulo proven: %+v", s, r.out)
+		}
+		for _, ev := range r.tr.Events() {
+			if ev.Kind == core.TDeliver && e24Colluders[ev.Q] &&
+				(ev.Tag == node.AuditPullTag || ev.Tag == node.AuditPullRespTag) {
+				t.Fatalf("seed %d: colluder %d delivered a %s at t=%d", s, ev.Q, ev.Tag, ev.At)
+			}
+		}
+		if n := len(e23FalseLinks(r.quars, e24Colluders)); n != 0 {
+			t.Errorf("seed %d: %d honest links quarantined", s, n)
+		}
+	}
+}
+
 // TestE24RetentionSavesConvictionUnderChaff: the bseq-cycling flood aimed
 // at a Retain-12 store. Under seed FIFO eviction the contested receipts
 // are churned out and fabricated values leak into answers on at least
 // one seed; the pinned policy (advertise before evicting, probationary
 // newcomers) holds every seed fabrication-free and valid.
 func TestE24RetentionSavesConvictionUnderChaff(t *testing.T) {
-	fifo, pinned := e24Arms[3], e24Arms[4]
+	fifo, pinned := e24Arms[4], e24Arms[5]
 	fifoLeaked := false
 	for s := 1; s <= 3; s++ {
 		seed := uint64(s)

@@ -5,7 +5,7 @@
 //
 // The paper is a position paper with no numbered tables or figures; each
 // experiment here operationalizes one of its qualitative claims (C1-C6 in
-// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E24 are
+// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E25 are
 // ours and are indexed in DESIGN.md.
 package exp
 
@@ -49,10 +49,16 @@ type Scenario struct {
 	Auth node.AuthConfig
 	// Audit configures the equivocation audit sublayer (requires Auth).
 	Audit node.AuditConfig
+	// Identity configures durable identity continuity across Leave/Join.
+	Identity node.IdentityConfig
 	// BridgeRecoveries judges Validity over recovery-bridged sessions:
 	// entities that crash and recover within the query interval still
 	// count as stable participants (see otq.CheckOptions).
 	BridgeRecoveries bool
+	// BridgeRejoins judges Validity over rejoin-bridged sessions: entities
+	// that leave and rejoin under the same identity (and crash-recoverers)
+	// still count as stable participants. Subsumes BridgeRecoveries.
+	BridgeRejoins bool
 	// QueryAt is when the query launches; the querier is the entity at
 	// QuerierIndex in the ascending list of entities present then.
 	QueryAt sim.Time
@@ -82,7 +88,10 @@ type RunResult struct {
 	// run-level evidence view (zero when the sublayer was not enabled).
 	Audit        node.AuditCounters
 	AuditSummary node.AuditSummary
-	Querier      graph.NodeID
+	// Identity sums the identity-continuity counters (zero when durable
+	// identity was not enabled and no entity ever rejoined).
+	Identity node.IdentityCounters
+	Querier  graph.NodeID
 }
 
 // Execute runs a scenario to completion and judges it.
@@ -100,6 +109,7 @@ func Execute(sc Scenario) RunResult {
 		Reliable:   sc.Reliable,
 		Auth:       sc.Auth,
 		Audit:      sc.Audit,
+		Identity:   sc.Identity,
 		Seed:       sc.Seed ^ 0xdddd,
 		ValueOf:    valueOf,
 	})
@@ -133,7 +143,10 @@ func Execute(sc Scenario) RunResult {
 		valueOf = func(id graph.NodeID) float64 { return float64(id) }
 	}
 	return RunResult{
-		Outcome:      otq.CheckWith(w.Trace, run, valueOf, otq.CheckOptions{BridgeRecoveries: sc.BridgeRecoveries}),
+		Outcome: otq.CheckWith(w.Trace, run, valueOf, otq.CheckOptions{
+			BridgeRecoveries: sc.BridgeRecoveries,
+			BridgeRejoins:    sc.BridgeRejoins,
+		}),
 		Trace:        w.Trace,
 		Run:          run,
 		Inferred:     core.InferClass(w.Trace),
@@ -142,6 +155,7 @@ func Execute(sc Scenario) RunResult {
 		Auth:         w.AuthTotals(),
 		Audit:        w.AuditTotals(),
 		AuditSummary: w.AuditSummary(),
+		Identity:     w.IdentityTotals(),
 		Querier:      querier,
 	}
 }
@@ -233,5 +247,6 @@ func All() []Experiment {
 		{"E22", "byzantine links: raw vs authenticated channels, exact vs sketch", E22},
 		{"E23", "equivocation storms: auth alone vs auth + audit with parole", E23},
 		{"E24", "colluding equivocators: 1-hop receipt push vs pull anti-entropy", E24},
+		{"E25", "byzantine churn: session-keyed vs durable identity under rejoin laundering", E25},
 	}
 }

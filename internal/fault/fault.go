@@ -24,6 +24,13 @@
 //   - crash: the chosen nodes crash silently at the window start and, if
 //     RecoverAfter is set, recover with their stable-storage state that
 //     many ticks later (node.Recover).
+//   - rejoin: the chosen nodes announce a Leave at the window start and
+//     Join again Down ticks later, re-linking to the neighbors they had —
+//     the churn-laundering surface. Reset makes each victim first shed
+//     its durable identity record (the deliberate laundering attempt
+//     against durable identities); Sybil makes victim i come back under
+//     the fresh identity Sybil+i instead of its own (Douceur's cheap-
+//     identity control arm: nothing to launder, nothing to inherit).
 //
 // The Byzantine clauses model an adversary on the wire or in a sender:
 //
@@ -71,6 +78,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 // Kind discriminates fault clauses.
@@ -84,6 +92,7 @@ const (
 	KindSpike     Kind = "spike"
 	KindBlackout  Kind = "blackout"
 	KindCrash     Kind = "crash"
+	KindRejoin    Kind = "rejoin"
 	KindCorrupt   Kind = "corrupt"
 	KindReplay    Kind = "replay"
 	KindForge     Kind = "forge"
@@ -111,6 +120,11 @@ const (
 	MarkForge     = "fault.forge"
 	MarkEquiv     = "fault.equiv"
 	MarkCollude   = "fault.collude"
+	// MarkRejoin is the INJECTION mark, recorded at the victim when the
+	// clause takes it down; the runtime's own core.MarkRejoin flanks the
+	// later Join (or doesn't, in the sybil arm — a fresh identity is a
+	// first arrival as far as the ground truth can see).
+	MarkRejoin = "fault.rejoin"
 )
 
 // Clause is one typed fault with an activity window. Fields are
@@ -148,6 +162,26 @@ type Clause struct {
 	// RecoverAfter, on a crash clause, recovers the victims that many
 	// ticks after the crash; 0 means they stay down.
 	RecoverAfter sim.Time `json:"recover,omitempty"`
+	// Down, on a rejoin clause, is how long each victim stays out between
+	// its announced leave and its rejoin, in ticks.
+	Down sim.Time `json:"down,omitempty"`
+	// Reset, on a rejoin clause, makes each victim shed its persisted
+	// identity record before rejoining — the deliberate laundering
+	// attempt. Under session keying it changes nothing (there is no
+	// record); under durable identities it restarts the victim's own
+	// counters while PEERS keep their memory, so the "cleaned" rejoiner
+	// walks straight into its old anti-replay windows.
+	Reset bool `json:"reset,omitempty"`
+	// Sybil, on a rejoin clause, makes victim i rejoin under the fresh
+	// identity Sybil+i instead of its own — the cheap-identity control
+	// arm. 0 means victims return as themselves.
+	Sybil graph.NodeID `json:"sybil,omitempty"`
+	// DropPull, on a collude clause, additionally silences the colluders'
+	// own audit pull digests and responses toward EVERYONE (their victims
+	// included): an uncooperative relay that equivocates but never
+	// answers anti-entropy. Conviction must then travel between honest
+	// holders without the colluder's help.
+	DropPull bool `json:"droppull,omitempty"`
 	// As is the sender a forge clause claims its transmissions came from.
 	As *graph.NodeID `json:"as,omitempty"`
 	// Peers are the destinations an equiv clause sends its divergent
@@ -240,6 +274,19 @@ func (c *Clause) Validate() error {
 		}
 		if c.RecoverAfter < 0 {
 			return fmt.Errorf("fault: negative crash recovery delay %d", c.RecoverAfter)
+		}
+	case KindRejoin:
+		if len(c.Nodes) == 0 {
+			return fmt.Errorf("fault: rejoin clause needs victims")
+		}
+		if c.Down <= 0 {
+			return fmt.Errorf("fault: rejoin clause needs down > 0")
+		}
+		if c.Sybil < 0 {
+			return fmt.Errorf("fault: negative rejoin sybil base %d", c.Sybil)
+		}
+		if c.Sybil != 0 && c.Reset {
+			return fmt.Errorf("fault: rejoin sybil arm has no record to reset")
 		}
 	case KindCorrupt:
 		if err := probability("corrupt p", c.P); err != nil {
@@ -427,6 +474,51 @@ func (pl *Plan) Attach(w *node.World) (stop func()) {
 					}
 				}))
 			}
+		case KindRejoin:
+			for idx, id := range c.Nodes {
+				idx, id := idx, id
+				at := c.From
+				if at < w.Engine.Now() {
+					at = w.Engine.Now()
+				}
+				events = append(events, w.Engine.At(at, func() {
+					p := w.Proc(id)
+					if p == nil {
+						return // already gone; nothing to churn
+					}
+					// Capture the victim's edges before the leave tears them
+					// down: the rejoiner re-attaches to whoever of its old
+					// neighborhood is still around.
+					neighbors := append([]graph.NodeID(nil), p.Neighbors()...)
+					w.Trace.Mark(int64(w.Engine.Now()), id, MarkRejoin)
+					w.Leave(id)
+					events = append(events, w.Engine.After(c.Down, func() {
+						back := id
+						if c.Sybil != 0 {
+							back = c.Sybil + graph.NodeID(idx)
+						}
+						if w.Proc(back) != nil {
+							return // identity came back some other way
+						}
+						if c.Reset {
+							w.DropIdentityRecord(id)
+						}
+						w.Join(back)
+						// Overlays that attach joiners themselves (ring, mesh)
+						// have already re-created edges by their own policy;
+						// only script-controlled overlays need the old
+						// neighborhood re-created by direct link control.
+						if _, manual := w.Overlay.(topology.LinkController); !manual {
+							return
+						}
+						for _, u := range neighbors {
+							if w.Proc(u) != nil && !w.Overlay.Graph().HasEdge(back, u) {
+								w.SetLink(back, u, true)
+							}
+						}
+					}))
+				}))
+			}
 		case KindCollude:
 			if c.Chaff <= 0 {
 				continue
@@ -563,9 +655,18 @@ func (e *engine) hook(w *node.World) node.ChannelHook {
 				// broadcasts to compare against the lies. Acks still flow so
 				// the silence reads as the sender having nothing to say, not
 				// as a dead link retransmitted into forever.
-				if c.matchesNode(from) && !c.matchesPeer(to) && tag != node.AckTag {
-					f.Drop = true
-					w.Trace.Mark(t, from, MarkCollude)
+				if c.matchesNode(from) && tag != node.AckTag {
+					silenced := !c.matchesPeer(to)
+					// An uncooperative relay drops its own anti-entropy
+					// traffic even toward its victims.
+					if !silenced && c.DropPull &&
+						(tag == node.AuditPullTag || tag == node.AuditPullRespTag) {
+						silenced = true
+					}
+					if silenced {
+						f.Drop = true
+						w.Trace.Mark(t, from, MarkCollude)
+					}
 				}
 			}
 		}

@@ -3,6 +3,7 @@ package fault
 import (
 	"encoding/json"
 	"reflect"
+	"strconv"
 	"testing"
 
 	"repro/internal/graph"
@@ -34,6 +35,9 @@ func FuzzParse(f *testing.F) {
 		"corrupt:nodes=1,p=0.5;replay:p=0.2;forge:as=2,p=0.1;equiv:nodes=1,peers=3,p=1;seed=9",
 		"collude:nodes=3,peers=1+5,groups=2,p=1",
 		"collude:nodes=3+7,peers=1+5+9,groups=3,p=0.75,chaff=40,chafffrom=72,chaffevery=2@10-900;seed=24",
+		"collude:nodes=3,peers=1+5,p=1,droppull=1",
+		"rejoin:nodes=3,down=60,reset=1@400",
+		"rejoin:nodes=3+9,down=40,sybil=1003@200-",
 	} {
 		f.Add(seed)
 	}
@@ -106,6 +110,66 @@ func FuzzEquivSplit(f *testing.F) {
 			t.Fatalf("split lists changed across the round trip: %+v vs %+v", c, a)
 		}
 	})
+}
+
+// FuzzRejoinClause builds rejoin specs from arbitrary field values and
+// checks the clause's invariants: the parser never panics, an accepted
+// clause always has victims, a positive downtime, and never both the
+// reset and sybil arms at once, and every accepted clause survives the
+// canonical String form and the JSON form unchanged (a drifted Down or
+// Sybil would silently move the attack).
+func FuzzRejoinClause(f *testing.F) {
+	f.Add("3", int64(60), false, int64(0), "400")
+	f.Add("3+9", int64(40), true, int64(0), "400-500")
+	f.Add("3", int64(40), false, int64(1003), "200-")
+	f.Add("", int64(0), false, int64(-5), "")
+	f.Add("1++2", int64(-7), true, int64(100), "x")
+	f.Fuzz(func(t *testing.T, nodes string, down int64, reset bool, sybil int64, window string) {
+		spec := "rejoin:nodes=" + nodes + ",down=" + itoa(down)
+		if reset {
+			spec += ",reset=1"
+		}
+		if sybil != 0 {
+			spec += ",sybil=" + itoa(sybil)
+		}
+		if window != "" {
+			spec += "@" + window
+		}
+		pl, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if len(pl.Clauses) != 1 {
+			t.Fatalf("%q parsed into %d clauses", spec, len(pl.Clauses))
+		}
+		c := pl.Clauses[0]
+		if len(c.Nodes) == 0 || c.Down <= 0 || c.Sybil < 0 || (c.Reset && c.Sybil != 0) {
+			t.Fatalf("accepted invalid rejoin clause: %q -> %+v", spec, c)
+		}
+		canon := pl.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q did not reparse: %v", canon, spec, err)
+		}
+		if !reflect.DeepEqual(pl, again) {
+			t.Fatalf("string round trip changed the plan: %q -> %q", spec, canon)
+		}
+		data, err := json.Marshal(pl)
+		if err != nil {
+			t.Fatalf("accepted plan %q did not marshal: %v", canon, err)
+		}
+		back, err := DecodeJSON(data)
+		if err != nil {
+			t.Fatalf("JSON of accepted plan %q did not decode: %v", data, err)
+		}
+		if !reflect.DeepEqual(pl, back) {
+			t.Fatalf("JSON round trip changed the plan: %q", canon)
+		}
+	})
+}
+
+func itoa(v int64) string {
+	return strconv.FormatInt(v, 10)
 }
 
 // FuzzReceipt hammers the audit receipt's wire form — the one piece of

@@ -22,6 +22,10 @@ import (
 //
 //	corrupt:nodes=3+7,p=0.25@50-;replay:p=0.3,window=12;forge:nodes=7,as=5,p=0.3;equiv:nodes=3,peers=2+5,p=1;seed=7
 //
+// and the churn clause pairs an announced leave with a timed return:
+//
+//	rejoin:nodes=3,down=60,reset=1@400  (or sybil=1003 for fresh identities)
+//
 // The returned plan is validated; String renders it back in canonical
 // form, and Parse(p.String()) reproduces p exactly.
 func Parse(s string) (*Plan, error) {
@@ -96,11 +100,12 @@ var allowedKeys = map[Kind]map[string]bool{
 	KindSpike:     {"nodes": true, "delay": true},
 	KindBlackout:  {"pair": true},
 	KindCrash:     {"nodes": true, "recover": true},
+	KindRejoin:    {"nodes": true, "down": true, "reset": true, "sybil": true},
 	KindCorrupt:   {"nodes": true, "p": true},
 	KindReplay:    {"nodes": true, "p": true, "window": true},
 	KindForge:     {"nodes": true, "as": true, "p": true},
 	KindEquiv:     {"nodes": true, "peers": true, "p": true},
-	KindCollude:   {"nodes": true, "peers": true, "groups": true, "p": true, "chaff": true, "chafffrom": true, "chaffevery": true},
+	KindCollude:   {"nodes": true, "peers": true, "groups": true, "p": true, "chaff": true, "chafffrom": true, "chaffevery": true, "droppull": true},
 }
 
 func (c *Clause) setParam(key, val string) error {
@@ -124,6 +129,17 @@ func (c *Clause) setParam(key, val string) error {
 		c.Delay, err = parseT()
 	case "recover":
 		c.RecoverAfter, err = parseT()
+	case "down":
+		c.Down, err = parseT()
+	case "reset":
+		c.Reset, err = strconv.ParseBool(val)
+	case "sybil":
+		var n int64
+		if n, err = strconv.ParseInt(val, 10, 64); err == nil {
+			c.Sybil = graph.NodeID(n)
+		}
+	case "droppull":
+		c.DropPull, err = strconv.ParseBool(val)
 	case "groups":
 		c.Groups, err = strconv.Atoi(val)
 	case "chaff":
@@ -232,6 +248,15 @@ func (c Clause) String() string {
 		if c.RecoverAfter != 0 {
 			add("recover", strconv.FormatInt(int64(c.RecoverAfter), 10))
 		}
+	case KindRejoin:
+		add("nodes", fmtNodes(c.Nodes))
+		add("down", strconv.FormatInt(int64(c.Down), 10))
+		if c.Reset {
+			add("reset", "1")
+		}
+		if c.Sybil != 0 {
+			add("sybil", strconv.FormatInt(int64(c.Sybil), 10))
+		}
 	case KindCorrupt:
 		if len(c.Nodes) > 0 {
 			add("nodes", fmtNodes(c.Nodes))
@@ -272,6 +297,9 @@ func (c Clause) String() string {
 		}
 		if c.ChaffEvery != 0 {
 			add("chaffevery", strconv.FormatInt(int64(c.ChaffEvery), 10))
+		}
+		if c.DropPull {
+			add("droppull", "1")
 		}
 	}
 	s := string(c.Kind)

@@ -436,8 +436,11 @@ type rkey struct {
 type auditLayer struct {
 	cfg AuditConfig
 	// bseqNext and bseqOf are sender-side: the per-sender broadcast
-	// counter and the bseq memo per (tag, honest fingerprint). Modeled as
-	// durable (they live with the signing key), so Crash leaves them.
+	// counter and the bseq memo per (tag, honest fingerprint). The counter
+	// lives with the signing key on stable storage: Crash (and a durable-
+	// identity Leave) persists it in the identity record and restores it,
+	// while a session-keyed departure loses it — the next session numbers
+	// from 1 as a fresh principal.
 	bseqNext map[graph.NodeID]uint64
 	bseqOf   map[bcastKey]uint64
 	// receipts, order and pending are receiver-side, per observer: the
@@ -1019,6 +1022,94 @@ func (au *auditLayer) flush(p *Proc) {
 		c.ReceiptsSent++
 		c.ReceiptsCarried += n
 	}
+}
+
+// dropSenderBSeq forgets an entity's sender-side audit state: the
+// broadcast counter and the bseq memo of its logical broadcasts. A
+// session-keyed departure loses them outright (the next session numbers
+// from 1 in a world that also forgot the old receipts); a durable-
+// identity departure or crash persists the counter in the identity
+// record first, so the rejoiner resumes its sequence space.
+func (au *auditLayer) dropSenderBSeq(id graph.NodeID) {
+	delete(au.bseqNext, id)
+	for k := range au.bseqOf {
+		if k.from == id {
+			delete(au.bseqOf, k)
+		}
+	}
+}
+
+// purgeObserver wipes an entity's own receiver-side audit state — its
+// receipt store, gossip queue, pins, advertisement and pull bookkeeping,
+// and the convictions IT holds against others. A session-keyed departure
+// calls it: the departing session's memory dies with it.
+func (au *auditLayer) purgeObserver(id graph.NodeID) {
+	delete(au.receipts, id)
+	delete(au.order, id)
+	delete(au.pending, id)
+	delete(au.pinned, id)
+	delete(au.pinOrder, id)
+	delete(au.advertised, id)
+	delete(au.pullRound, id)
+	delete(au.pullCursor, id)
+	for pair := range au.proven {
+		if pair[0] == id {
+			delete(au.proven, pair)
+			delete(au.proofs, pair)
+		}
+	}
+}
+
+// purgeAbout wipes every observer's audit state ABOUT one identity: the
+// stored and pending receipts naming it as sender, its pins, and the
+// standing convictions against it. This is the session-keyed rejoin's
+// forgetting — a fresh principal arrives with no record — and the
+// returned count of erased convictions is the laundering measurement.
+// everProven survives as accounting, and the world-held ground truth
+// (truthFP/provenB) is untouched: the old session's equivocations really
+// happened.
+func (au *auditLayer) purgeAbout(id graph.NodeID) int {
+	for at, st := range au.receipts {
+		kept := au.order[at][:0]
+		for _, k := range au.order[at] {
+			if k.sender == id {
+				delete(st, k)
+				delete(au.advertised[at], k)
+			} else {
+				kept = append(kept, k)
+			}
+		}
+		au.order[at] = kept
+	}
+	for at, q := range au.pending {
+		kept := q[:0]
+		for _, r := range q {
+			if r.Sender != id {
+				kept = append(kept, r)
+			}
+		}
+		au.pending[at] = kept
+	}
+	for at, pins := range au.pinned {
+		kept := au.pinOrder[at][:0]
+		for _, k := range au.pinOrder[at] {
+			if k.sender == id {
+				delete(pins, k)
+			} else {
+				kept = append(kept, k)
+			}
+		}
+		au.pinOrder[at] = kept
+	}
+	wiped := 0
+	for pair := range au.proven {
+		if pair[1] == id {
+			delete(au.proven, pair)
+			delete(au.proofs, pair)
+			wiped++
+		}
+	}
+	return wiped
 }
 
 // pardon clears the audit conviction behind a paroled link, including the

@@ -183,9 +183,15 @@ type authLayer struct {
 	// budgets overrides cfg.Budget per link once parole has halved it;
 	// absent means the configured budget still applies.
 	budgets map[[2]graph.NodeID]int
-	stats   map[graph.NodeID]*AuthCounters
-	events  []QuarantineEvent
-	paroles []QuarantineEvent
+	// paroleAt is the absolute parole deadline of each quarantined link
+	// with parole configured (absent = permanent). Parole timers check it
+	// on firing, so a stale timer — one whose link's state was dropped by
+	// a crash or departure and possibly restored since — is a no-op, and
+	// recovery re-arms the REMAINING time instead of restarting the clock.
+	paroleAt map[[2]graph.NodeID]int64
+	stats    map[graph.NodeID]*AuthCounters
+	events   []QuarantineEvent
+	paroles  []QuarantineEvent
 }
 
 func newAuthLayer(cfg AuthConfig) *authLayer {
@@ -197,6 +203,7 @@ func newAuthLayer(cfg AuthConfig) *authLayer {
 		strikes:     make(map[[2]graph.NodeID]int),
 		quarantined: make(map[[2]graph.NodeID]bool),
 		budgets:     make(map[[2]graph.NodeID]int),
+		paroleAt:    make(map[[2]graph.NodeID]int64),
 		stats:       make(map[graph.NodeID]*AuthCounters),
 	}
 }
@@ -269,41 +276,162 @@ func (al *authLayer) tag(m *Message) {
 	m.mac = al.macFor(m.From, m.To, m.aseq, m.Tag, m.bseq, m.sig, m.Payload)
 }
 
-// senderSnapshot extracts the per-pair send counters of one entity — the
-// volatile sender-side state a crash would lose unless persisted. The
-// returned map is detached from the layer.
-func (al *authLayer) senderSnapshot(id graph.NodeID) map[graph.NodeID]uint64 {
-	var out map[graph.NodeID]uint64
+// identitySnapshot extracts the identity-keyed auth state of one entity —
+// its per-pair send counters (the volatile sender side a crash would lose
+// unless persisted) plus its own receiver-side security ledger: the
+// anti-replay windows it keeps about peers, the strikes and halved
+// budgets it charges them, and the quarantines it imposed with their
+// absolute parole deadlines. The returned record is detached from the
+// layer.
+func (al *authLayer) identitySnapshot(id graph.NodeID) IdentityRecord {
+	var rec IdentityRecord
 	for pair, seq := range al.nextSeq {
 		if pair[0] != id {
 			continue
 		}
-		if out == nil {
-			out = make(map[graph.NodeID]uint64)
+		if rec.SendSeq == nil {
+			rec.SendSeq = make(map[graph.NodeID]uint64)
 		}
-		out[pair[1]] = seq
+		rec.SendSeq[pair[1]] = seq
 	}
-	return out
+	for pair, rw := range al.windows {
+		if pair[0] != id || !rw.inited {
+			continue
+		}
+		if rec.Windows == nil {
+			rec.Windows = make(map[graph.NodeID]ReplayState)
+		}
+		rec.Windows[pair[1]] = ReplayState{Hi: rw.hi, Bits: rw.bits}
+	}
+	for pair, n := range al.strikes {
+		if pair[0] != id {
+			continue
+		}
+		if rec.Strikes == nil {
+			rec.Strikes = make(map[graph.NodeID]int)
+		}
+		rec.Strikes[pair[1]] = n
+	}
+	for pair, b := range al.budgets {
+		if pair[0] != id {
+			continue
+		}
+		if rec.Budgets == nil {
+			rec.Budgets = make(map[graph.NodeID]int)
+		}
+		rec.Budgets[pair[1]] = b
+	}
+	for pair := range al.quarantined {
+		if pair[0] != id {
+			continue
+		}
+		if rec.Quarantined == nil {
+			rec.Quarantined = make(map[graph.NodeID]int64)
+		}
+		rec.Quarantined[pair[1]] = al.paroleAt[pair]
+	}
+	return rec
 }
 
-// dropSenderState forgets an entity's per-pair send counters — what a
-// crash does to state that was only in memory. Without a restore from
-// stable storage, the recovered entity restarts its counters at 1 and its
-// first sends land inside peers' anti-replay windows as replays.
-func (al *authLayer) dropSenderState(id graph.NodeID) {
+// dropIdentity forgets an entity's in-memory auth state, sender and
+// receiver side — what a crash or departure does to state that was only
+// in memory. Clearing paroleAt also retires any pending parole timers for
+// the entity's quarantines: they check the deadline on firing and find it
+// gone (or replaced by a restore, which re-arms its own).
+func (al *authLayer) dropIdentity(id graph.NodeID) {
 	for pair := range al.nextSeq {
 		if pair[0] == id {
 			delete(al.nextSeq, pair)
 		}
 	}
+	for pair := range al.windows {
+		if pair[0] == id {
+			delete(al.windows, pair)
+		}
+	}
+	for pair := range al.strikes {
+		if pair[0] == id {
+			delete(al.strikes, pair)
+		}
+	}
+	for pair := range al.budgets {
+		if pair[0] == id {
+			delete(al.budgets, pair)
+		}
+	}
+	for pair := range al.quarantined {
+		if pair[0] == id {
+			delete(al.quarantined, pair)
+			delete(al.paroleAt, pair)
+		}
+	}
 }
 
-// restoreSenderState reinstates persisted per-pair send counters on
-// recovery.
-func (al *authLayer) restoreSenderState(id graph.NodeID, seqs map[graph.NodeID]uint64) {
-	for to, seq := range seqs {
+// restoreIdentity reinstates a persisted identity record on recovery or
+// durable-identity rejoin. Quarantines come back with their parole timers
+// re-armed for the time REMAINING to the original absolute deadline — a
+// deadline that passed while the entity was down paroles immediately —
+// so a crash mid-parole neither restarts the clock nor forgets the
+// halved budget.
+func (al *authLayer) restoreIdentity(w *World, id graph.NodeID, rec IdentityRecord) {
+	for to, seq := range rec.SendSeq {
 		al.nextSeq[[2]graph.NodeID{id, to}] = seq
 	}
+	for from, ws := range rec.Windows {
+		al.windows[[2]graph.NodeID{id, from}] = &replayWindow{inited: true, hi: ws.Hi, bits: ws.Bits}
+	}
+	for peer, n := range rec.Strikes {
+		al.strikes[[2]graph.NodeID{id, peer}] = n
+	}
+	for peer, b := range rec.Budgets {
+		al.budgets[[2]graph.NodeID{id, peer}] = b
+	}
+	now := int64(w.Engine.Now())
+	for offender, deadline := range rec.Quarantined {
+		pair := [2]graph.NodeID{id, offender}
+		al.quarantined[pair] = true
+		if deadline == 0 {
+			continue // permanent (no parole configured at quarantine time)
+		}
+		al.paroleAt[pair] = deadline
+		remaining := deadline - now
+		if remaining < 0 {
+			remaining = 0
+		}
+		al.scheduleParole(w, pair[0], pair[1], deadline, sim.Time(remaining))
+	}
+}
+
+// purgeAbout wipes every OTHER entity's receiver-side auth state about
+// one identity — windows, strikes, budgets, quarantines. This is what a
+// session-keyed rejoin does (the new session is a fresh principal, so
+// peers re-establish everything from scratch), and the returned count of
+// standing quarantines it erased is the laundering measurement.
+func (al *authLayer) purgeAbout(id graph.NodeID) int {
+	for pair := range al.windows {
+		if pair[1] == id {
+			delete(al.windows, pair)
+		}
+	}
+	for pair := range al.strikes {
+		if pair[1] == id {
+			delete(al.strikes, pair)
+		}
+	}
+	for pair := range al.budgets {
+		if pair[1] == id {
+			delete(al.budgets, pair)
+		}
+	}
+	wiped := 0
+	for pair := range al.quarantined {
+		if pair[1] == id {
+			delete(al.quarantined, pair)
+			delete(al.paroleAt, pair)
+			wiped++
+		}
+	}
+	return wiped
 }
 
 // admit is the receiver's first gate: quarantine filter, then
@@ -385,8 +513,23 @@ func (al *authLayer) quarantine(w *World, by, offender graph.NodeID) {
 	w.Trace.Mark(now, offender, MarkAuthQuarantine)
 	al.events = append(al.events, QuarantineEvent{At: now, By: by, Offender: offender})
 	if al.cfg.Parole > 0 {
-		w.Engine.After(sim.Time(al.cfg.Parole), func() { al.parole(w, by, offender) })
+		deadline := now + al.cfg.Parole
+		al.paroleAt[pair] = deadline
+		al.scheduleParole(w, by, offender, deadline, sim.Time(al.cfg.Parole))
 	}
+}
+
+// scheduleParole arms one parole timer bound to an absolute deadline. The
+// deadline check on firing makes timers from superseded quarantine state
+// (dropped by a crash or departure, re-armed by a restore) no-ops.
+func (al *authLayer) scheduleParole(w *World, by, offender graph.NodeID, deadline int64, in sim.Time) {
+	pair := [2]graph.NodeID{by, offender}
+	w.Engine.After(in, func() {
+		if al.paroleAt[pair] != deadline {
+			return
+		}
+		al.parole(w, by, offender)
+	})
 }
 
 // parole reinstates a quarantined link with its misbehavior budget halved:
@@ -401,6 +544,7 @@ func (al *authLayer) parole(w *World, by, offender graph.NodeID) {
 		return
 	}
 	delete(al.quarantined, pair)
+	delete(al.paroleAt, pair)
 	al.strikes[pair] = 0
 	al.budgets[pair] = al.budget(pair) / 2
 	now := int64(w.Engine.Now())

@@ -56,6 +56,12 @@ func TestSublayerConfigBoundaries(t *testing.T) {
 		{"audit retention fifo", AuditConfig{Retention: RetentionFIFO}.Validate, ""},
 		{"audit retention pinned", AuditConfig{Retention: RetentionPinned}.Validate, ""},
 		{"audit unknown retention", AuditConfig{Retention: "lru"}.Validate, "Retention"},
+
+		// IdentityConfig: RetainDeparted nonnegative, 0 meaning the default.
+		{"identity zero", IdentityConfig{}.Validate, ""},
+		{"identity durable zero retain", IdentityConfig{Durable: true}.Validate, ""},
+		{"identity retain low edge", IdentityConfig{RetainDeparted: 1}.Validate, ""},
+		{"identity negative RetainDeparted", IdentityConfig{RetainDeparted: -1}.Validate, "RetainDeparted"},
 	}
 	for _, p := range probes {
 		err := p.validate()
@@ -119,5 +125,13 @@ func TestSublayerConfigDefaults(t *testing.T) {
 	}
 	if got := (AuditConfig{GossipInterval: 5, HoldFor: 3}).withDefaults(); got.HoldFor != 3 {
 		t.Errorf("audit explicit HoldFor rewritten: %+v", got)
+	}
+
+	ic := IdentityConfig{}.withDefaults()
+	if ic.Durable || ic.RetainDeparted != 1024 {
+		t.Errorf("identity defaults: %+v", ic)
+	}
+	if got := (IdentityConfig{Durable: true, RetainDeparted: 2}).withDefaults(); !got.Durable || got.RetainDeparted != 2 {
+		t.Errorf("identity explicit values rewritten: %+v", got)
 	}
 }

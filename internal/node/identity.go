@@ -1,0 +1,498 @@
+package node
+
+// Identity continuity across churn: the model's answer to quarantine
+// laundering. The auth and audit sublayers accumulate security state
+// about an entity — per-pair send counters, sliding anti-replay windows,
+// misbehavior strikes and halved budgets, quarantine/parole decisions,
+// the durable broadcast-sequence space. The question this file decides
+// is what that state is KEYED to when the entity churns.
+//
+// Session-keyed identity (the default, and the paper's weakest honest
+// reading of anonymous arrival): an entity's identity is its session.
+// Leaving destroys the departing session's own sublayer state, and a
+// later join under the same ID is a NEW principal — peers re-establish
+// pair keys and windows from scratch and, crucially, forget what they
+// held against the old session, convictions and quarantines included.
+// That forgetting is exactly the laundering attack ROADMAP flags: a
+// convicted equivocator leaves, rejoins, and resumes with a clean
+// record. The wiped quarantines and convictions are counted (and trace-
+// marked MarkIdentReset) so experiments can measure the laundering rate
+// instead of inferring it.
+//
+// Durable identity (IdentityConfig.Durable): the entity holds a
+// persistent identity key, so a rejoin is the SAME principal. On leave
+// the entity's sender counters, anti-replay windows, strike/budget
+// ledger, quarantine deadlines and broadcast counter are written to the
+// stable store (the same Recoverable/StableStore machinery crash
+// recovery uses, via the canonical wire codec below); on rejoin they are
+// restored and parole timers are re-armed for their REMAINING time.
+// Peers keep their own memory of the identity in place — which is what
+// makes convictions stick: the rejoiner resumes its old sequence space,
+// so honest churners are not misread as replay attackers, while a
+// laundering attempt (discarding the stored record to restart counters
+// at 1) lands inside peers' retained windows and re-quarantines.
+//
+// The codec is canonical — sections sorted by peer, fixed-width fields,
+// no trailing bytes — so decode(encode(x)) == x and encode(decode(b))
+// == b for every accepted b, which is what the fuzzer pins.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Trace mark tags emitted by the identity machinery.
+const (
+	// MarkIdentRestore is recorded at an entity when a durable-identity
+	// rejoin restored its persisted identity record from the stable store.
+	MarkIdentRestore = "ident.restore"
+	// MarkIdentReset is recorded at an entity when a session-keyed rejoin
+	// wiped peer-held quarantines or convictions against its old session —
+	// the laundering event itself, visible to trace checkers.
+	MarkIdentReset = "ident.reset"
+)
+
+// IdentityConfig selects how sublayer security state is keyed across
+// Leave→Join cycles.
+type IdentityConfig struct {
+	// Durable gives every entity a persistent identity: its auth/audit
+	// sender and receiver state survives Leave→Join through the stable
+	// store, and peers keep their memory of it — convictions and
+	// quarantines stick across sessions. Off by default: identity is the
+	// session, and a rejoin is a fresh principal (peers' state about the
+	// old session is wiped, which is the laundering surface E25 measures).
+	Durable bool
+	// RetainDeparted caps how many departed entities' identity records
+	// the world keeps pending rejoin in durable mode; past the cap the
+	// oldest record is deleted from the stable store and that identity,
+	// should it return, starts fresh. Bounds the identity ledger under
+	// infinite-arrival churn (the M^infty regime). Default 1024.
+	RetainDeparted int
+}
+
+func (ic IdentityConfig) withDefaults() IdentityConfig {
+	if ic.RetainDeparted == 0 {
+		ic.RetainDeparted = 1024
+	}
+	return ic
+}
+
+// Validate reports the first configuration error, or nil. Zero fields
+// mean their defaults, exactly as in Config.Validate.
+func (ic IdentityConfig) Validate() error {
+	if ic.RetainDeparted < 0 {
+		return fmt.Errorf("node: negative identity RetainDeparted %d", ic.RetainDeparted)
+	}
+	return nil
+}
+
+// IdentityCounters are the world-level identity bookkeeping totals.
+type IdentityCounters struct {
+	// Saves counts durable-mode departures that persisted a non-empty
+	// identity record to the stable store.
+	Saves int
+	// Restores counts durable-mode rejoins that restored a persisted
+	// record.
+	Restores int
+	// SessionResets counts session-keyed rejoins (every rejoin under the
+	// default keying is a fresh principal, whether or not anything was
+	// held against the old session).
+	SessionResets int
+	// QuarantinesLaundered counts standing quarantines against an old
+	// session that a session-keyed rejoin wiped — successful launderings
+	// of the auth layer's verdicts.
+	QuarantinesLaundered int
+	// ConvictionsLaundered counts standing equivocation convictions an
+	// old session shed the same way.
+	ConvictionsLaundered int
+	// RecordsEvicted counts departed-identity records dropped past
+	// RetainDeparted.
+	RecordsEvicted int
+}
+
+// IdentityRecord is the durable identity state of one entity: everything
+// the auth and audit sublayers key to it as a sender, plus its own
+// receiver-side security ledger (windows it keeps about peers, strikes
+// and budgets it charges them, quarantines it imposed with their parole
+// deadlines). Crash persists it so recovery does not restart counters or
+// parole clocks; durable-identity Leave persists it so rejoin is the
+// same principal.
+type IdentityRecord struct {
+	// BSeqNext is the audit sublayer's broadcast counter (0 without it).
+	BSeqNext uint64
+	// SendSeq holds the per-pair send counters toward each peer.
+	SendSeq map[graph.NodeID]uint64
+	// Windows holds the sliding anti-replay windows kept about each peer.
+	Windows map[graph.NodeID]ReplayState
+	// Strikes and Budgets are the misbehavior ledger charged to each peer
+	// (Budgets only where parole has halved the configured budget).
+	Strikes map[graph.NodeID]int
+	Budgets map[graph.NodeID]int
+	// Quarantined maps each peer this entity quarantined to the absolute
+	// parole deadline (0 = permanent).
+	Quarantined map[graph.NodeID]int64
+}
+
+// ReplayState is the exported wire view of one anti-replay window.
+type ReplayState struct {
+	Hi   uint64
+	Bits uint64
+}
+
+// Empty reports whether the record carries no state worth persisting.
+func (rec IdentityRecord) Empty() bool {
+	return rec.BSeqNext == 0 && len(rec.SendSeq) == 0 && len(rec.Windows) == 0 &&
+		len(rec.Strikes) == 0 && len(rec.Budgets) == 0 && len(rec.Quarantined) == 0
+}
+
+// identWireLimit bounds per-section entry counts on the wire; it is far
+// above any simulated neighborhood and keeps hostile counts from driving
+// allocations.
+const identWireLimit = 1 << 20
+
+// identCounterMax bounds strike/budget values on the wire so they fit an
+// int on every platform.
+const identCounterMax = 1<<31 - 1
+
+func sortedIDs[V any](m map[graph.NodeID]V) []graph.NodeID {
+	ids := make([]graph.NodeID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// EncodeIdentity renders an identity record in its canonical wire form:
+// the broadcast counter, then five sections (send counters, windows,
+// strikes, budgets, quarantines), each a 4-byte count followed by
+// fixed-width entries in strictly ascending peer order.
+func EncodeIdentity(rec IdentityRecord) []byte {
+	size := 8 + 5*4 + 16*len(rec.SendSeq) + 24*len(rec.Windows) +
+		16*len(rec.Strikes) + 16*len(rec.Budgets) + 16*len(rec.Quarantined)
+	out := make([]byte, 0, size)
+	var buf [8]byte
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		out = append(out, buf[:8]...)
+	}
+	putU32 := func(v int) {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(v))
+		out = append(out, buf[:4]...)
+	}
+	putU64(rec.BSeqNext)
+	putU32(len(rec.SendSeq))
+	for _, id := range sortedIDs(rec.SendSeq) {
+		putU64(uint64(id))
+		putU64(rec.SendSeq[id])
+	}
+	putU32(len(rec.Windows))
+	for _, id := range sortedIDs(rec.Windows) {
+		w := rec.Windows[id]
+		putU64(uint64(id))
+		putU64(w.Hi)
+		putU64(w.Bits)
+	}
+	putU32(len(rec.Strikes))
+	for _, id := range sortedIDs(rec.Strikes) {
+		putU64(uint64(id))
+		putU64(uint64(rec.Strikes[id]))
+	}
+	putU32(len(rec.Budgets))
+	for _, id := range sortedIDs(rec.Budgets) {
+		putU64(uint64(id))
+		putU64(uint64(rec.Budgets[id]))
+	}
+	putU32(len(rec.Quarantined))
+	for _, id := range sortedIDs(rec.Quarantined) {
+		putU64(uint64(id))
+		putU64(uint64(rec.Quarantined[id]))
+	}
+	return out
+}
+
+type identReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *identReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.err = fmt.Errorf("node: identity record truncated at byte %d", r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *identReader) count() int {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.b) {
+		r.err = fmt.Errorf("node: identity record truncated at byte %d", r.off)
+		return 0
+	}
+	n := int(binary.LittleEndian.Uint32(r.b[r.off:]))
+	r.off += 4
+	if n > identWireLimit {
+		r.err = fmt.Errorf("node: identity record section of %d entries exceeds the %d limit", n, identWireLimit)
+		return 0
+	}
+	// Each entry is at least 16 bytes; reject counts the remaining bytes
+	// cannot possibly carry before allocating for them.
+	if rest := len(r.b) - r.off; n > rest/16 {
+		r.err = fmt.Errorf("node: identity record claims %d entries in %d bytes", n, rest)
+		return 0
+	}
+	return n
+}
+
+// DecodeIdentity parses the canonical wire form, rejecting truncation,
+// trailing bytes, unsorted or duplicate peers, and counter values that do
+// not fit an int. Accepted inputs re-encode byte-identically.
+func DecodeIdentity(b []byte) (IdentityRecord, error) {
+	r := &identReader{b: b}
+	rec := IdentityRecord{BSeqNext: r.u64()}
+	section := func(entry func(id graph.NodeID) error) {
+		if r.err != nil {
+			return
+		}
+		n := r.count()
+		prev := graph.NodeID(0)
+		for i := 0; i < n && r.err == nil; i++ {
+			id := graph.NodeID(r.u64())
+			if i > 0 && id <= prev {
+				r.err = fmt.Errorf("node: identity record peers out of order (%d after %d)", id, prev)
+				return
+			}
+			prev = id
+			if err := entry(id); err != nil && r.err == nil {
+				r.err = err
+			}
+		}
+	}
+	counter := func(name string, v uint64) (int, error) {
+		if v > identCounterMax {
+			return 0, fmt.Errorf("node: identity record %s %d exceeds %d", name, v, identCounterMax)
+		}
+		return int(v), nil
+	}
+	section(func(id graph.NodeID) error {
+		if rec.SendSeq == nil {
+			rec.SendSeq = make(map[graph.NodeID]uint64)
+		}
+		rec.SendSeq[id] = r.u64()
+		return nil
+	})
+	section(func(id graph.NodeID) error {
+		if rec.Windows == nil {
+			rec.Windows = make(map[graph.NodeID]ReplayState)
+		}
+		rec.Windows[id] = ReplayState{Hi: r.u64(), Bits: r.u64()}
+		return nil
+	})
+	section(func(id graph.NodeID) error {
+		v, err := counter("strike count", r.u64())
+		if err != nil {
+			return err
+		}
+		if rec.Strikes == nil {
+			rec.Strikes = make(map[graph.NodeID]int)
+		}
+		rec.Strikes[id] = v
+		return nil
+	})
+	section(func(id graph.NodeID) error {
+		v, err := counter("budget", r.u64())
+		if err != nil {
+			return err
+		}
+		if rec.Budgets == nil {
+			rec.Budgets = make(map[graph.NodeID]int)
+		}
+		rec.Budgets[id] = v
+		return nil
+	})
+	section(func(id graph.NodeID) error {
+		v := r.u64()
+		if int64(v) < 0 {
+			return fmt.Errorf("node: identity record parole deadline %d is negative", int64(v))
+		}
+		if rec.Quarantined == nil {
+			rec.Quarantined = make(map[graph.NodeID]int64)
+		}
+		rec.Quarantined[id] = int64(v)
+		return nil
+	})
+	if r.err != nil {
+		return IdentityRecord{}, r.err
+	}
+	if r.off != len(b) {
+		return IdentityRecord{}, fmt.Errorf("node: identity record carries %d trailing bytes", len(b)-r.off)
+	}
+	return rec, nil
+}
+
+// identityRecord gathers an entity's current identity state from the
+// sublayers (zero value when neither is enabled).
+func (w *World) identityRecord(id graph.NodeID) IdentityRecord {
+	var rec IdentityRecord
+	if w.auth != nil {
+		rec = w.auth.identitySnapshot(id)
+	}
+	if w.audit != nil {
+		rec.BSeqNext = w.audit.bseqNext[id]
+	}
+	return rec
+}
+
+// dropIdentityState forgets an entity's in-memory identity state in both
+// sublayers — what a departure (or crash) does to state that was not
+// written durably.
+func (w *World) dropIdentityState(id graph.NodeID) {
+	if w.auth != nil {
+		w.auth.dropIdentity(id)
+	}
+	if w.audit != nil {
+		w.audit.dropSenderBSeq(id)
+	}
+}
+
+// restoreIdentityState reinstates a persisted identity record: sender
+// counters, receiver windows and ledger, quarantines with their parole
+// timers re-armed for the remaining time, and the broadcast counter.
+func (w *World) restoreIdentityState(id graph.NodeID, rec IdentityRecord) {
+	if w.auth != nil {
+		w.auth.restoreIdentity(w, id, rec)
+	}
+	if w.audit != nil && rec.BSeqNext > 0 {
+		w.audit.bseqNext[id] = rec.BSeqNext
+	}
+}
+
+// identSaveOnLeave persists a durable identity at departure and drops the
+// in-memory copies; rejoin restores them via identRestoreOnJoin.
+func (w *World) identSaveOnLeave(id graph.NodeID) {
+	rec := w.identityRecord(id)
+	w.dropIdentityState(id)
+	if rec.Empty() {
+		return
+	}
+	w.store.Save(id, durableSnapshot{ident: EncodeIdentity(rec)})
+	w.identStats.Saves++
+	w.retainDeparted(id)
+}
+
+// identRestoreOnJoin loads a departed identity's persisted record, if one
+// survives, and reinstates it on the joining entity.
+func (w *World) identRestoreOnJoin(id graph.NodeID) {
+	w.forgetDeparted(id)
+	raw, ok := w.store.Load(id)
+	if !ok {
+		return
+	}
+	snap, wrapped := raw.(durableSnapshot)
+	if !wrapped || snap.ident == nil {
+		return
+	}
+	rec, err := DecodeIdentity(snap.ident)
+	if err != nil {
+		// The store only ever holds records this process encoded; a decode
+		// failure is a bug, not an input condition.
+		panic(err.Error())
+	}
+	w.restoreIdentityState(id, rec)
+	w.identStats.Restores++
+	w.Trace.Mark(int64(w.Engine.Now()), id, MarkIdentRestore)
+}
+
+// identResetOnRejoin is the session-keyed rejoin: the new session is a
+// fresh principal, so peers' state about the old one — windows, strikes,
+// budgets, quarantines, convictions, stored receipts — is wiped. The
+// wiped verdicts are the laundering the durable mode exists to prevent;
+// they are counted and trace-marked so runs can measure them.
+func (w *World) identResetOnRejoin(id graph.NodeID) {
+	laundered := 0
+	if w.auth != nil {
+		laundered += w.auth.purgeAbout(id)
+	}
+	convictions := 0
+	if w.audit != nil {
+		convictions = w.audit.purgeAbout(id)
+	}
+	w.identStats.SessionResets++
+	w.identStats.QuarantinesLaundered += laundered
+	w.identStats.ConvictionsLaundered += convictions
+	if laundered+convictions > 0 {
+		w.Trace.Mark(int64(w.Engine.Now()), id, MarkIdentReset)
+	}
+}
+
+// DropIdentityRecord deletes the identity record persisted for a departed
+// entity, keeping any behavior snapshot stored alongside it. This is the
+// adversary's laundering move against durable identities — "lose" the key
+// material and counters, rejoin clean — and fault rejoin clauses with
+// reset=1 call it. It only sheds the entity's OWN state: peers keep their
+// windows and verdicts, so the reset rejoiner restarts its counters inside
+// memory that still expects the old ones.
+func (w *World) DropIdentityRecord(id graph.NodeID) {
+	w.forgetDeparted(id)
+	raw, ok := w.store.Load(id)
+	if !ok {
+		return
+	}
+	if snap, wrapped := raw.(durableSnapshot); wrapped {
+		if snap.hasBehavior {
+			snap.ident = nil
+			w.store.Save(id, snap)
+			return
+		}
+		w.store.Delete(id)
+	}
+}
+
+// retainDeparted tracks a persisted departed identity under the
+// RetainDeparted cap, evicting the oldest record past it.
+func (w *World) retainDeparted(id graph.NodeID) {
+	if w.departedSet[id] {
+		return
+	}
+	if w.departedSet == nil {
+		w.departedSet = make(map[graph.NodeID]bool)
+	}
+	w.departedSet[id] = true
+	w.departed = append(w.departed, id)
+	for len(w.departed) > w.cfg.Identity.RetainDeparted {
+		old := w.departed[0]
+		w.departed = w.departed[1:]
+		delete(w.departedSet, old)
+		w.store.Delete(old)
+		w.identStats.RecordsEvicted++
+	}
+}
+
+// forgetDeparted stops tracking an identity that returned.
+func (w *World) forgetDeparted(id graph.NodeID) {
+	if !w.departedSet[id] {
+		return
+	}
+	delete(w.departedSet, id)
+	for i, d := range w.departed {
+		if d == id {
+			w.departed = append(w.departed[:i], w.departed[i+1:]...)
+			break
+		}
+	}
+}
+
+// IdentityTotals returns the world's identity bookkeeping counters.
+func (w *World) IdentityTotals() IdentityCounters { return w.identStats }

@@ -110,6 +110,12 @@ type Config struct {
 	// fingerprints are proof of equivocation — the prover quarantines the
 	// sender and forwards the pair so the proof propagates. Requires Auth.
 	Audit AuditConfig
+	// Identity selects how the auth/audit sublayers' security state is
+	// keyed across Leave→Join cycles (see IdentityConfig): session-keyed
+	// by default — a rejoin is a fresh principal and peers forget the old
+	// session, quarantines included — or durable, where identity state
+	// persists through the stable store and convictions stick.
+	Identity IdentityConfig
 	// Store persists behavior snapshots across crash–recovery gaps
 	// (see Recoverable). Defaults to an in-memory store.
 	Store StableStore
@@ -143,6 +149,9 @@ func (cfg Config) Validate() error {
 		return err
 	}
 	if err := cfg.Audit.Validate(); err != nil {
+		return err
+	}
+	if err := cfg.Identity.Validate(); err != nil {
 		return err
 	}
 	if cfg.Audit.Enabled && !cfg.Auth.Enabled {
@@ -225,6 +234,13 @@ type World struct {
 	auth         *authLayer
 	audit        *auditLayer
 	store        StableStore
+	// seen marks every identity that has ever joined, so Join can tell a
+	// rejoin from a first arrival; identStats, departed and departedSet
+	// are the identity-continuity bookkeeping (see identity.go).
+	seen        map[graph.NodeID]bool
+	identStats  IdentityCounters
+	departed    []graph.NodeID
+	departedSet map[graph.NodeID]bool
 }
 
 // NewWorld assembles a runtime over the given engine and overlay. The
@@ -245,6 +261,7 @@ func NewWorld(engine *sim.Engine, overlay topology.Overlay, factory BehaviorFact
 	if cfg.Store == nil {
 		cfg.Store = NewMemStore()
 	}
+	cfg.Identity = cfg.Identity.withDefaults()
 	w := &World{
 		Engine:       engine,
 		Overlay:      overlay,
@@ -255,6 +272,7 @@ func NewWorld(engine *sim.Engine, overlay topology.Overlay, factory BehaviorFact
 		procs:        make(map[graph.NodeID]*Proc),
 		lastDelivery: make(map[[2]graph.NodeID]sim.Time),
 		store:        cfg.Store,
+		seen:         make(map[graph.NodeID]bool),
 	}
 	if cfg.Reliable.Enabled {
 		w.rel = newReliableLayer(cfg.Reliable.withDefaults())
@@ -284,11 +302,26 @@ func (w *World) Present() []graph.NodeID { return w.Overlay.Graph().Nodes() }
 
 // Join brings an entity into the system now: overlay attachment, trace
 // recording, behaviour start. Joining a present entity panics.
+//
+// A join under an identity that was present before is a REJOIN, recorded
+// as core.MarkRejoin at the joining tick. What it means for sublayer
+// security state depends on Config.Identity: session-keyed (default),
+// the new session is a fresh principal and peers' state about the old
+// one — quarantines and convictions included — is wiped (counted as
+// laundering, see identity.go); durable, the identity record persisted
+// at departure is restored and the rejoiner resumes its old sequence
+// space, so verdicts stick and honest churners are not misread as
+// replay attackers.
 func (w *World) Join(id graph.NodeID) *Proc {
 	if _, ok := w.procs[id]; ok {
 		panic(fmt.Sprintf("node: entity %d joined twice", id))
 	}
 	now := int64(w.Engine.Now())
+	rejoin := w.seen[id]
+	w.seen[id] = true
+	if rejoin {
+		w.Trace.Mark(now, id, core.MarkRejoin)
+	}
 	w.Trace.Join(now, id)
 	w.recordChanges(now, w.Overlay.AddNode(id))
 	p := &Proc{
@@ -299,6 +332,13 @@ func (w *World) Join(id graph.NodeID) *Proc {
 		alive:    true,
 	}
 	w.procs[id] = p
+	if w.auth != nil || w.audit != nil {
+		if w.cfg.Identity.Durable {
+			w.identRestoreOnJoin(id)
+		} else if rejoin {
+			w.identResetOnRejoin(id)
+		}
+	}
 	p.behavior.Init(p)
 	if w.audit != nil {
 		w.audit.start(p)
@@ -323,6 +363,22 @@ func (w *World) Leave(id graph.NodeID) {
 	p.timers = nil
 	p.alive = false
 	delete(w.procs, id)
+	if w.auth != nil || w.audit != nil {
+		if w.cfg.Identity.Durable {
+			// The identity persists: write its sublayer state to the stable
+			// store so a rejoin resumes the same principal.
+			w.identSaveOnLeave(id)
+		} else {
+			// Session-keyed: the departing session's own state — sender
+			// counters, its receiver-side ledger, its receipt store — dies
+			// with it. (Peers' state about it is wiped at rejoin time, not
+			// here: an identity that never returns harms nobody.)
+			w.dropIdentityState(id)
+			if w.audit != nil {
+				w.audit.purgeObserver(id)
+			}
+		}
+	}
 }
 
 // Crash removes a present entity WITHOUT telling the overlay: the entity
@@ -336,12 +392,13 @@ func (w *World) Leave(id graph.NodeID) {
 // If the entity's behavior implements Recoverable, its snapshot is saved
 // to the world's stable store so a later Recover can restore it: the
 // snapshot models state the entity had written durably before failing.
-// The auth sublayer's per-pair send counters are persisted alongside it
-// and their in-memory copies dropped: they are volatile sender state, and
-// a recovery that loses them would restart every counter at 1 — stale
-// numbers that land inside peers' anti-replay windows and read as
-// replays. (The audit sublayer's broadcast counters and signing key live
-// on the same stable storage by construction and survive in place.)
+// The entity's identity record — auth per-pair send counters, its
+// anti-replay windows and strike/budget ledger, quarantines with their
+// parole deadlines, the audit broadcast counter — is persisted alongside
+// it and the in-memory copies dropped: losing the send counters would
+// restart them at 1 (stale numbers that land inside peers' anti-replay
+// windows and read as replays), and losing the quarantine ledger would
+// restart parole clocks from zero on recovery.
 func (w *World) Crash(id graph.NodeID) {
 	p, ok := w.procs[id]
 	if !ok {
@@ -351,11 +408,14 @@ func (w *World) Crash(id graph.NodeID) {
 	if rec, ok := p.behavior.(Recoverable); ok {
 		snap.behavior, snap.hasBehavior = rec.Snapshot(), true
 	}
-	if w.auth != nil {
-		snap.authSeq = w.auth.senderSnapshot(id)
-		w.auth.dropSenderState(id)
+	if w.auth != nil || w.audit != nil {
+		rec := w.identityRecord(id)
+		w.dropIdentityState(id)
+		if !rec.Empty() {
+			snap.ident = EncodeIdentity(rec)
+		}
 	}
-	if snap.authSeq != nil {
+	if snap.ident != nil {
 		w.store.Save(id, snap)
 	} else if snap.hasBehavior {
 		// Nothing beyond the behavior's own snapshot is durable; store it
@@ -385,6 +445,7 @@ func (w *World) Recover(id graph.NodeID) *Proc {
 		panic(fmt.Sprintf("node: entity %d recovered while present", id))
 	}
 	now := int64(w.Engine.Now())
+	w.seen[id] = true
 	w.Trace.Mark(now, id, core.MarkRecover)
 	w.Trace.Join(now, id)
 	if !w.Overlay.Graph().HasNode(id) {
@@ -416,8 +477,14 @@ func (w *World) Recover(id graph.NodeID) *Proc {
 		if !wrapped {
 			snap = durableSnapshot{behavior: raw, hasBehavior: true}
 		}
-		if w.auth != nil && snap.authSeq != nil {
-			w.auth.restoreSenderState(id, snap.authSeq)
+		if snap.ident != nil && (w.auth != nil || w.audit != nil) {
+			rec, err := DecodeIdentity(snap.ident)
+			if err != nil {
+				// The store only ever holds records this process encoded; a
+				// decode failure is a bug, not an input condition.
+				panic(err.Error())
+			}
+			w.restoreIdentityState(id, rec)
 		}
 		if snap.hasBehavior {
 			if rec, ok := p.behavior.(Recoverable); ok {

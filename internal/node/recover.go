@@ -57,14 +57,17 @@ func (s *MemStore) Load(id graph.NodeID) (any, bool) {
 // Delete implements StableStore.
 func (s *MemStore) Delete(id graph.NodeID) { delete(s.snaps, id) }
 
-// durableSnapshot is what Crash writes to the stable store: the behavior's
-// own snapshot (when it implements Recoverable) plus runtime sublayer
-// state the entity is modeled as having written durably — the auth
-// sublayer's per-pair send counters. Recover unwraps it; bare values in
-// the store (written by older code or seeded directly by tests) are
-// treated as behavior snapshots.
+// durableSnapshot is what Crash (and a durable-identity Leave) writes to
+// the stable store: the behavior's own snapshot (when it implements
+// Recoverable) plus the entity's identity record in its canonical wire
+// form — per-pair send counters, anti-replay windows, the strike/budget
+// ledger, quarantines with their absolute parole deadlines, and the
+// audit sublayer's broadcast counter (see EncodeIdentity). Recover and a
+// durable-identity rejoin unwrap it; bare values in the store (written
+// by older code or seeded directly by tests) are treated as behavior
+// snapshots.
 type durableSnapshot struct {
 	behavior    any
 	hasBehavior bool
-	authSeq     map[graph.NodeID]uint64
+	ident       []byte
 }

@@ -205,6 +205,15 @@ type CheckOptions struct {
 	// the contract crash–recovery experiments (E21) hold protocols to —
 	// reachable only by channels that keep retrying across the gap.
 	BridgeRecoveries bool
+	// BridgeRejoins judges stability over rejoin-bridged sessions
+	// (core.StableBetweenRejoinBridged): an entity that left and came back
+	// under the SAME identity during the query — flanked by the runtime's
+	// rejoin mark — still counts as one stable participant. This is the
+	// participation notion durable-identity experiments (E25) use: when
+	// security state persists across churn, a rejoined identity is the
+	// same principal, not a fresh arrival. Subsumes BridgeRecoveries
+	// (crash–recovery gaps bridge too).
+	BridgeRejoins bool
 }
 
 // Check judges a run against the recorded trace. The query interval is
@@ -220,6 +229,9 @@ func CheckWith(tr *core.Trace, r *Run, valueOf func(graph.NodeID) float64, opts 
 	stableBetween := tr.StableBetween
 	if opts.BridgeRecoveries {
 		stableBetween = tr.StableBetweenBridged
+	}
+	if opts.BridgeRejoins {
+		stableBetween = tr.StableBetweenRejoinBridged
 	}
 	ans := r.Answer()
 	if ans == nil {
