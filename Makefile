@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments quick-experiments fuzz fmt clean verify
+.PHONY: all build vet test race bench bench-record experiments quick-experiments fuzz fmt clean verify
 
 all: build vet test
 
@@ -27,6 +27,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Record the substrate + experiment benchmarks as JSON for cross-PR
+# comparison (BENCH_PR6.json is the baseline this PR ships). The root
+# E1-E25 suite is excluded: it takes minutes and its tables live in
+# EXPERIMENTS.md already.
+bench-record:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -out BENCH_PR6.json
+
 # Regenerate every table in EXPERIMENTS.md (several minutes).
 experiments:
 	$(GO) run ./cmd/otqbench
@@ -44,6 +51,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzPullDigest -fuzztime=10s ./internal/node/
 	$(GO) test -fuzz=FuzzRejoinClause -fuzztime=10s ./internal/fault/
 	$(GO) test -fuzz=FuzzIdentityRecord -fuzztime=10s ./internal/node/
+	$(GO) test -fuzz=FuzzReconfigClause -fuzztime=10s ./internal/fault/
+	$(GO) test -fuzz=FuzzStackConfigCodec -fuzztime=10s ./internal/node/
 
 fmt:
 	gofmt -w .

@@ -12,6 +12,7 @@
 //	ddsim -overlay ring -n 16 -protocol echo-wave -byzantine equiv -reliable -audit -parole 150
 //	ddsim -overlay ring -n 16 -protocol echo-wave -faults 'collude:nodes=3,peers=1+5,groups=2,p=1' -reliable -pull -pull-ttl 2
 //	ddsim -overlay ring -n 16 -protocol echo-wave -byzantine equiv -reliable -audit -rejoin 'nodes=3,down=40@200' -durable-identity -bridge-rejoins
+//	ddsim -overlay ring -n 16 -protocol echo-wave -reliable -auth -reconfig 'nodes=1,every=80,count=4,rotate=1@120'
 package main
 
 import (
@@ -56,6 +57,7 @@ func main() {
 		bridge      = flag.Bool("bridge-recoveries", false, "judge Validity over recovery-bridged sessions (crashed-and-recovered entities count as stable)")
 		durableID   = flag.Bool("durable-identity", false, "persist identity records (auth counters, replay windows, quarantines, audit bseq space) across Leave/Join")
 		rejoinSpec  = flag.String("rejoin", "", "rejoin clause body appended to -faults, e.g. 'nodes=3,down=40@200' or 'nodes=3,down=40,reset=1@200' (see internal/fault)")
+		reconfSpec  = flag.String("reconfig", "", "reconfig clause body appended to -faults, e.g. 'nodes=1,rotate=1@200' or 'every=80,count=4,rotate=1,retain=64@120' (enables the reconfiguration layer; see internal/fault)")
 		bridgeRe    = flag.Bool("bridge-rejoins", false, "judge Validity over rejoin-bridged sessions (same-identity rejoiners and crash-recoverers count as stable; subsumes -bridge-recoveries)")
 	)
 	flag.Parse()
@@ -105,6 +107,19 @@ func main() {
 		}
 	}
 
+	if *reconfSpec != "" {
+		rc, err := fault.Parse("reconfig:" + *reconfSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim:", err)
+			os.Exit(2)
+		}
+		if plan == nil {
+			plan = rc
+		} else {
+			plan.Clauses = append(plan.Clauses, rc.Clauses...)
+		}
+	}
+
 	cc := churn.Config{InitialPopulation: *n, Immortal: true}
 	if *arrival > 0 {
 		cc.ArrivalRate = *arrival
@@ -116,7 +131,8 @@ func main() {
 	authCfg := node.AuthConfig{Enabled: *auth || *audit || *pull, Parole: *parole}
 	auditCfg := node.AuditConfig{Enabled: *audit || *pull, Pull: *pull, PullTTL: *pullTTL}
 	identCfg := node.IdentityConfig{Durable: *durableID}
-	if err := (node.Config{MinLatency: 1, MaxLatency: 2, Reliable: relCfg, Auth: authCfg, Audit: auditCfg, Identity: identCfg}).Validate(); err != nil {
+	reconfCfg := node.ReconfigConfig{Enabled: *reconfSpec != ""}
+	if err := (node.Config{MinLatency: 1, MaxLatency: 2, Reliable: relCfg, Auth: authCfg, Audit: auditCfg, Identity: identCfg, Reconfig: reconfCfg}).Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "ddsim:", err)
 		os.Exit(2)
 	}
@@ -131,6 +147,7 @@ func main() {
 		Auth:             authCfg,
 		Audit:            auditCfg,
 		Identity:         identCfg,
+		Reconfig:         reconfCfg,
 		BridgeRecoveries: *bridge,
 		BridgeRejoins:    *bridgeRe,
 		QueryAt:          sim.Time(*queryAt),
@@ -171,6 +188,12 @@ func main() {
 			fmt.Printf("proven equivocators: %v (missed-but-proven %v)\n",
 				res.Outcome.ProvenEquivocators, res.Outcome.MissedProven)
 		}
+	}
+	if *reconfSpec != "" {
+		fmt.Printf("reconfiguration: epochs committed %d (initiated %d), switches %d, catch-ups %d, drains %d (timeouts %d), fenced stale %d\n",
+			res.Reconfig.Committed, res.Reconfig.Initiated, res.Reconfig.Switches,
+			res.Reconfig.CatchUps, res.Reconfig.Drains, res.Reconfig.DrainTimeouts,
+			res.Reconfig.StaleEpochDrops)
 	}
 	if *durableID || res.Identity != (node.IdentityCounters{}) {
 		fmt.Printf("identity continuity: saved %d, restored %d, session resets %d, laundered %d quarantines + %d convictions\n",

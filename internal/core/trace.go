@@ -55,6 +55,13 @@ const (
 	// sublayer emits it; checkers read it through ProvenEquivocators to
 	// separate evidence-backed quarantines from mere suspicion.
 	MarkProvenEquivocator = "audit.proven"
+	// MarkEpochSwitch is recorded at an entity when it commits to a new
+	// protocol-stack configuration epoch (the node runtime's live
+	// reconfiguration handshake). The core package owns the tag so trace
+	// checkers can locate reconfiguration points without importing the
+	// runtime; the OTQ judgment itself is epoch-agnostic — a correct
+	// reconfiguration changes the stack's parameters, never the answer.
+	MarkEpochSwitch = "reconf.switch"
 )
 
 // TraceEvent is one recorded occurrence in a run. P is the subject entity;

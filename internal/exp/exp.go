@@ -5,7 +5,7 @@
 //
 // The paper is a position paper with no numbered tables or figures; each
 // experiment here operationalizes one of its qualitative claims (C1-C6 in
-// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E25 are
+// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E26 are
 // ours and are indexed in DESIGN.md.
 package exp
 
@@ -51,6 +51,10 @@ type Scenario struct {
 	Audit node.AuditConfig
 	// Identity configures durable identity continuity across Leave/Join.
 	Identity node.IdentityConfig
+	// Reconfig configures the live stack-reconfiguration layer (epoch
+	// machinery plus quiescence handshake); faults may then carry
+	// reconfig clauses.
+	Reconfig node.ReconfigConfig
 	// BridgeRecoveries judges Validity over recovery-bridged sessions:
 	// entities that crash and recover within the query interval still
 	// count as stable participants (see otq.CheckOptions).
@@ -91,6 +95,9 @@ type RunResult struct {
 	// Identity sums the identity-continuity counters (zero when durable
 	// identity was not enabled and no entity ever rejoined).
 	Identity node.IdentityCounters
+	// Reconfig sums the reconfiguration layer's counters (zero when the
+	// layer was not enabled).
+	Reconfig node.ReconfigCounters
 	Querier  graph.NodeID
 }
 
@@ -110,6 +117,7 @@ func Execute(sc Scenario) RunResult {
 		Auth:       sc.Auth,
 		Audit:      sc.Audit,
 		Identity:   sc.Identity,
+		Reconfig:   sc.Reconfig,
 		Seed:       sc.Seed ^ 0xdddd,
 		ValueOf:    valueOf,
 	})
@@ -156,6 +164,7 @@ func Execute(sc Scenario) RunResult {
 		Audit:        w.AuditTotals(),
 		AuditSummary: w.AuditSummary(),
 		Identity:     w.IdentityTotals(),
+		Reconfig:     w.ReconfigTotals(),
 		Querier:      querier,
 	}
 }
@@ -248,5 +257,6 @@ func All() []Experiment {
 		{"E23", "equivocation storms: auth alone vs auth + audit with parole", E23},
 		{"E24", "colluding equivocators: 1-hop receipt push vs pull anti-entropy", E24},
 		{"E25", "byzantine churn: session-keyed vs durable identity under rejoin laundering", E25},
+		{"E26", "live reconfiguration: quiescence handshake under fault storms", E26},
 	}
 }

@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestE26PlansParse: every arm's composed storm parses and validates,
+// and the reconfiguration clauses carry the intended schedule.
+func TestE26PlansParse(t *testing.T) {
+	for _, arm := range e26Arms {
+		pl := e26Plan(1, arm, 700)
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("%s: %v", arm.name, err)
+		}
+		want := 1 // equiv
+		if arm.churn {
+			want++
+		}
+		if arm.flip || arm.storm {
+			want++
+		}
+		if len(pl.Clauses) != want {
+			t.Fatalf("%s: %d clauses, want %d", arm.name, len(pl.Clauses), want)
+		}
+		last := pl.Clauses[len(pl.Clauses)-1]
+		if arm.storm {
+			if last.Count != e26StormRounds || !last.Rotate || last.RetainTo != e26StormRetain ||
+				last.Every != e26StormEvery || last.From != e26StormFrom {
+				t.Fatalf("%s: storm clause misshapen: %+v", arm.name, last)
+			}
+		}
+		if arm.flip {
+			if !last.AdaptiveFlip || last.Rotate || last.From != e26FlipAt(700) {
+				t.Fatalf("%s: flip clause misshapen: %+v", arm.name, last)
+			}
+		}
+	}
+}
+
+// TestE26StormAcceptance is the tentpole's acceptance gate. Under the
+// four-round rotation/retention storm composed with certain
+// equivocation: the query stays valid modulo the proven liar, every
+// round commits, no in-flight message is dropped (zero giveups — the
+// quiet variant has no churn, and the conviction lands after the final
+// round, so any giveup would be the handshake's fault) or
+// double-delivered (zero replay rejections — a double would hit the
+// anti-replay window), no wire round is malformed, and the
+// conviction against the equivocator rides through all four key
+// rotations and retention swings unlaundered. The churned variant then
+// adds the rejoin schedule: rounds still all commit, the rejoiners'
+// records restore, and the conviction still stands at the horizon.
+func TestE26StormAcceptance(t *testing.T) {
+	quick := Config{Quick: true}
+	quiet := e26Arm{name: "storm-quiet", storm: true}
+	res := e26Run(quick, e24Wave(), 1, quiet)
+	if !res.out.ValidModuloProven() {
+		t.Errorf("quiet storm: query invalid: %+v", res.out)
+	}
+	if res.reconf.Committed != e26StormRounds {
+		t.Errorf("quiet storm: %d epochs committed, want %d (totals %+v)",
+			res.reconf.Committed, e26StormRounds, res.reconf)
+	}
+	if res.rel.GiveUps != 0 {
+		t.Errorf("quiet storm: %d giveups — the handshake dropped in-flight messages", res.rel.GiveUps)
+	}
+	if res.auth.RejectedReplay != 0 || res.auth.RejectedCorrupt != 0 {
+		t.Errorf("quiet storm: replay/corrupt rejections %d/%d — rotation desynced the windows",
+			res.auth.RejectedReplay, res.auth.RejectedCorrupt)
+	}
+	if res.reconf.BadWire != 0 {
+		t.Errorf("quiet storm: %d malformed handshake rounds", res.reconf.BadWire)
+	}
+	if res.ident.QuarantinesLaundered != 0 || res.ident.ConvictionsLaundered != 0 {
+		t.Errorf("quiet storm: laundering through reconfiguration: %+v", res.ident)
+	}
+	if res.quarKept == 0 {
+		t.Error("quiet storm: no entity still quarantines the equivocator — the conviction was lost")
+	}
+
+	churned := e26Arms[3] // reconfig-storm with the rejoin schedule
+	chres := e26Run(quick, e24Wave(), 1, churned)
+	if !chres.out.ValidModuloProven() {
+		t.Errorf("churned storm: query invalid: %+v", chres.out)
+	}
+	if chres.reconf.Committed != e26StormRounds {
+		t.Errorf("churned storm: %d epochs committed, want %d", chres.reconf.Committed, e26StormRounds)
+	}
+	if chres.ident.QuarantinesLaundered != 0 || chres.ident.ConvictionsLaundered != 0 {
+		t.Errorf("churned storm: churn + rotation laundered: %+v", chres.ident)
+	}
+	if chres.ident.Restores == 0 {
+		t.Error("churned storm: no identity record restored across the gap")
+	}
+	if chres.quarKept == 0 {
+		t.Error("churned storm: conviction did not survive rotation + churn")
+	}
+}
+
+// TestE26SingleSeedABSplit: the flip arm's first half is BIT-IDENTICAL
+// to the static-fixed arm under the same seed — same retransmission
+// counters at the snapshot tick — so one seed exhibits the fixed regime
+// before the midpoint and the adaptive regime after it. The enabled-but-
+// idle reconfiguration layer costs exactly nothing until its round fires.
+func TestE26SingleSeedABSplit(t *testing.T) {
+	quick := Config{Quick: true}
+	for _, seed := range []uint64{1, 2} {
+		fixed := e26Run(quick, e24Wave(), seed, e26Arms[0])
+		flip := e26Run(quick, e24Wave(), seed, e26Arms[2])
+		if flip.relHalf != fixed.relHalf {
+			t.Errorf("seed %d: pre-flip halves diverge: flip %+v vs static %+v",
+				seed, flip.relHalf, fixed.relHalf)
+		}
+		if fixed.reconf.Committed != 0 || flip.reconf.Committed != 1 {
+			t.Errorf("seed %d: committed epochs %d/%d, want 0 static and 1 flip",
+				seed, fixed.reconf.Committed, flip.reconf.Committed)
+		}
+		if flip.reconf.Switches != 16 {
+			t.Errorf("seed %d: %d switches, want all 16 entities on the new regime",
+				seed, flip.reconf.Switches)
+		}
+		if flip.ident.QuarantinesLaundered != 0 {
+			t.Errorf("seed %d: the flip laundered %d quarantines", seed, flip.ident.QuarantinesLaundered)
+		}
+	}
+}
+
+// TestE26Deterministic: the heaviest cell — the churned storm — replays
+// the byte-identical trace under a fixed seed: handshake scheduling,
+// drain timers, epoch fencing and the fault storm all draw from seeded
+// streams and sorted iteration.
+func TestE26Deterministic(t *testing.T) {
+	encode := func() []byte {
+		r := e26Run(Config{Quick: true}, e24Wave(), 3, e26Arms[3])
+		var buf bytes.Buffer
+		if err := core.EncodeTrace(&buf, r.tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(encode(), encode()) {
+		t.Fatal("identical seed produced different E26 traces")
+	}
+}
+
+func BenchmarkE26ReconfigStorm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e26Run(Config{Quick: true}, e24Wave(), 1, e26Arms[3])
+	}
+}

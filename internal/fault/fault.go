@@ -31,6 +31,16 @@
 //     against durable identities); Sybil makes victim i come back under
 //     the fresh identity Sybil+i instead of its own (Douceur's cheap-
 //     identity control arm: nothing to launder, nothing to inherit).
+//   - reconfig: the chosen initiators drive live protocol-stack
+//     reconfiguration rounds (node.World.Reconfigure). Each round builds
+//     a target epoch from the initiator's current stack — rotating the
+//     pair keys (rotate), flipping the RTO policy (adaptive), toggling
+//     identity durability (durable), or alternating the audit retention
+//     cap / pull fanout between the given value and genesis (retain,
+//     fanout) — and runs the quiescence handshake. One round is a timed
+//     reconfiguration; count=N with every=T is a reconfig storm.
+//     Composes with rejoin/equiv/collude: the handshake must never
+//     launder the quarantines and convictions those clauses earn.
 //
 // The Byzantine clauses model an adversary on the wire or in a sender:
 //
@@ -93,6 +103,7 @@ const (
 	KindBlackout  Kind = "blackout"
 	KindCrash     Kind = "crash"
 	KindRejoin    Kind = "rejoin"
+	KindReconfig  Kind = "reconfig"
 	KindCorrupt   Kind = "corrupt"
 	KindReplay    Kind = "replay"
 	KindForge     Kind = "forge"
@@ -125,6 +136,10 @@ const (
 	// later Join (or doesn't, in the sybil arm — a fresh identity is a
 	// first arrival as far as the ground truth can see).
 	MarkRejoin = "fault.rejoin"
+	// MarkReconfig is recorded at the initiator as each reconfiguration
+	// round is injected; the runtime's own core.MarkEpochSwitch then
+	// appears at every node that completes the switch.
+	MarkReconfig = "fault.reconfig"
 )
 
 // Clause is one typed fault with an activity window. Fields are
@@ -176,6 +191,24 @@ type Clause struct {
 	// identity Sybil+i instead of its own — the cheap-identity control
 	// arm. 0 means victims return as themselves.
 	Sybil graph.NodeID `json:"sybil,omitempty"`
+	// Every, on a reconfig clause, is the tick spacing between storm
+	// rounds (round r fires at From + r·Every). Required when Count > 1.
+	Every sim.Time `json:"every,omitempty"`
+	// Rotate, on a reconfig clause, advances the pair-key epoch each
+	// round — live key rotation under traffic.
+	Rotate bool `json:"rotate,omitempty"`
+	// AdaptiveFlip, on a reconfig clause, toggles the retransmission
+	// policy (fixed↔adaptive RTO) each round.
+	AdaptiveFlip bool `json:"adaptive,omitempty"`
+	// DurableFlip, on a reconfig clause, toggles identity durability each
+	// round. Deliberate session-semantics laundering surface: compose
+	// with care (a departure under a session epoch legitimately forgets).
+	DurableFlip bool `json:"durable,omitempty"`
+	// RetainTo, on a reconfig clause, alternates the audit retention cap
+	// between this value and the genesis cap each round; 0 leaves it.
+	RetainTo int `json:"retainto,omitempty"`
+	// FanoutTo likewise alternates the audit pull fanout; 0 leaves it.
+	FanoutTo int `json:"fanoutto,omitempty"`
 	// DropPull, on a collude clause, additionally silences the colluders'
 	// own audit pull digests and responses toward EVERYONE (their victims
 	// included): an uncooperative relay that equivocates but never
@@ -287,6 +320,25 @@ func (c *Clause) Validate() error {
 		}
 		if c.Sybil != 0 && c.Reset {
 			return fmt.Errorf("fault: rejoin sybil arm has no record to reset")
+		}
+	case KindReconfig:
+		if !c.Rotate && !c.AdaptiveFlip && !c.DurableFlip && c.RetainTo == 0 && c.FanoutTo == 0 {
+			return fmt.Errorf("fault: reconfig clause changes nothing (needs rotate, adaptive, durable, retain, or fanout)")
+		}
+		if c.Count < 0 {
+			return fmt.Errorf("fault: negative reconfig round count %d", c.Count)
+		}
+		if c.Every < 0 {
+			return fmt.Errorf("fault: negative reconfig spacing %d", c.Every)
+		}
+		if c.Count > 1 && c.Every == 0 {
+			return fmt.Errorf("fault: reconfig storm of %d rounds needs every > 0", c.Count)
+		}
+		if c.RetainTo < 0 {
+			return fmt.Errorf("fault: negative reconfig retain target %d", c.RetainTo)
+		}
+		if c.FanoutTo < 0 {
+			return fmt.Errorf("fault: negative reconfig fanout target %d", c.FanoutTo)
 		}
 	case KindCorrupt:
 		if err := probability("corrupt p", c.P); err != nil {
@@ -519,6 +571,54 @@ func (pl *Plan) Attach(w *node.World) (stop func()) {
 					}))
 				}))
 			}
+		case KindReconfig:
+			if !w.ReconfigEnabled() {
+				panic("fault: reconfig clause on a world without the reconfiguration layer (node.Config.Reconfig.Enabled)")
+			}
+			rounds := c.Count
+			if rounds <= 0 {
+				rounds = 1
+			}
+			for round := 0; round < rounds; round++ {
+				round := round
+				at := c.From + sim.Time(round)*c.Every
+				if at < w.Engine.Now() {
+					at = w.Engine.Now()
+				}
+				events = append(events, w.Engine.At(at, func() {
+					init := e.reconfigInitiator(w, c, round)
+					if init < 0 {
+						return // nobody present to initiate this round
+					}
+					target := w.StackOf(init)
+					genesis := w.GenesisStack()
+					if c.Rotate {
+						target.KeyEpoch++
+					}
+					if c.AdaptiveFlip {
+						target.Adaptive = !target.Adaptive
+					}
+					if c.DurableFlip {
+						target.Durable = !target.Durable
+					}
+					if c.RetainTo != 0 {
+						if target.Retain == c.RetainTo {
+							target.Retain = genesis.Retain
+						} else {
+							target.Retain = c.RetainTo
+						}
+					}
+					if c.FanoutTo != 0 {
+						if target.PullFanout == c.FanoutTo {
+							target.PullFanout = genesis.PullFanout
+						} else {
+							target.PullFanout = c.FanoutTo
+						}
+					}
+					w.Trace.Mark(int64(w.Engine.Now()), init, MarkReconfig)
+					w.Reconfigure(init, target)
+				}))
+			}
 		case KindCollude:
 			if c.Chaff <= 0 {
 				continue
@@ -573,6 +673,27 @@ type engine struct {
 	burstBad []bool
 	// corrupt is the memoized tamper closure of corrupt verdicts.
 	corrupt func(any) (any, bool)
+}
+
+// reconfigInitiator picks round r's initiator: the clause's listed nodes
+// round-robin when given (falling back past absent ones), the lowest
+// present node otherwise, -1 when nobody is present at all.
+func (e *engine) reconfigInitiator(w *node.World, c *Clause, round int) graph.NodeID {
+	if len(c.Nodes) > 0 {
+		for off := 0; off < len(c.Nodes); off++ {
+			id := c.Nodes[(round+off)%len(c.Nodes)]
+			if w.Proc(id) != nil {
+				return id
+			}
+		}
+	}
+	lowest := graph.NodeID(-1)
+	for _, id := range w.Present() {
+		if lowest < 0 || id < lowest {
+			lowest = id
+		}
+	}
+	return lowest
 }
 
 // hook builds the node.ChannelHook evaluating the channel clauses.

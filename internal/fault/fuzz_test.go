@@ -38,6 +38,8 @@ func FuzzParse(f *testing.F) {
 		"collude:nodes=3,peers=1+5,p=1,droppull=1",
 		"rejoin:nodes=3,down=60,reset=1@400",
 		"rejoin:nodes=3+9,down=40,sybil=1003@200-",
+		"reconfig:nodes=1,rotate=1,adaptive=1@200",
+		"reconfig:nodes=1+4,every=80,count=4,rotate=1,retain=64@120-",
 	} {
 		f.Add(seed)
 	}
@@ -145,6 +147,89 @@ func FuzzRejoinClause(f *testing.F) {
 		c := pl.Clauses[0]
 		if len(c.Nodes) == 0 || c.Down <= 0 || c.Sybil < 0 || (c.Reset && c.Sybil != 0) {
 			t.Fatalf("accepted invalid rejoin clause: %q -> %+v", spec, c)
+		}
+		canon := pl.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q did not reparse: %v", canon, spec, err)
+		}
+		if !reflect.DeepEqual(pl, again) {
+			t.Fatalf("string round trip changed the plan: %q -> %q", spec, canon)
+		}
+		data, err := json.Marshal(pl)
+		if err != nil {
+			t.Fatalf("accepted plan %q did not marshal: %v", canon, err)
+		}
+		back, err := DecodeJSON(data)
+		if err != nil {
+			t.Fatalf("JSON of accepted plan %q did not decode: %v", data, err)
+		}
+		if !reflect.DeepEqual(pl, back) {
+			t.Fatalf("JSON round trip changed the plan: %q", canon)
+		}
+	})
+}
+
+// FuzzReconfigClause builds reconfig specs from arbitrary field values
+// and checks the clause's invariants: the parser never panics, an
+// accepted clause always changes at least one stack knob, never pairs a
+// multi-round storm with zero spacing, never carries a negative round
+// count, spacing, retain cap, or fanout, and survives the canonical
+// String form and the JSON form unchanged (a drifted Every or RetainTo
+// would silently move or reshape the storm).
+func FuzzReconfigClause(f *testing.F) {
+	f.Add("1", int64(0), int64(0), true, false, false, int64(0), int64(0), "200")
+	f.Add("1+4", int64(80), int64(4), true, false, false, int64(64), int64(0), "120-")
+	f.Add("", int64(30), int64(2), false, true, true, int64(0), int64(4), "50-900")
+	f.Add("2", int64(0), int64(3), true, false, false, int64(0), int64(0), "")
+	f.Add("1++2", int64(-7), int64(-1), false, false, false, int64(-2), int64(-3), "x")
+	f.Fuzz(func(t *testing.T, nodes string, every, count int64, rotate, adaptive, durable bool, retain, fanout int64, window string) {
+		spec := "reconfig:"
+		sep := ""
+		addParam := func(kv string) { spec += sep + kv; sep = "," }
+		if nodes != "" {
+			addParam("nodes=" + nodes)
+		}
+		if every != 0 {
+			addParam("every=" + itoa(every))
+		}
+		if count != 0 {
+			addParam("count=" + itoa(count))
+		}
+		if rotate {
+			addParam("rotate=1")
+		}
+		if adaptive {
+			addParam("adaptive=1")
+		}
+		if durable {
+			addParam("durable=1")
+		}
+		if retain != 0 {
+			addParam("retain=" + itoa(retain))
+		}
+		if fanout != 0 {
+			addParam("fanout=" + itoa(fanout))
+		}
+		if window != "" {
+			spec += "@" + window
+		}
+		pl, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if len(pl.Clauses) != 1 {
+			t.Fatalf("%q parsed into %d clauses", spec, len(pl.Clauses))
+		}
+		c := pl.Clauses[0]
+		if !c.Rotate && !c.AdaptiveFlip && !c.DurableFlip && c.RetainTo == 0 && c.FanoutTo == 0 {
+			t.Fatalf("accepted a reconfig clause that changes nothing: %q -> %+v", spec, c)
+		}
+		if c.Count < 0 || c.Every < 0 || c.RetainTo < 0 || c.FanoutTo < 0 {
+			t.Fatalf("accepted negative reconfig knobs: %q -> %+v", spec, c)
+		}
+		if c.Count > 1 && c.Every == 0 {
+			t.Fatalf("accepted a zero-spaced storm: %q -> %+v", spec, c)
 		}
 		canon := pl.String()
 		again, err := Parse(canon)

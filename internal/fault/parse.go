@@ -26,6 +26,12 @@ import (
 //
 //	rejoin:nodes=3,down=60,reset=1@400  (or sybil=1003 for fresh identities)
 //
+// and the reconfiguration clause drives live stack-epoch rounds (one
+// timed round, or a storm with count/every):
+//
+//	reconfig:nodes=1,rotate=1,adaptive=1@200
+//	reconfig:every=80,count=4,rotate=1,retain=64@120
+//
 // The returned plan is validated; String renders it back in canonical
 // form, and Parse(p.String()) reproduces p exactly.
 func Parse(s string) (*Plan, error) {
@@ -101,6 +107,7 @@ var allowedKeys = map[Kind]map[string]bool{
 	KindBlackout:  {"pair": true},
 	KindCrash:     {"nodes": true, "recover": true},
 	KindRejoin:    {"nodes": true, "down": true, "reset": true, "sybil": true},
+	KindReconfig:  {"nodes": true, "every": true, "count": true, "rotate": true, "adaptive": true, "durable": true, "retain": true, "fanout": true},
 	KindCorrupt:   {"nodes": true, "p": true},
 	KindReplay:    {"nodes": true, "p": true, "window": true},
 	KindForge:     {"nodes": true, "as": true, "p": true},
@@ -131,6 +138,18 @@ func (c *Clause) setParam(key, val string) error {
 		c.RecoverAfter, err = parseT()
 	case "down":
 		c.Down, err = parseT()
+	case "every":
+		c.Every, err = parseT()
+	case "rotate":
+		c.Rotate, err = strconv.ParseBool(val)
+	case "adaptive":
+		c.AdaptiveFlip, err = strconv.ParseBool(val)
+	case "durable":
+		c.DurableFlip, err = strconv.ParseBool(val)
+	case "retain":
+		c.RetainTo, err = strconv.Atoi(val)
+	case "fanout":
+		c.FanoutTo, err = strconv.Atoi(val)
 	case "reset":
 		c.Reset, err = strconv.ParseBool(val)
 	case "sybil":
@@ -256,6 +275,31 @@ func (c Clause) String() string {
 		}
 		if c.Sybil != 0 {
 			add("sybil", strconv.FormatInt(int64(c.Sybil), 10))
+		}
+	case KindReconfig:
+		if len(c.Nodes) > 0 {
+			add("nodes", fmtNodes(c.Nodes))
+		}
+		if c.Every != 0 {
+			add("every", strconv.FormatInt(int64(c.Every), 10))
+		}
+		if c.Count != 0 {
+			add("count", strconv.Itoa(c.Count))
+		}
+		if c.Rotate {
+			add("rotate", "1")
+		}
+		if c.AdaptiveFlip {
+			add("adaptive", "1")
+		}
+		if c.DurableFlip {
+			add("durable", "1")
+		}
+		if c.RetainTo != 0 {
+			add("retain", strconv.Itoa(c.RetainTo))
+		}
+		if c.FanoutTo != 0 {
+			add("fanout", strconv.Itoa(c.FanoutTo))
 		}
 	case KindCorrupt:
 		if len(c.Nodes) > 0 {

@@ -515,10 +515,14 @@ func (au *auditLayer) counters(id graph.NodeID) *AuditCounters {
 
 // stamps reports whether outgoing messages with this tag get a broadcast
 // number and signature. The sublayer's own traffic does not: receipts
-// about receipts would regress forever.
+// about receipts would regress forever. Reconfiguration handshake
+// traffic is likewise unstamped — receipts about the machinery that
+// changes receipt retention would chase their own tail, and the
+// handshake's integrity rests on the MAC plus the prepare's canonical
+// encoding check instead.
 func (au *auditLayer) stamps(tag string) bool {
 	return tag != AuditReceiptTag && tag != AuditProofTag &&
-		tag != AuditPullTag && tag != AuditPullRespTag
+		tag != AuditPullTag && tag != AuditPullRespTag && !isReconfigTag(tag)
 }
 
 // bseqFor assigns (or recalls) the broadcast sequence number of one
@@ -601,7 +605,7 @@ func (au *auditLayer) record(w *World, at graph.NodeID, r Receipt, own bool) {
 	}
 	st[k] = r
 	au.order[at] = append(au.order[at], k)
-	au.enforceRetain(at)
+	au.enforceRetain(w, at)
 	if own {
 		au.pending[at] = append(au.pending[at], r)
 		if au.cfg.GossipInterval <= 0 {
@@ -644,14 +648,22 @@ func (au *auditLayer) pin(at graph.NodeID, k rkey) {
 	au.counters(at).Pinned++
 }
 
-// enforceRetain holds the store to the exact Retain cap.
-func (au *auditLayer) enforceRetain(at graph.NodeID) {
-	for len(au.order[at]) > au.cfg.Retain {
-		au.evictOne(at)
+// enforceRetain holds the store to the exact Retain cap. Under
+// reconfiguration both the cap and the eviction policy are those of the
+// observer's CURRENT epoch — an epoch switch that tightens Retain calls
+// this to shrink the store immediately, under the new policy.
+func (au *auditLayer) enforceRetain(w *World, at graph.NodeID) {
+	retain, retention := au.cfg.Retain, au.cfg.Retention
+	if w.reconfig != nil {
+		st := w.reconfig.stackOf(at)
+		retain, retention = st.Retain, st.Retention
+	}
+	for len(au.order[at]) > retain {
+		au.evictOne(at, retention)
 	}
 }
 
-// evictOne removes one receipt under the configured retention policy.
+// evictOne removes one receipt under the given retention policy.
 // FIFO takes the oldest unconditionally. The pinned policy never touches
 // pinned (known-divergent) receipts and orders the rest
 // advertise-before-evict: the oldest receipt already covered by an
@@ -662,13 +674,13 @@ func (au *auditLayer) enforceRetain(at graph.NodeID) {
 // is left waiting for its digest turn. The store falls back to the
 // oldest unpinned outright, and to the oldest of all only when
 // everything is pinned.
-func (au *auditLayer) evictOne(at graph.NodeID) {
+func (au *auditLayer) evictOne(at graph.NodeID, retention string) {
 	ord := au.order[at]
 	if len(ord) == 0 {
 		return
 	}
 	idx := 0
-	if au.cfg.Retention != RetentionFIFO {
+	if retention != RetentionFIFO {
 		idx = -1
 		pins := au.pinned[at]
 		adv := au.advertised[at]
@@ -808,11 +820,15 @@ func (au *auditLayer) pullTargets(p *Proc, round uint64, excluded func(graph.Nod
 	if len(cand) == 0 {
 		return nil
 	}
-	f := au.cfg.PullFanout
+	fanout := au.cfg.PullFanout
+	if w := p.world; w.reconfig != nil {
+		fanout = w.reconfig.stackOf(p.ID).PullFanout
+	}
+	f := fanout
 	if f > len(cand) {
 		f = len(cand)
 	}
-	start := int(round*uint64(au.cfg.PullFanout)) % len(cand)
+	start := int(round*uint64(fanout)) % len(cand)
 	out := make([]graph.NodeID, 0, f)
 	for i := 0; i < f; i++ {
 		out = append(out, cand[(start+i)%len(cand)])

@@ -169,12 +169,23 @@ func (rw *replayWindow) accept(seq uint64, width int) bool {
 	return true
 }
 
+// pairKeyID caches one derived pair key per (directed pair, key epoch):
+// the reconfiguration layer rotates keys by bumping the stack's KeyEpoch,
+// and in-flight copies still verify under the generation they were
+// stamped with. Without reconfiguration ke is always 0.
+type pairKeyID struct {
+	pair [2]graph.NodeID
+	ke   uint64
+}
+
 type authLayer struct {
 	cfg AuthConfig
-	// nextSeq is the sender-side per-directed-pair sequence counter.
+	// nextSeq is the sender-side per-directed-pair sequence counter. It
+	// is deliberately NOT per key epoch: the aseq space survives key
+	// rotation, so peers' anti-replay windows stay valid across it.
 	nextSeq map[[2]graph.NodeID]uint64
-	// keys caches the derived per-pair keys.
-	keys map[[2]graph.NodeID]uint64
+	// keys caches the derived per-pair keys by (pair, key epoch).
+	keys map[pairKeyID]uint64
 	// windows, strikes and quarantined are receiver-side, keyed
 	// (receiver, claimed sender).
 	windows     map[[2]graph.NodeID]*replayWindow
@@ -198,7 +209,7 @@ func newAuthLayer(cfg AuthConfig) *authLayer {
 	return &authLayer{
 		cfg:         cfg,
 		nextSeq:     make(map[[2]graph.NodeID]uint64),
-		keys:        make(map[[2]graph.NodeID]uint64),
+		keys:        make(map[pairKeyID]uint64),
 		windows:     make(map[[2]graph.NodeID]*replayWindow),
 		strikes:     make(map[[2]graph.NodeID]int),
 		quarantined: make(map[[2]graph.NodeID]bool),
@@ -217,17 +228,19 @@ func (al *authLayer) counters(id graph.NodeID) *AuthCounters {
 	return c
 }
 
-// pairKey derives the shared key of the directed pair (from, to). The
-// derivation stands in for a key agreement run at link establishment; what
-// matters to the model is that both endpoints of a link hold it and nobody
-// else can produce it.
-func (al *authLayer) pairKey(from, to graph.NodeID) uint64 {
-	pair := [2]graph.NodeID{from, to}
-	if k, ok := al.keys[pair]; ok {
+// pairKey derives the shared key of the directed pair (from, to) at key
+// epoch ke. The derivation stands in for a key agreement run at link
+// establishment (and re-run at each rotation); what matters to the model
+// is that both endpoints of a link hold it and nobody else can produce
+// it. The ke fold is an exact identity at 0, so a world that never
+// rotates derives the same keys it always did.
+func (al *authLayer) pairKey(from, to graph.NodeID, ke uint64) uint64 {
+	id := pairKeyID{pair: [2]graph.NodeID{from, to}, ke: ke}
+	if k, ok := al.keys[id]; ok {
 		return k
 	}
-	k := rng.New(al.cfg.KeySeed ^ uint64(from)*0x9e3779b97f4a7c15 ^ uint64(to)*0xc2b2ae3d27d4eb4f).Uint64()
-	al.keys[pair] = k
+	k := rng.New(al.cfg.KeySeed ^ uint64(from)*0x9e3779b97f4a7c15 ^ uint64(to)*0xc2b2ae3d27d4eb4f ^ ke*0x9e6c63d0876a9a47).Uint64()
+	al.keys[id] = k
 	return k
 }
 
@@ -249,18 +262,21 @@ func fingerprint(payload any) uint64 {
 	return fnv1a(fmt.Sprintf("%T|%v", payload, payload))
 }
 
-// macFor computes the HMAC-style authenticator of one message. The audit
-// sublayer's broadcast sequence number and signature are folded in when
-// present (both zero without the audit sublayer, which leaves the tag
-// unchanged), so a channel adversary cannot rewrite them in flight without
-// mangling the authenticator.
-func (al *authLayer) macFor(from, to graph.NodeID, aseq uint64, tag string, bseq, sig uint64, payload any) uint64 {
-	k := al.pairKey(from, to)
+// macFor computes the HMAC-style authenticator of one message under the
+// key of key epoch ke. The audit sublayer's broadcast sequence number and
+// signature are folded in when present (both zero without the audit
+// sublayer, which leaves the tag unchanged), so a channel adversary
+// cannot rewrite them in flight without mangling the authenticator. The
+// stack epoch is folded the same way (an identity at 0, reconfig off):
+// migrating a copy between epochs mangles the tag too.
+func (al *authLayer) macFor(ke uint64, from, to graph.NodeID, aseq uint64, tag string, bseq, sig, epoch uint64, payload any) uint64 {
+	k := al.pairKey(from, to, ke)
 	h := k ^ aseq*0xd6e8feb86659fd93
 	h ^= fnv1a(tag) * 0xa5a5a5a5a5a5a5a5
 	h ^= fingerprint(payload)
 	h ^= bseq * 0x8cb92ba72f3d8dd7
 	h ^= sig * 0xe7037ed1a0b428db
+	h ^= epoch * 0x2545f4914f6cdd1d
 	// One splitmix64 round so related inputs do not produce related tags.
 	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
 	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
@@ -268,12 +284,13 @@ func (al *authLayer) macFor(from, to graph.NodeID, aseq uint64, tag string, bseq
 }
 
 // tag authenticates an outgoing message in place: next per-pair sequence
-// number, authenticator over everything the receiver will check.
-func (al *authLayer) tag(m *Message) {
+// number, authenticator over everything the receiver will check, under
+// the key generation of the message's (already stamped) stack epoch.
+func (al *authLayer) tag(w *World, m *Message) {
 	pair := [2]graph.NodeID{m.From, m.To}
 	al.nextSeq[pair]++
 	m.aseq = al.nextSeq[pair]
-	m.mac = al.macFor(m.From, m.To, m.aseq, m.Tag, m.bseq, m.sig, m.Payload)
+	m.mac = al.macFor(w.keyEpochFor(m.epoch), m.From, m.To, m.aseq, m.Tag, m.bseq, m.sig, m.epoch, m.Payload)
 }
 
 // identitySnapshot extracts the identity-keyed auth state of one entity —
@@ -445,7 +462,7 @@ func (al *authLayer) admit(w *World, m Message) bool {
 		w.Trace.Drop(now, m.From, m.To, m.Tag)
 		return false
 	}
-	if m.aseq == 0 || m.mac != al.macFor(m.From, m.To, m.aseq, m.Tag, m.bseq, m.sig, m.Payload) {
+	if m.aseq == 0 || m.mac != al.macFor(w.keyEpochFor(m.epoch), m.From, m.To, m.aseq, m.Tag, m.bseq, m.sig, m.epoch, m.Payload) {
 		al.counters(m.To).RejectedCorrupt++
 		w.Trace.Mark(now, m.To, MarkAuthRejectCorrupt)
 		w.Trace.Drop(now, m.From, m.To, m.Tag)

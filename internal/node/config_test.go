@@ -62,6 +62,33 @@ func TestSublayerConfigBoundaries(t *testing.T) {
 		{"identity durable zero retain", IdentityConfig{Durable: true}.Validate, ""},
 		{"identity retain low edge", IdentityConfig{RetainDeparted: 1}.Validate, ""},
 		{"identity negative RetainDeparted", IdentityConfig{RetainDeparted: -1}.Validate, "RetainDeparted"},
+		{"identity retain policy fifo", IdentityConfig{RetainPolicy: RetentionFIFO}.Validate, ""},
+		{"identity retain policy pinned", IdentityConfig{RetainPolicy: RetentionPinned}.Validate, ""},
+		{"identity unknown retain policy", IdentityConfig{RetainPolicy: "lru"}.Validate, "RetainPolicy"},
+
+		// StackConfig: FenceDepth in [0, 16], PrepareQuorum in (0, 1],
+		// everything else nonnegative; zero means the default throughout.
+		{"stack zero", StackConfig{}.Validate, ""},
+		{"stack fence low edge", StackConfig{FenceDepth: 1}.Validate, ""},
+		{"stack fence high edge", StackConfig{FenceDepth: 16}.Validate, ""},
+		{"stack fence below range", StackConfig{FenceDepth: -1}.Validate, "outside [0, 16]"},
+		{"stack fence above range", StackConfig{FenceDepth: 17}.Validate, "outside [0, 16]"},
+		{"stack negative Retain", StackConfig{Retain: -1}.Validate, "Retain"},
+		{"stack negative PullFanout", StackConfig{PullFanout: -1}.Validate, "PullFanout"},
+		{"stack negative DrainTimeout", StackConfig{DrainTimeout: -1}.Validate, "DrainTimeout"},
+		{"stack retention fifo", StackConfig{Retention: RetentionFIFO}.Validate, ""},
+		{"stack unknown retention", StackConfig{Retention: "lru"}.Validate, "Retention"},
+		{"stack quorum low interior", StackConfig{PrepareQuorum: 0.01}.Validate, ""},
+		{"stack quorum high edge", StackConfig{PrepareQuorum: 1}.Validate, ""},
+		{"stack quorum above range", StackConfig{PrepareQuorum: 1.01}.Validate, "outside (0, 1]"},
+		{"stack quorum negative", StackConfig{PrepareQuorum: -0.5}.Validate, "outside (0, 1]"},
+		{"stack quorum NaN", StackConfig{PrepareQuorum: nan()}.Validate, "PrepareQuorum"},
+
+		// ReconfigConfig: disabled ignores the stack; enabled validates it.
+		{"reconfig zero", ReconfigConfig{}.Validate, ""},
+		{"reconfig disabled bad stack", ReconfigConfig{Stack: StackConfig{FenceDepth: 99}}.Validate, ""},
+		{"reconfig enabled zero stack", ReconfigConfig{Enabled: true}.Validate, ""},
+		{"reconfig enabled bad stack", ReconfigConfig{Enabled: true, Stack: StackConfig{FenceDepth: 99}}.Validate, "FenceDepth"},
 	}
 	for _, p := range probes {
 		err := p.validate()
@@ -128,10 +155,28 @@ func TestSublayerConfigDefaults(t *testing.T) {
 	}
 
 	ic := IdentityConfig{}.withDefaults()
-	if ic.Durable || ic.RetainDeparted != 1024 {
+	if ic.Durable || ic.RetainDeparted != 1024 || ic.RetainPolicy != RetentionPinned {
 		t.Errorf("identity defaults: %+v", ic)
 	}
-	if got := (IdentityConfig{Durable: true, RetainDeparted: 2}).withDefaults(); !got.Durable || got.RetainDeparted != 2 {
+	if got := (IdentityConfig{Durable: true, RetainDeparted: 2, RetainPolicy: RetentionFIFO}).withDefaults(); !got.Durable || got.RetainDeparted != 2 || got.RetainPolicy != RetentionFIFO {
 		t.Errorf("identity explicit values rewritten: %+v", got)
 	}
+
+	sc := StackConfig{}.withDefaults()
+	if sc.Retain != 256 || sc.PullFanout != 2 || sc.Retention != RetentionPinned ||
+		sc.FenceDepth != 2 || sc.DrainTimeout != 32 || sc.PrepareQuorum != 0.5 {
+		t.Errorf("stack defaults: %+v", sc)
+	}
+	if sc.Adaptive || sc.Durable || sc.KeyEpoch != 0 {
+		t.Errorf("stack zero flags rewritten: %+v", sc)
+	}
+	sc = resolvedStack().withDefaults()
+	if sc != resolvedStack() {
+		t.Errorf("stack explicit values rewritten: %+v", sc)
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
 }

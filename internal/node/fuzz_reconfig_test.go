@@ -1,0 +1,47 @@
+package node
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStackConfigCodec checks the stack-config codec's safety properties
+// on arbitrary wire bytes: DecodeStackConfig never panics, every accepted
+// config is resolved (all fields inside the documented bounds, so
+// re-encoding cannot panic), validates, and re-encodes byte-identically —
+// the canonical form is unique, so a hostile prepare cannot smuggle two
+// spellings of one target epoch past the onPrepare equality check.
+func FuzzStackConfigCodec(f *testing.F) {
+	f.Add(EncodeStackConfig(StackConfig{}.withDefaults()))
+	f.Add(EncodeStackConfig(resolvedStack()))
+	f.Add(EncodeStackConfig(StackConfig{
+		KeyEpoch:      ^uint64(0),
+		Retain:        identCounterMax,
+		PullFanout:    identCounterMax,
+		Retention:     RetentionFIFO,
+		FenceDepth:    maxFenceDepth,
+		DrainTimeout:  1,
+		PrepareQuorum: 1,
+	}))
+	f.Add([]byte{})
+	f.Add(make([]byte, stackWire-1))
+	f.Add(make([]byte, stackWire))
+	f.Add(make([]byte, stackWire+1))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		sc, err := DecodeStackConfig(b)
+		if err != nil {
+			return
+		}
+		if sc.Retain < 1 || sc.PullFanout < 1 || sc.FenceDepth < 1 ||
+			sc.FenceDepth > maxFenceDepth || sc.DrainTimeout < 1 ||
+			!(sc.PrepareQuorum > 0 && sc.PrepareQuorum <= 1) {
+			t.Fatalf("accepted unresolved config %+v", sc)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("accepted config fails validation: %v", err)
+		}
+		if again := EncodeStackConfig(sc); !bytes.Equal(again, b) {
+			t.Fatalf("accepted non-canonical config: % x re-encodes to % x", b, again)
+		}
+	})
+}

@@ -66,16 +66,29 @@ type IdentityConfig struct {
 	// old session is wiped, which is the laundering surface E25 measures).
 	Durable bool
 	// RetainDeparted caps how many departed entities' identity records
-	// the world keeps pending rejoin in durable mode; past the cap the
-	// oldest record is deleted from the stable store and that identity,
-	// should it return, starts fresh. Bounds the identity ledger under
-	// infinite-arrival churn (the M^infty regime). Default 1024.
+	// the world keeps pending rejoin in durable mode; past the cap a
+	// record is deleted from the stable store (which one is
+	// RetainPolicy's call) and that identity, should it return, starts
+	// fresh. Bounds the identity ledger under infinite-arrival churn
+	// (the M^infty regime). Default 1024.
 	RetainDeparted int
+	// RetainPolicy selects which departed record the cap evicts:
+	// RetentionPinned (default) never evicts a CONVICTING record — one
+	// whose holder had quarantined someone at departure — while any
+	// unpinned record remains, so a sybil join/leave flood cannot cycle
+	// a witness's verdicts out of the store before it rejoins (the
+	// departed-record mirror of the audit sublayer's eviction fix);
+	// RetentionFIFO is the plain oldest-first behavior, kept so the
+	// eviction attack stays measurable.
+	RetainPolicy string
 }
 
 func (ic IdentityConfig) withDefaults() IdentityConfig {
 	if ic.RetainDeparted == 0 {
 		ic.RetainDeparted = 1024
+	}
+	if ic.RetainPolicy == "" {
+		ic.RetainPolicy = RetentionPinned
 	}
 	return ic
 }
@@ -85,6 +98,11 @@ func (ic IdentityConfig) withDefaults() IdentityConfig {
 func (ic IdentityConfig) Validate() error {
 	if ic.RetainDeparted < 0 {
 		return fmt.Errorf("node: negative identity RetainDeparted %d", ic.RetainDeparted)
+	}
+	switch ic.RetainPolicy {
+	case "", RetentionPinned, RetentionFIFO:
+	default:
+		return fmt.Errorf("node: unknown identity RetainPolicy %q", ic.RetainPolicy)
 	}
 	return nil
 }
@@ -111,6 +129,10 @@ type IdentityCounters struct {
 	// RecordsEvicted counts departed-identity records dropped past
 	// RetainDeparted.
 	RecordsEvicted int
+	// RecordsPinned counts departed-identity records pinned as
+	// convicting (their holder had quarantined someone at departure)
+	// under the RetentionPinned retain policy.
+	RecordsPinned int
 }
 
 // IdentityRecord is the durable identity state of one entity: everything
@@ -389,7 +411,7 @@ func (w *World) identSaveOnLeave(id graph.NodeID) {
 	}
 	w.store.Save(id, durableSnapshot{ident: EncodeIdentity(rec)})
 	w.identStats.Saves++
-	w.retainDeparted(id)
+	w.retainDeparted(id, len(rec.Quarantined) > 0)
 }
 
 // identRestoreOnJoin loads a departed identity's persisted record, if one
@@ -461,20 +483,48 @@ func (w *World) DropIdentityRecord(id graph.NodeID) {
 }
 
 // retainDeparted tracks a persisted departed identity under the
-// RetainDeparted cap, evicting the oldest record past it.
-func (w *World) retainDeparted(id graph.NodeID) {
-	if w.departedSet[id] {
-		return
-	}
+// RetainDeparted cap. convicting marks a record whose departing holder
+// had quarantined someone: under the RetentionPinned retain policy such
+// witness records are pinned and the cap evicts the oldest UNPINNED
+// record instead — a sybil join/leave flood then only cycles its own
+// empty-handed records out, and the witness's verdicts survive to its
+// rejoin. Only when every retained record is pinned does the cap fall
+// back to the oldest outright (the cap is exact, never exceeded).
+func (w *World) retainDeparted(id graph.NodeID, convicting bool) {
 	if w.departedSet == nil {
 		w.departedSet = make(map[graph.NodeID]bool)
+	}
+	pinning := w.cfg.Identity.RetainPolicy != RetentionFIFO
+	if pinning && convicting && !w.departedPinned[id] {
+		if w.departedPinned == nil {
+			w.departedPinned = make(map[graph.NodeID]bool)
+		}
+		w.departedPinned[id] = true
+		w.identStats.RecordsPinned++
+	}
+	if w.departedSet[id] {
+		return
 	}
 	w.departedSet[id] = true
 	w.departed = append(w.departed, id)
 	for len(w.departed) > w.cfg.Identity.RetainDeparted {
-		old := w.departed[0]
-		w.departed = w.departed[1:]
+		idx := 0
+		if pinning {
+			idx = -1
+			for i, d := range w.departed {
+				if !w.departedPinned[d] {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				idx = 0
+			}
+		}
+		old := w.departed[idx]
+		w.departed = append(w.departed[:idx], w.departed[idx+1:]...)
 		delete(w.departedSet, old)
+		delete(w.departedPinned, old)
 		w.store.Delete(old)
 		w.identStats.RecordsEvicted++
 	}
@@ -486,6 +536,7 @@ func (w *World) forgetDeparted(id graph.NodeID) {
 		return
 	}
 	delete(w.departedSet, id)
+	delete(w.departedPinned, id)
 	for i, d := range w.departed {
 		if d == id {
 			w.departed = append(w.departed[:i], w.departed[i+1:]...)

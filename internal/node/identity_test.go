@@ -259,3 +259,81 @@ func TestRetainDepartedEviction(t *testing.T) {
 		t.Fatal("evicted record still in the stable store")
 	}
 }
+
+// departedFloodWorld drives the departed-record eviction attack: witness
+// 2 quarantines 1 and departs; a sybil flood (10, 11, 12) then joins,
+// sends once and leaves, cycling records through the RetainDeparted=2
+// cap; the witness rejoins last.
+func departedFloodWorld(t *testing.T, cfg Config) *World {
+	t.Helper()
+	w, e, _ := authPairWorld(cfg)
+	e.At(1, func() { w.Join(3) })
+	e.At(5, func() { w.Proc(1).Send(2, "data", tamperInt{V: 1}) })
+	e.At(6, func() { w.Proc(2).Send(3, "data", tamperInt{V: 2}) })
+	e.At(10, func() { w.auth.quarantine(w, 2, 1) })
+	e.At(20, func() { w.Leave(2) })
+	for i, s := range []graph.NodeID{10, 11, 12} {
+		s := s
+		at := sim.Time(30 + 10*i)
+		e.At(at, func() { w.Join(s) })
+		e.At(at+2, func() { w.Proc(s).Send(3, "data", tamperInt{V: int(s)}) })
+		e.At(at+5, func() { w.Leave(s) })
+	}
+	e.At(80, func() { w.Join(2) })
+	e.RunUntil(150)
+	w.Close()
+	return w
+}
+
+// TestRetainDepartedFIFOEvictionAttack measures the attack the pinned
+// retain policy closes: under plain FIFO, the sybil flood cycles the
+// departed witness's CONVICTING record out of the store before it
+// rejoins, and the quarantine it held dies with it — churn plus cheap
+// identities launder a verdict without ever touching the offender.
+func TestRetainDepartedFIFOEvictionAttack(t *testing.T) {
+	w := departedFloodWorld(t, Config{
+		Seed: 37,
+		Auth: AuthConfig{Enabled: true},
+		Identity: IdentityConfig{
+			Durable: true, RetainDeparted: 2, RetainPolicy: RetentionFIFO,
+		},
+	})
+	if w.Quarantined(2, 1) {
+		t.Fatal("FIFO arm kept the quarantine; the attack should succeed here")
+	}
+	tot := w.IdentityTotals()
+	if tot.RecordsPinned != 0 {
+		t.Fatalf("FIFO policy pinned %d records", tot.RecordsPinned)
+	}
+	if tot.RecordsEvicted != 2 {
+		t.Fatalf("%d evictions, want 2 (witness at cap overflow, then sybil 10)", tot.RecordsEvicted)
+	}
+}
+
+// TestRetainDepartedPinnedSurvivesFlood is the regression for the fix:
+// under the default pinned policy the witness's convicting record is
+// never the eviction victim while unpinned records remain, so the same
+// flood only cycles its own empty-handed sybil records and the restored
+// witness still holds the quarantine.
+func TestRetainDepartedPinnedSurvivesFlood(t *testing.T) {
+	w := departedFloodWorld(t, Config{
+		Seed: 37,
+		Auth: AuthConfig{Enabled: true},
+		Identity: IdentityConfig{
+			Durable: true, RetainDeparted: 2,
+		},
+	})
+	if !w.Quarantined(2, 1) {
+		t.Fatal("sybil flood evicted the pinned convicting record")
+	}
+	tot := w.IdentityTotals()
+	if tot.RecordsPinned != 1 {
+		t.Fatalf("%d records pinned, want 1 (the witness)", tot.RecordsPinned)
+	}
+	if tot.RecordsEvicted != 2 {
+		t.Fatalf("%d evictions, want 2 (the cap stays exact: sybils evict sybils)", tot.RecordsEvicted)
+	}
+	if tot.Restores == 0 {
+		t.Fatal("witness record never restored")
+	}
+}

@@ -46,6 +46,11 @@ type Message struct {
 	// one (sender, bseq) can prove equivocation to each other.
 	bseq uint64
 	sig  uint64
+	// epoch is the sender's stack epoch at send time (reconfiguration
+	// layer; 0 without it). It is folded into mac, so a channel adversary
+	// cannot migrate a message between epochs, and the receiver verifies
+	// and judges the copy under epoch's rules however late it arrives.
+	epoch uint64
 }
 
 // Tamperable payloads know how to produce a corrupted-but-parseable copy
@@ -116,6 +121,12 @@ type Config struct {
 	// session, quarantines included — or durable, where identity state
 	// persists through the stable store and convictions stick.
 	Identity IdentityConfig
+	// Reconfig enables live protocol-stack reconfiguration (see
+	// ReconfigConfig): the reliable/auth/audit/identity knobs above
+	// become epoch 0 of a versioned StackConfig that World.Reconfigure
+	// can replace at runtime through a quiescence handshake. Off by
+	// default, leaving the stack frozen at NewWorld.
+	Reconfig ReconfigConfig
 	// Store persists behavior snapshots across crash–recovery gaps
 	// (see Recoverable). Defaults to an in-memory store.
 	Store StableStore
@@ -152,6 +163,9 @@ func (cfg Config) Validate() error {
 		return err
 	}
 	if err := cfg.Identity.Validate(); err != nil {
+		return err
+	}
+	if err := cfg.Reconfig.Validate(); err != nil {
 		return err
 	}
 	if cfg.Audit.Enabled && !cfg.Auth.Enabled {
@@ -233,14 +247,17 @@ type World struct {
 	rel          *reliableLayer
 	auth         *authLayer
 	audit        *auditLayer
+	reconfig     *reconfigLayer
 	store        StableStore
 	// seen marks every identity that has ever joined, so Join can tell a
-	// rejoin from a first arrival; identStats, departed and departedSet
-	// are the identity-continuity bookkeeping (see identity.go).
-	seen        map[graph.NodeID]bool
-	identStats  IdentityCounters
-	departed    []graph.NodeID
-	departedSet map[graph.NodeID]bool
+	// rejoin from a first arrival; identStats, departed, departedSet and
+	// departedPinned are the identity-continuity bookkeeping (see
+	// identity.go).
+	seen           map[graph.NodeID]bool
+	identStats     IdentityCounters
+	departed       []graph.NodeID
+	departedSet    map[graph.NodeID]bool
+	departedPinned map[graph.NodeID]bool
 }
 
 // NewWorld assembles a runtime over the given engine and overlay. The
@@ -282,6 +299,16 @@ func NewWorld(engine *sim.Engine, overlay topology.Overlay, factory BehaviorFact
 	}
 	if cfg.Audit.Enabled {
 		w.audit = newAuditLayer(cfg.Audit.withDefaults())
+	}
+	if cfg.Reconfig.Enabled {
+		w.reconfig = newReconfigLayer(w.genesisStack())
+		if w.rel != nil && w.rel.rtt == nil {
+			// A later epoch may flip Adaptive on; collect RTT samples from
+			// the start so the estimator is warm when it does. (Sampling
+			// consumes no rng draws, so a never-reconfigured run is
+			// bit-identical either way.)
+			w.rel.rtt = make(map[[2]graph.NodeID]*rttEstimator)
+		}
 	}
 	return w
 }
@@ -332,8 +359,16 @@ func (w *World) Join(id graph.NodeID) *Proc {
 		alive:    true,
 	}
 	w.procs[id] = p
+	// Identity keying is an epoch-governed knob: a joiner operates under
+	// the latest committed stack, so ITS durability — not the frozen
+	// genesis config — decides whether this join restores or resets.
+	durable := w.cfg.Identity.Durable
+	if w.reconfig != nil {
+		w.reconfig.onJoin(id)
+		durable = w.reconfig.stackOf(id).Durable
+	}
 	if w.auth != nil || w.audit != nil {
-		if w.cfg.Identity.Durable {
+		if durable {
 			w.identRestoreOnJoin(id)
 		} else if rejoin {
 			w.identResetOnRejoin(id)
@@ -355,6 +390,12 @@ func (w *World) Leave(id graph.NodeID) {
 		return
 	}
 	now := int64(w.Engine.Now())
+	// Resolve the departing entity's durability under ITS current epoch
+	// before the handshake session state is torn down.
+	durable := w.cfg.Identity.Durable
+	if w.reconfig != nil {
+		durable = w.reconfig.stackOf(id).Durable
+	}
 	w.recordChanges(now, w.Overlay.RemoveNode(id))
 	w.Trace.Leave(now, id)
 	for _, ev := range p.timers {
@@ -363,8 +404,11 @@ func (w *World) Leave(id graph.NodeID) {
 	p.timers = nil
 	p.alive = false
 	delete(w.procs, id)
+	if w.reconfig != nil {
+		w.reconfig.onLeave(id)
+	}
 	if w.auth != nil || w.audit != nil {
-		if w.cfg.Identity.Durable {
+		if durable {
 			// The identity persists: write its sublayer state to the stable
 			// store so a rejoin resumes the same principal.
 			w.identSaveOnLeave(id)
@@ -431,6 +475,9 @@ func (w *World) Crash(id graph.NodeID) {
 	p.timers = nil
 	p.alive = false
 	delete(w.procs, id)
+	if w.reconfig != nil {
+		w.reconfig.onLeave(id)
+	}
 }
 
 // Recover brings a crashed entity back: it resumes executing under its
@@ -470,6 +517,11 @@ func (w *World) Recover(id graph.NodeID) *Proc {
 		alive:    true,
 	}
 	w.procs[id] = p
+	if w.reconfig != nil {
+		// The recoverer missed any commits while down; it resumes at the
+		// latest committed epoch, like a joiner.
+		w.reconfig.onJoin(id)
+	}
 	if raw, ok := w.store.Load(id); ok {
 		// Stores written before the durable wrapper existed (or by tests
 		// seeding snapshots directly) hold the bare behavior snapshot.
@@ -597,8 +649,15 @@ func (p *Proc) Send(to graph.NodeID, tag string, payload any) {
 		m.bseq = bseq
 		m.sig = w.audit.sign(p.ID, bseq, payload)
 	}
+	if w.reconfig != nil {
+		// Stamp the sender's current stack epoch BEFORE authentication:
+		// the MAC covers it, so the copy is forever bound to the rules it
+		// was sent under — retransmissions reuse these wire bytes and
+		// still verify after a key rotation.
+		m.epoch = w.reconfig.nodeEpoch[p.ID]
+	}
 	if w.auth != nil {
-		w.auth.tag(&m)
+		w.auth.tag(w, &m)
 	}
 	if w.rel != nil {
 		w.rel.send(w, m)
@@ -698,6 +757,13 @@ func (w *World) deliver(m Message) {
 		w.rel.onAck(w, m)
 		return
 	}
+	// The epoch fence runs before authentication: a copy too many epochs
+	// behind the receiver is dropped without a strike (it needs no key to
+	// judge, and fencing first means a straggler — or a forged stamp —
+	// can never charge an honest sender's budget).
+	if w.reconfig != nil && !w.reconfig.admitEpoch(w, m) {
+		return
+	}
 	if w.auth != nil && !w.auth.admit(w, m) {
 		return
 	}
@@ -713,6 +779,17 @@ func (w *World) deliver(m Message) {
 	}
 	if w.auth != nil && !w.auth.admitSeq(w, m) {
 		return
+	}
+	if w.reconfig != nil {
+		// The copy is fully verified; a newer committed epoch stamped on
+		// it pulls the receiver forward (catch-up), and handshake traffic
+		// terminates here like acks and audit gossip.
+		w.reconfig.observeEpoch(w, m)
+		if isReconfigTag(m.Tag) {
+			w.Trace.Deliver(now, m.To, m.From, m.Tag)
+			w.reconfig.onReconfig(w, m)
+			return
+		}
 	}
 	if w.audit != nil {
 		// Audit sublayer traffic (receipts, proof pairs, pull digests and

@@ -181,9 +181,12 @@ func newReliableLayer(cfg ReliableConfig) *reliableLayer {
 }
 
 // rtoFor is the first timeout of a fresh message toward to: the clamped
-// adaptive estimate when one exists, the fixed schedule otherwise.
-func (rl *reliableLayer) rtoFor(from, to graph.NodeID) sim.Time {
-	if rl.rtt != nil {
+// adaptive estimate when the governing policy is adaptive and one
+// exists, the fixed schedule otherwise. The policy is passed in because
+// it is epoch-governed under reconfiguration (rl.cfg.Adaptive otherwise);
+// the estimator map may be warm while the policy says fixed.
+func (rl *reliableLayer) rtoFor(adaptive bool, from, to graph.NodeID) sim.Time {
+	if adaptive && rl.rtt != nil {
 		if e := rl.rtt[[2]graph.NodeID{from, to}]; e != nil && e.inited {
 			rto := sim.Time(e.rto() + 0.5)
 			if rto < rl.cfg.MinRTO {
@@ -211,7 +214,14 @@ func (rl *reliableLayer) counters(id graph.NodeID) *ReliableCounters {
 func (rl *reliableLayer) send(w *World, m Message) {
 	rl.seq++
 	m.seq = rl.seq
-	pm := &pendingMsg{m: m, timeout: rl.rtoFor(m.From, m.To), sentAt: w.Engine.Now()}
+	adaptive := rl.cfg.Adaptive
+	if w.reconfig != nil {
+		// The RTO policy rides the message's stack epoch, fixed at send
+		// time: retries of this message keep its policy even if an epoch
+		// switch lands mid-flight.
+		adaptive = w.reconfig.stackFor(m.epoch).Adaptive
+	}
+	pm := &pendingMsg{m: m, timeout: rl.rtoFor(adaptive, m.From, m.To), sentAt: w.Engine.Now()}
 	rl.pending[m.seq] = pm
 	w.transmit(m)
 	rl.scheduleRetry(w, pm)

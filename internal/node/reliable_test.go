@@ -345,7 +345,7 @@ func TestAdaptiveTightensTimeout(t *testing.T) {
 	}
 	// RTT is exactly 4 (2 out + 2 back); the learned timeout must sit far
 	// below the configured 40 and at or above the RTT itself.
-	if rto := w.rel.rtoFor(1, 2); rto >= 40 || rto < 4 {
+	if rto := w.rel.rtoFor(true, 1, 2); rto >= 40 || rto < 4 {
 		t.Fatalf("adaptive rtoFor = %d, want in [4, 40)", rto)
 	}
 	if tot := w.ReliableTotals(); tot.Retries != 0 {
@@ -394,7 +394,7 @@ func TestAdaptiveDeliversUnderLoss(t *testing.T) {
 	}
 	// Karn's rule: the timeout derived from clean samples can never sink
 	// below the configured floor.
-	if rto := w.rel.rtoFor(1, 2); rto < 3 {
+	if rto := w.rel.rtoFor(true, 1, 2); rto < 3 {
 		t.Fatalf("rtoFor = %d violates MinRTO 3", rto)
 	}
 }

@@ -139,6 +139,12 @@ type Outcome struct {
 	// the audit layer caused deliberately, each backed by transferable
 	// proof of the silenced entity's guilt.
 	MissedProven []graph.NodeID
+	// EpochSwitchers lists the entities that completed at least one live
+	// stack-epoch switch during the run (core.MarkEpochSwitch marks).
+	// Informational: reconfiguration must be invisible to the OTQ
+	// verdicts, so nothing in the checker keys on this set — it exists so
+	// experiments can assert the handshake actually reached everyone.
+	EpochSwitchers []graph.NodeID
 	// StableCount and CoveredStable quantify coverage of the stable set.
 	StableCount, CoveredStable int
 }
@@ -253,6 +259,7 @@ func CheckWith(tr *core.Trace, r *Run, valueOf func(graph.NodeID) float64, opts 
 		quarantined[id] = true
 	}
 	out.ProvenEquivocators = tr.ProvenEquivocators()
+	out.EpochSwitchers = tr.MarkedEntities(core.MarkEpochSwitch)
 	proven := map[graph.NodeID]bool{}
 	for _, id := range out.ProvenEquivocators {
 		proven[id] = true
