@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-record experiments quick-experiments fuzz fmt clean verify
+.PHONY: all build vet test race bench bench-record bench-check experiments quick-experiments fuzz fmt clean verify
 
 all: build vet test
 
@@ -22,17 +22,22 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/object/... ./internal/sketch/ ./internal/node/... ./internal/fault/... ./internal/exp/...
+	$(GO) test -race ./internal/object/... ./internal/sketch/ ./internal/pex/... ./internal/node/... ./internal/fault/... ./internal/exp/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Record the substrate + experiment benchmarks as JSON for cross-PR
-# comparison (BENCH_PR6.json is the baseline this PR ships). The root
-# E1-E25 suite is excluded: it takes minutes and its tables live in
+# comparison (BENCH_PR7.json is the baseline this PR ships). The root
+# E1-E27 suite is excluded: it takes minutes and its tables live in
 # EXPERIMENTS.md already.
 bench-record:
-	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -out BENCH_PR6.json
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -out BENCH_PR7.json
+
+# Diff fresh benchmark numbers against the checked-in baseline; fails on
+# any benchmark whose ns/op regressed more than 20%.
+bench-check:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -compare BENCH_PR7.json
 
 # Regenerate every table in EXPERIMENTS.md (several minutes).
 experiments:
@@ -53,6 +58,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzIdentityRecord -fuzztime=10s ./internal/node/
 	$(GO) test -fuzz=FuzzReconfigClause -fuzztime=10s ./internal/fault/
 	$(GO) test -fuzz=FuzzStackConfigCodec -fuzztime=10s ./internal/node/
+	$(GO) test -fuzz=FuzzViewRecord -fuzztime=10s ./internal/pex/
+	$(GO) test -fuzz=FuzzPoisonClause -fuzztime=10s ./internal/fault/
 
 fmt:
 	gofmt -w .

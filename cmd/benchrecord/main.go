@@ -3,6 +3,15 @@
 // readable performance baseline (see `make bench-record`) and the next
 // one can diff against it.
 //
+// With -compare the fresh results are additionally diffed against a
+// checked-in baseline: any benchmark whose ns/op regressed past the
+// tolerance (default 20%) is reported and the exit status is non-zero
+// (see `make bench-check`). Benchmarks new to this run or missing from
+// it are noted but never fail the check — virtual-time simulations are
+// deterministic but the host is not, so the tolerance is deliberately
+// generous; the gate exists to catch order-of-magnitude accidents, not
+// noise.
+//
 // Only the standard benchmark line shape is recognized:
 //
 //	BenchmarkName-8   	    1234	    987654 ns/op	   45678 B/op	     123 allocs/op
@@ -32,6 +41,8 @@ type Result struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON to diff against; exit non-zero on ns/op regressions past -tolerance")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op growth over the -compare baseline")
 	flag.Parse()
 
 	var results []Result
@@ -64,21 +75,75 @@ func main() {
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 
-	data, err := json.MarshalIndent(results, "", "  ")
+	if *out != "" || *compare == "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrecord:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *out == "" {
+			os.Stdout.Write(data)
+		} else {
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "benchrecord:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchrecord: wrote %d results to %s\n", len(results), *out)
+		}
+	}
+	if *compare != "" && !check(results, *compare, *tolerance) {
+		os.Exit(1)
+	}
+}
+
+// check diffs fresh results against the baseline file; it reports every
+// benchmark and returns false when any ns/op regressed past tolerance.
+func check(results []Result, baselineFile string, tolerance float64) bool {
+	data, err := os.ReadFile(baselineFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrecord:", err)
-		os.Exit(1)
+		return false
 	}
-	data = append(data, '\n')
-	if *out == "" {
-		os.Stdout.Write(data)
-		return
+	var baseline []Result
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %s: %v\n", baselineFile, err)
+		return false
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchrecord:", err)
-		os.Exit(1)
+	base := make(map[string]Result, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
 	}
-	fmt.Fprintf(os.Stderr, "benchrecord: wrote %d results to %s\n", len(results), *out)
+	ok := true
+	seen := make(map[string]bool, len(results))
+	for _, r := range results {
+		seen[r.Name] = true
+		b, found := base[r.Name]
+		switch {
+		case !found:
+			fmt.Printf("  new      %-60s %12.0f ns/op\n", r.Name, r.NsPerOp)
+		case b.NsPerOp <= 0:
+			fmt.Printf("  skip     %-60s baseline has no ns/op\n", r.Name)
+		default:
+			ratio := r.NsPerOp / b.NsPerOp
+			verdict := "ok"
+			if ratio > 1+tolerance {
+				verdict = "REGRESSED"
+				ok = false
+			}
+			fmt.Printf("  %-8s %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+				verdict, r.Name, b.NsPerOp, r.NsPerOp, (ratio-1)*100)
+		}
+	}
+	for _, b := range baseline {
+		if !seen[b.Name] {
+			fmt.Printf("  missing  %-60s was %12.0f ns/op\n", b.Name, b.NsPerOp)
+		}
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchrecord: ns/op regressions past %.0f%% vs %s\n", tolerance*100, baselineFile)
+	}
+	return ok
 }
 
 // parseLine recognizes one benchmark result line; the -N GOMAXPROCS

@@ -13,6 +13,8 @@
 //	ddsim -overlay ring -n 16 -protocol echo-wave -faults 'collude:nodes=3,peers=1+5,groups=2,p=1' -reliable -pull -pull-ttl 2
 //	ddsim -overlay ring -n 16 -protocol echo-wave -byzantine equiv -reliable -audit -rejoin 'nodes=3,down=40@200' -durable-identity -bridge-rejoins
 //	ddsim -overlay ring -n 16 -protocol echo-wave -reliable -auth -reconfig 'nodes=1,every=80,count=4,rotate=1@120'
+//	ddsim -n 64 -protocol echo-wave -pex -pex-policy pushpull -pex-view 8
+//	ddsim -n 64 -protocol echo-wave -pex -auth -poison 'nodes=4+9,rate=1,sybils=3,base=1000@24-'
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/node"
 	"repro/internal/otq"
+	"repro/internal/pex"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -59,12 +62,31 @@ func main() {
 		rejoinSpec  = flag.String("rejoin", "", "rejoin clause body appended to -faults, e.g. 'nodes=3,down=40@200' or 'nodes=3,down=40,reset=1@200' (see internal/fault)")
 		reconfSpec  = flag.String("reconfig", "", "reconfig clause body appended to -faults, e.g. 'nodes=1,rotate=1@200' or 'every=80,count=4,rotate=1,retain=64@120' (enables the reconfiguration layer; see internal/fault)")
 		bridgeRe    = flag.Bool("bridge-rejoins", false, "judge Validity over rejoin-bridged sessions (same-identity rejoiners and crash-recoverers count as stable; subsumes -bridge-recoveries)")
+		pexOn       = flag.Bool("pex", false, "maintain the overlay through the partial-view peer-exchange membership layer (replaces -overlay with the view-driven manual overlay; -auth adds the view-audit defense)")
+		pexPolicy   = flag.String("pex-policy", "pushpull", "pex exchange policy: rand, head, tail, pushpull")
+		pexView     = flag.Int("pex-view", 8, "pex partial-view size")
+		poisonSpec  = flag.String("poison", "", "poison clause body appended to -faults, e.g. 'nodes=4+9,rate=1,sybils=3,base=1000@24-' (requires -pex; see internal/fault)")
 	)
 	flag.Parse()
 
 	overlay, err := overlayBuilder(*overlayName, *k)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddsim:", err)
+		os.Exit(2)
+	}
+	var pexCfg pex.Config
+	if *pexOn {
+		policy, err := pex.ParsePolicy(*pexPolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim:", err)
+			os.Exit(2)
+		}
+		pexCfg = pex.Config{Enabled: true, ViewSize: *pexView, Policy: policy}
+		// The membership layer needs link control: views drive the edges,
+		// so the self-maintaining overlays would fight it.
+		overlay = func(uint64) topology.Overlay { return topology.NewManual() }
+	} else if *poisonSpec != "" {
+		fmt.Fprintln(os.Stderr, "ddsim: -poison requires -pex (there is no view traffic to poison)")
 		os.Exit(2)
 	}
 	proto, protoID, err := protocolBuilder(*protoName, *ttl)
@@ -120,6 +142,19 @@ func main() {
 		}
 	}
 
+	if *poisonSpec != "" {
+		po, err := fault.Parse("poison:" + *poisonSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim:", err)
+			os.Exit(2)
+		}
+		if plan == nil {
+			plan = po
+		} else {
+			plan.Clauses = append(plan.Clauses, po.Clauses...)
+		}
+	}
+
 	cc := churn.Config{InitialPopulation: *n, Immortal: true}
 	if *arrival > 0 {
 		cc.ArrivalRate = *arrival
@@ -132,7 +167,10 @@ func main() {
 	auditCfg := node.AuditConfig{Enabled: *audit || *pull, Pull: *pull, PullTTL: *pullTTL}
 	identCfg := node.IdentityConfig{Durable: *durableID}
 	reconfCfg := node.ReconfigConfig{Enabled: *reconfSpec != ""}
-	if err := (node.Config{MinLatency: 1, MaxLatency: 2, Reliable: relCfg, Auth: authCfg, Audit: auditCfg, Identity: identCfg, Reconfig: reconfCfg}).Validate(); err != nil {
+	if pexCfg.Enabled {
+		pexCfg.Audit = pex.ViewAuditConfig{Enabled: authCfg.Enabled, KeySeed: *seed}
+	}
+	if err := (node.Config{MinLatency: 1, MaxLatency: 2, Reliable: relCfg, Auth: authCfg, Audit: auditCfg, Identity: identCfg, Reconfig: reconfCfg, Pex: pexCfg}).Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "ddsim:", err)
 		os.Exit(2)
 	}
@@ -148,6 +186,7 @@ func main() {
 		Audit:            auditCfg,
 		Identity:         identCfg,
 		Reconfig:         reconfCfg,
+		Pex:              pexCfg,
 		BridgeRecoveries: *bridge,
 		BridgeRejoins:    *bridgeRe,
 		QueryAt:          sim.Time(*queryAt),
@@ -187,6 +226,22 @@ func main() {
 		if len(res.Outcome.ProvenEquivocators) > 0 {
 			fmt.Printf("proven equivocators: %v (missed-but-proven %v)\n",
 				res.Outcome.ProvenEquivocators, res.Outcome.MissedProven)
+		}
+	}
+	if *pexOn {
+		fmt.Printf("pex overlay: exchanges %d (replies %d), records shipped %d merged %d, bootstraps %d, decayed %d, links %d/-%d\n",
+			res.Pex.Exchanges, res.Pex.Replies, res.Pex.RecordsShipped, res.Pex.RecordsMerged,
+			res.Pex.Bootstraps, res.Pex.Decayed, res.Pex.Links, res.Pex.Unlinks)
+		if at := res.PexConvergedAt; at >= 0 {
+			fmt.Printf("pex convergence: overlay first fully connected at t=%d\n", at)
+		} else {
+			fmt.Println("pex convergence: overlay never fully connected")
+		}
+		if authCfg.Enabled {
+			fmt.Printf("view audit: rejected sig %d, stale %d, hop %d, dup %d, undecodable %d; strikes %d, view quarantines %d, convict evictions %d\n",
+				res.Pex.RejectedSig, res.Pex.RejectedStale, res.Pex.RejectedHop,
+				res.Pex.RejectedDup, res.Pex.RejectedBad, res.Pex.Strikes,
+				res.Pex.ViewQuarantines, res.Pex.ConvictEvictions)
 		}
 	}
 	if *reconfSpec != "" {

@@ -62,6 +62,11 @@ const (
 	// runtime; the OTQ judgment itself is epoch-agnostic — a correct
 	// reconfiguration changes the stack's parameters, never the answer.
 	MarkEpochSwitch = "reconf.switch"
+	// MarkPexConverged is recorded (once, at an arbitrary present entity)
+	// the first time the PEX membership sublayer's sampler observes the
+	// overlay fully connected — the gossip overlay's convergence instant,
+	// which the E27 experiments measure against poisoning.
+	MarkPexConverged = "pex.converged"
 )
 
 // TraceEvent is one recorded occurrence in a run. P is the subject entity;

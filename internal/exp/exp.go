@@ -5,7 +5,7 @@
 //
 // The paper is a position paper with no numbered tables or figures; each
 // experiment here operationalizes one of its qualitative claims (C1-C6 in
-// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E26 are
+// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E27 are
 // ours and are indexed in DESIGN.md.
 package exp
 
@@ -18,6 +18,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/node"
 	"repro/internal/otq"
+	"repro/internal/pex"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -55,6 +56,10 @@ type Scenario struct {
 	// machinery plus quiescence handshake); faults may then carry
 	// reconfig clauses.
 	Reconfig node.ReconfigConfig
+	// Pex configures the partial-view membership overlay (requires an
+	// Overlay implementing topology.LinkController); faults may then
+	// carry poison clauses.
+	Pex pex.Config
 	// BridgeRecoveries judges Validity over recovery-bridged sessions:
 	// entities that crash and recover within the query interval still
 	// count as stable participants (see otq.CheckOptions).
@@ -98,7 +103,12 @@ type RunResult struct {
 	// Reconfig sums the reconfiguration layer's counters (zero when the
 	// layer was not enabled).
 	Reconfig node.ReconfigCounters
-	Querier  graph.NodeID
+	// Pex sums the membership overlay's counters; PexConvergedAt is the
+	// first sampled tick the overlay was fully connected (-1 when the
+	// layer was off or never converged).
+	Pex            node.PexCounters
+	PexConvergedAt int64
+	Querier        graph.NodeID
 }
 
 // Execute runs a scenario to completion and judges it.
@@ -118,6 +128,7 @@ func Execute(sc Scenario) RunResult {
 		Audit:      sc.Audit,
 		Identity:   sc.Identity,
 		Reconfig:   sc.Reconfig,
+		Pex:        sc.Pex,
 		Seed:       sc.Seed ^ 0xdddd,
 		ValueOf:    valueOf,
 	})
@@ -155,17 +166,19 @@ func Execute(sc Scenario) RunResult {
 			BridgeRecoveries: sc.BridgeRecoveries,
 			BridgeRejoins:    sc.BridgeRejoins,
 		}),
-		Trace:        w.Trace,
-		Run:          run,
-		Inferred:     core.InferClass(w.Trace),
-		Messages:     w.Trace.Messages(""),
-		Reliable:     w.ReliableTotals(),
-		Auth:         w.AuthTotals(),
-		Audit:        w.AuditTotals(),
-		AuditSummary: w.AuditSummary(),
-		Identity:     w.IdentityTotals(),
-		Reconfig:     w.ReconfigTotals(),
-		Querier:      querier,
+		Trace:          w.Trace,
+		Run:            run,
+		Inferred:       core.InferClass(w.Trace),
+		Messages:       w.Trace.Messages(""),
+		Reliable:       w.ReliableTotals(),
+		Auth:           w.AuthTotals(),
+		Audit:          w.AuditTotals(),
+		AuditSummary:   w.AuditSummary(),
+		Identity:       w.IdentityTotals(),
+		Reconfig:       w.ReconfigTotals(),
+		Pex:            w.PexTotals(),
+		PexConvergedAt: w.PexConvergedAt(),
+		Querier:        querier,
 	}
 }
 
@@ -258,5 +271,6 @@ func All() []Experiment {
 		{"E24", "colluding equivocators: 1-hop receipt push vs pull anti-entropy", E24},
 		{"E25", "byzantine churn: session-keyed vs durable identity under rejoin laundering", E25},
 		{"E26", "live reconfiguration: quiescence handshake under fault storms", E26},
+		{"E27", "view poisoning: partial-view membership with and without the view audit", E27},
 	}
 }

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestE27PoisonDamageMeasurable: the undefended arm must actually get
+// hurt — fabricated sybils and the resurrected departed reach a
+// measurable fraction of honest views — or the defended arm's zeros
+// would be vacuous.
+func TestE27PoisonDamageMeasurable(t *testing.T) {
+	cfg := Config{Quick: true}
+	res := e27Run(cfg, 1, 32, e27Arms[1])
+	if res.sybilViews == 0 {
+		t.Errorf("no honest view absorbed a sybil: %+v", res)
+	}
+	if res.deadViews == 0 {
+		t.Errorf("no honest view absorbed the resurrected departed: %+v", res)
+	}
+	if res.poisonersQuar != 0 || res.falseQuar != 0 {
+		t.Errorf("quarantines without the defense: %+v", res)
+	}
+	if res.convergedAt < 0 {
+		t.Errorf("poisoned overlay never even converged: %+v", res)
+	}
+}
+
+// TestE27DefendedAcceptance is the experiment's acceptance bar, per
+// seed: poisoned records extinct from every honest view, every poisoner
+// convicted through the auth machinery, no honest member isolated at the
+// horizon, and zero false quarantines despite honest churners riding a
+// leave/rejoin schedule through the attack window.
+func TestE27DefendedAcceptance(t *testing.T) {
+	cfg := Config{Quick: true}
+	for seed := uint64(1); seed <= 3; seed++ {
+		res := e27Run(cfg, seed, 32, e27Arms[2])
+		if res.sybilViews != 0 || res.deadViews != 0 {
+			t.Errorf("seed %d: poisoned records survived the defense: %+v", seed, res)
+		}
+		if res.poisonersQuar != len(e27Poisoners) {
+			t.Errorf("seed %d: only %d/%d poisoners convicted", seed, res.poisonersQuar, len(e27Poisoners))
+		}
+		if res.falseQuar != 0 {
+			t.Errorf("seed %d: %d false quarantines of honest members", seed, res.falseQuar)
+		}
+		if res.isolatedHonest != 0 {
+			t.Errorf("seed %d: %d honest members isolated at the horizon", seed, res.isolatedHonest)
+		}
+		if res.pex.RejectedSig == 0 {
+			t.Errorf("seed %d: defense rejected nothing: %+v", seed, res.pex)
+		}
+	}
+}
+
+// TestE27BaselineClean: without an attack the strike discipline stays
+// silent and the overlay converges with no phantom records.
+func TestE27BaselineClean(t *testing.T) {
+	res := e27Run(Config{Quick: true}, 2, 32, e27Arms[0])
+	if res.sybilViews != 0 || res.deadViews != 0 {
+		t.Errorf("phantom records without an attack: %+v", res)
+	}
+	if res.poisonersQuar != 0 || res.falseQuar != 0 {
+		t.Errorf("quarantines on a clean run: %+v", res)
+	}
+	if res.convergedAt < 0 || res.isolatedHonest != 0 {
+		t.Errorf("baseline overlay unhealthy: %+v", res)
+	}
+}
+
+// TestE27Deterministic: the full cell — attack, defense, churn — replays
+// identically under a fixed seed.
+func TestE27Deterministic(t *testing.T) {
+	cfg := Config{Quick: true}
+	a := e27Run(cfg, 3, 32, e27Arms[2])
+	b := e27Run(cfg, 3, 32, e27Arms[2])
+	if a != b {
+		t.Fatalf("identical seeds diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func BenchmarkE27ViewPoison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e27Run(Config{Quick: true}, 1, 64, e27Arms[2])
+	}
+}

@@ -73,6 +73,16 @@
 //     starting at ChaffFrom when set), cycling broadcast numbers to push
 //     the contested receipts out of a bounded FIFO store — the retention
 //     attack named in ROADMAP.
+//   - poison: the membership attack. With probability Rate (key rate),
+//     each PEX exchange a chosen sender ships is rewritten in its wire
+//     bytes before tagging: Sybils fabricated records of never-joined
+//     identities (base, base+1, ...), Dead resurrected records of
+//     departed members with forged freshness, and — when Target is set —
+//     the sender's genuine record of the target replayed with its hop
+//     age reset to 0 (the hub bias, valid even under the view-audit
+//     defense because hop is deliberately outside the signature).
+//     Undefended views absorb all of it; the defense rejects the forged
+//     signatures and quarantines the injector through the auth layer.
 //
 // Channel clauses compose: each active clause inspects every transmission
 // in plan order, and their verdicts accumulate (drops win, delays and
@@ -86,6 +96,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/node"
+	"repro/internal/pex"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -109,6 +120,7 @@ const (
 	KindForge     Kind = "forge"
 	KindEquiv     Kind = "equiv"
 	KindCollude   Kind = "collude"
+	KindPoison    Kind = "poison"
 )
 
 // ChaffTag tags the honest filler broadcasts a collude clause's Chaff
@@ -131,6 +143,7 @@ const (
 	MarkForge     = "fault.forge"
 	MarkEquiv     = "fault.equiv"
 	MarkCollude   = "fault.collude"
+	MarkPoison    = "fault.poison"
 	// MarkRejoin is the INJECTION mark, recorded at the victim when the
 	// clause takes it down; the runtime's own core.MarkRejoin flanks the
 	// later Join (or doesn't, in the sybil arm — a fresh identity is a
@@ -237,6 +250,17 @@ type Clause struct {
 	// ChaffEvery is the tick spacing of chaff rounds. 0 means the
 	// default of 2.
 	ChaffEvery sim.Time `json:"chaffevery,omitempty"`
+	// Sybils, on a poison clause, is how many fabricated never-joined
+	// identities are injected per poisoned exchange, numbered Sybil,
+	// Sybil+1, ... (the rejoin clause's Sybil field doubles as the base;
+	// DSL key base).
+	Sybils int `json:"sybils,omitempty"`
+	// Dead, on a poison clause, is how many departed identities are
+	// resurrected per poisoned exchange, freshest-forged first.
+	Dead int `json:"dead,omitempty"`
+	// Target, on a poison clause, is the member whose genuine record the
+	// poisoner replays with hop reset to 0 — the hub bias. 0 disables.
+	Target graph.NodeID `json:"target,omitempty"`
 }
 
 func probability(name string, p float64) error {
@@ -405,6 +429,37 @@ func (c *Clause) Validate() error {
 		if c.ChaffFrom < 0 {
 			return fmt.Errorf("fault: negative collude chafffrom %d", c.ChaffFrom)
 		}
+	case KindPoison:
+		if err := probability("poison rate", c.P); err != nil {
+			return err
+		}
+		if c.P == 0 {
+			return fmt.Errorf("fault: poison clause with rate=0 never fires")
+		}
+		if len(c.Nodes) == 0 {
+			return fmt.Errorf("fault: poison clause needs explicit poisoning senders")
+		}
+		if c.Sybils < 0 {
+			return fmt.Errorf("fault: negative poison sybils %d", c.Sybils)
+		}
+		if c.Dead < 0 {
+			return fmt.Errorf("fault: negative poison dead %d", c.Dead)
+		}
+		if c.Sybils == 0 && c.Dead == 0 && c.Target == 0 {
+			return fmt.Errorf("fault: poison clause injects nothing (needs sybils, dead, or target)")
+		}
+		if c.Sybils > 0 && c.Sybil == 0 {
+			return fmt.Errorf("fault: poison sybils need a base identity (base=)")
+		}
+		if c.Sybil < 0 {
+			return fmt.Errorf("fault: negative poison sybil base %d", c.Sybil)
+		}
+		if c.Target < 0 {
+			return fmt.Errorf("fault: negative poison target %d", c.Target)
+		}
+		if c.Sybils+c.Dead > pex.MaxWireRecords/2 {
+			return fmt.Errorf("fault: poison injects %d records per exchange, over the %d wire headroom", c.Sybils+c.Dead, pex.MaxWireRecords/2)
+		}
 	default:
 		return fmt.Errorf("fault: unknown clause kind %q", c.Kind)
 	}
@@ -496,7 +551,7 @@ func (pl *Plan) Attach(w *node.World) (stop func()) {
 	e := &engine{plan: pl, r: rng.New(pl.Seed ^ 0xfa017a57), burstBad: make([]bool, len(pl.Clauses))}
 	w.SetChannelHook(e.hook(w))
 	for _, c := range pl.Clauses {
-		if c.Kind == KindEquiv || c.Kind == KindCollude {
+		if c.Kind == KindEquiv || c.Kind == KindCollude || c.Kind == KindPoison {
 			w.SetSenderHook(e.senderHook(w))
 			break
 		}
@@ -829,8 +884,25 @@ func (e *engine) senderHook(w *node.World) node.SenderHook {
 		applied := false
 		for i := range e.plan.Clauses {
 			c := &e.plan.Clauses[i]
-			if (c.Kind != KindEquiv && c.Kind != KindCollude) || !c.activeAt(now) ||
-				!c.matchesNode(from) || !c.matchesPeer(to) {
+			if !c.activeAt(now) || !c.matchesNode(from) {
+				continue
+			}
+			if c.Kind == KindPoison {
+				// The membership attack rides the pex exchange traffic only,
+				// rewriting the wire bytes the way a real injector would.
+				ex, ok := payload.(pex.Exchange)
+				if tag != node.PexExchangeTag && tag != node.PexReplyTag || !ok {
+					continue
+				}
+				if !e.r.Bool(c.P) {
+					continue
+				}
+				payload = e.poison(w, c, from, ex)
+				applied = true
+				w.Trace.Mark(core.Time(now), from, MarkPoison)
+				continue
+			}
+			if (c.Kind != KindEquiv && c.Kind != KindCollude) || !c.matchesPeer(to) {
 				continue
 			}
 			var r *rng.Rand
@@ -866,6 +938,62 @@ func (e *engine) senderHook(w *node.World) node.SenderHook {
 		}
 		return payload, applied
 	}
+}
+
+// poison rewrites one outgoing pex exchange: decode the honest wire
+// batch, append the clause's fabrications, re-encode. Sybil and dead
+// records claim the current tick as their epoch (maximally fresh) under
+// garbage signatures — an undefended view absorbs them wholesale, the
+// view-audit defense rejects each one and charges the poisoner's
+// injection budget. The hub bias instead replays the poisoner's GENUINE
+// record of the target with its hop reset to 0, which no record-level
+// check can fault: it marks the boundary of what signing (ID, Epoch) but
+// not Hop can defend.
+func (e *engine) poison(w *node.World, c *Clause, from graph.NodeID, ex pex.Exchange) pex.Exchange {
+	recs, err := pex.DecodeRecords(ex.Wire)
+	if err != nil {
+		return ex // not an honest batch; nothing credible to blend into
+	}
+	now := int64(w.Engine.Now())
+	have := make(map[graph.NodeID]bool, len(recs))
+	for _, r := range recs {
+		have[r.ID] = true
+	}
+	inject := func(r pex.Record) {
+		if have[r.ID] || len(recs) >= pex.MaxWireRecords {
+			return // an honest-looking batch never repeats a subject
+		}
+		have[r.ID] = true
+		recs = append(recs, r)
+	}
+	for i := 0; i < c.Sybils; i++ {
+		inject(pex.Record{ID: c.Sybil + graph.NodeID(i), Epoch: now, Sig: e.r.Uint64()})
+	}
+	if c.Dead > 0 {
+		departed := w.DepartedEntities()
+		n := c.Dead
+		if n > len(departed) {
+			n = len(departed)
+		}
+		for i := 0; i < n; i++ {
+			inject(pex.Record{ID: departed[i], Epoch: now, Sig: e.r.Uint64()})
+		}
+	}
+	if c.Target != 0 && c.Target != from {
+		if rec, ok := w.PexRecordOf(from, c.Target); ok {
+			rec.Hop = 0
+			if have[rec.ID] {
+				for i := range recs {
+					if recs[i].ID == rec.ID {
+						recs[i] = rec
+					}
+				}
+			} else {
+				inject(rec)
+			}
+		}
+	}
+	return pex.Exchange{Pull: ex.Pull, Wire: pex.EncodeRecords(recs)}
 }
 
 // lieRNG derives the per-copy lie stream of one stamped broadcast. Keying

@@ -32,6 +32,12 @@ import (
 //	reconfig:nodes=1,rotate=1,adaptive=1@200
 //	reconfig:every=80,count=4,rotate=1,retain=64@120
 //
+// and the membership attack rewrites the chosen senders' PEX exchanges
+// (rate is the per-exchange probability; sybils fabricated identities
+// from base up, dead resurrected departures, target the hub-bias victim):
+//
+//	poison:nodes=4+9,rate=1,sybils=3,base=1000,dead=1,target=2@24-
+//
 // The returned plan is validated; String renders it back in canonical
 // form, and Parse(p.String()) reproduces p exactly.
 func Parse(s string) (*Plan, error) {
@@ -113,6 +119,7 @@ var allowedKeys = map[Kind]map[string]bool{
 	KindForge:     {"nodes": true, "as": true, "p": true},
 	KindEquiv:     {"nodes": true, "peers": true, "p": true},
 	KindCollude:   {"nodes": true, "peers": true, "groups": true, "p": true, "chaff": true, "chafffrom": true, "chaffevery": true, "droppull": true},
+	KindPoison:    {"nodes": true, "rate": true, "sybils": true, "base": true, "dead": true, "target": true},
 }
 
 func (c *Clause) setParam(key, val string) error {
@@ -126,7 +133,7 @@ func (c *Clause) setParam(key, val string) error {
 	}
 	var err error
 	switch key {
-	case "p":
+	case "p", "rate":
 		c.P, err = parseF()
 	case "count":
 		c.Count, err = strconv.Atoi(val)
@@ -152,10 +159,19 @@ func (c *Clause) setParam(key, val string) error {
 		c.FanoutTo, err = strconv.Atoi(val)
 	case "reset":
 		c.Reset, err = strconv.ParseBool(val)
-	case "sybil":
+	case "sybil", "base":
 		var n int64
 		if n, err = strconv.ParseInt(val, 10, 64); err == nil {
 			c.Sybil = graph.NodeID(n)
+		}
+	case "sybils":
+		c.Sybils, err = strconv.Atoi(val)
+	case "dead":
+		c.Dead, err = strconv.Atoi(val)
+	case "target":
+		var n int64
+		if n, err = strconv.ParseInt(val, 10, 64); err == nil {
+			c.Target = graph.NodeID(n)
 		}
 	case "droppull":
 		c.DropPull, err = strconv.ParseBool(val)
@@ -344,6 +360,21 @@ func (c Clause) String() string {
 		}
 		if c.DropPull {
 			add("droppull", "1")
+		}
+	case KindPoison:
+		add("nodes", fmtNodes(c.Nodes))
+		add("rate", fmtF(c.P))
+		if c.Sybils != 0 {
+			add("sybils", strconv.Itoa(c.Sybils))
+		}
+		if c.Sybil != 0 {
+			add("base", strconv.FormatInt(int64(c.Sybil), 10))
+		}
+		if c.Dead != 0 {
+			add("dead", strconv.Itoa(c.Dead))
+		}
+		if c.Target != 0 {
+			add("target", strconv.FormatInt(int64(c.Target), 10))
 		}
 	}
 	s := string(c.Kind)

@@ -1,0 +1,246 @@
+package fault
+
+import (
+	"encoding/json"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/pex"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestPoisonParseRoundTrip: the membership-attack clause survives the
+// canonical String form, and each malformed spelling is rejected with a
+// message naming the offending knob — the poison half of the config
+// boundary table (the pex.Config half lives in internal/pex, because
+// this package already imports internal/node).
+func TestPoisonParseRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"poison:nodes=4,rate=1,sybils=3,base=1000@24-",
+		"poison:nodes=4+9,rate=0.5,sybils=2,base=1000,dead=1,target=2@24-300",
+		"poison:nodes=7,rate=1,dead=2",
+		"poison:nodes=7,rate=1,target=3",
+	} {
+		pl := mustParse(t, spec)
+		if got := pl.String(); got != spec {
+			t.Fatalf("String(%q) = %q", spec, got)
+		}
+	}
+	for _, bad := range []struct{ spec, want string }{
+		{"poison:rate=1,sybils=1,base=9", "senders"},
+		{"poison:nodes=4,sybils=1,base=9", "rate=0"},
+		{"poison:nodes=4,rate=2,sybils=1,base=9", "outside"},
+		{"poison:nodes=4,rate=1", "injects nothing"},
+		{"poison:nodes=4,rate=1,sybils=-1", "sybils"},
+		{"poison:nodes=4,rate=1,dead=-1", "dead"},
+		{"poison:nodes=4,rate=1,sybils=2", "base"},
+		{"poison:nodes=4,rate=1,target=-3", "target"},
+		{"poison:nodes=4,rate=1,sybils=100,base=9", "headroom"},
+		{"poison:nodes=4,rate=1,sybils=1,base=9,p=1", "not valid"},
+		{"poison:nodes=4,rate=1,sybils=1,base=9,peers=2", "not valid"},
+	} {
+		if _, err := Parse(bad.spec); err == nil {
+			t.Errorf("%q parsed without error", bad.spec)
+		} else if !contains(err.Error(), bad.want) {
+			t.Errorf("%q error %q does not mention %q", bad.spec, err, bad.want)
+		}
+	}
+}
+
+// runPoisonPlan runs spec (empty = no faults) over a 16-member pex world
+// seeded from a ring, with entity 8 departing at tick 10 so the dead
+// knob has something to resurrect.
+func runPoisonPlan(t *testing.T, spec string, cfg node.Config, horizon sim.Time) *node.World {
+	t.Helper()
+	e := sim.New()
+	w := node.NewWorld(e, topology.NewManual(), nil, cfg)
+	for i := 1; i <= 16; i++ {
+		w.Join(graph.NodeID(i))
+	}
+	w.PexSeedViews(topology.BuildRing(16))
+	e.At(10, func() { w.Leave(8) })
+	stop := func() {}
+	if spec != "" {
+		stop = mustParse(t, spec).Attach(w)
+	}
+	e.RunUntil(horizon)
+	stop()
+	w.Close()
+	return w
+}
+
+func viewsHolding(w *node.World, pred func(pex.Record) bool) int {
+	n := 0
+	for _, id := range w.Present() {
+		for _, r := range w.PexView(id) {
+			if pred(r) {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+const poisonSpec = "poison:nodes=4,rate=1,sybils=2,base=1000,dead=1,target=2@24-;seed=5"
+
+// TestPoisonUndefendedViewsAbsorb: without the view-audit defense,
+// fabricated sybils and resurrected dead records blend straight into
+// honest views and stay there (re-injected fresher than they decay).
+func TestPoisonUndefendedViewsAbsorb(t *testing.T) {
+	cfg := node.Config{Seed: 3, Pex: pex.Config{Enabled: true}}
+	w := runPoisonPlan(t, poisonSpec, cfg, 400)
+	if n := countTraceMarks(w.Trace, MarkPoison); n == 0 {
+		t.Fatal("no poison injections recorded")
+	}
+	if n := viewsHolding(w, func(r pex.Record) bool { return r.ID >= 1000 }); n == 0 {
+		t.Fatal("no honest view absorbed a sybil record")
+	}
+	if n := viewsHolding(w, func(r pex.Record) bool { return r.ID == 8 }); n == 0 {
+		t.Fatal("no honest view absorbed the resurrected departed 8")
+	}
+	samples := w.PexSamples()
+	last := samples[len(samples)-1]
+	if last.SybilEntries == 0 || last.DeadEntries == 0 {
+		t.Fatalf("final sample shows no poisoning: %+v", last)
+	}
+}
+
+// TestPoisonHubBias: the target's genuine record, replayed with hop 0,
+// spreads the target into more views than unpoisoned gossip would — and
+// being validly signed, it works even under the defense (hop is outside
+// the signature by design; the clause documents that boundary).
+func TestPoisonHubBias(t *testing.T) {
+	cfg := node.Config{Seed: 3, Pex: pex.Config{Enabled: true}}
+	clean := runPoisonPlan(t, "", cfg, 400)
+	biased := runPoisonPlan(t, "poison:nodes=4,rate=1,target=2@24-;seed=5", cfg, 400)
+	holds := func(w *node.World) int {
+		return viewsHolding(w, func(r pex.Record) bool { return r.ID == 2 })
+	}
+	if c, b := holds(clean), holds(biased); b <= c {
+		t.Fatalf("hub bias did not spread the target: %d views clean, %d biased", c, b)
+	}
+}
+
+// TestPoisonDefendedQuarantines is E27's acceptance shape in miniature:
+// with the view-audit defense on, no sybil or dead record survives into
+// any view, the injector is quarantined through the auth machinery, and
+// nobody else is (zero false quarantines).
+func TestPoisonDefendedQuarantines(t *testing.T) {
+	cfg := node.Config{
+		Seed: 3,
+		Auth: node.AuthConfig{Enabled: true},
+		Pex: pex.Config{
+			Enabled: true,
+			Audit:   pex.ViewAuditConfig{Enabled: true, KeySeed: 7},
+		},
+	}
+	w := runPoisonPlan(t, poisonSpec, cfg, 400)
+	if n := viewsHolding(w, func(r pex.Record) bool { return r.ID >= 1000 || r.ID == 8 }); n != 0 {
+		t.Fatalf("%d defended views hold poisoned records", n)
+	}
+	if w.PexTotals().RejectedSig == 0 {
+		t.Fatalf("defense rejected nothing: %+v", w.PexTotals())
+	}
+	events := w.QuarantineEvents()
+	if len(events) == 0 {
+		t.Fatal("injector never quarantined")
+	}
+	for _, ev := range events {
+		if ev.Offender != 4 {
+			t.Fatalf("false quarantine of honest %d by %d", ev.Offender, ev.By)
+		}
+	}
+	samples := w.PexSamples()
+	last := samples[len(samples)-1]
+	if last.SybilEntries != 0 || last.DeadEntries != 0 {
+		t.Fatalf("final defended sample still poisoned: %+v", last)
+	}
+	// The poisoner itself ends up quarantined out of the overlay; that
+	// exile is the defense working. What must hold is that no HONEST
+	// member is outside the main component.
+	for _, id := range last.OutsideMain {
+		if id != 4 {
+			t.Fatalf("honest %d isolated in the defended run: %+v", id, last)
+		}
+	}
+}
+
+// TestPoisonDeterminism: the attack consumes only plan-seeded draws, so
+// identical runs are bit-identical.
+func TestPoisonDeterminism(t *testing.T) {
+	cfg := node.Config{Seed: 3, Pex: pex.Config{Enabled: true}}
+	a := runPoisonPlan(t, poisonSpec, cfg, 300)
+	b := runPoisonPlan(t, poisonSpec, cfg, 300)
+	if !reflect.DeepEqual(a.PexSamples(), b.PexSamples()) || a.PexTotals() != b.PexTotals() {
+		t.Fatal("two identical poisoned runs diverged")
+	}
+}
+
+// FuzzPoisonClause builds poison specs from arbitrary field values and
+// holds the parser to its invariants: no panics, every accepted clause
+// names its senders, injects something, keeps rate in (0, 1], and
+// survives both the canonical String form and the JSON form unchanged.
+func FuzzPoisonClause(f *testing.F) {
+	f.Add("4", "1", int64(3), int64(1000), int64(1), int64(2), "24-")
+	f.Add("4+9", "0.5", int64(0), int64(0), int64(2), int64(0), "")
+	f.Add("", "1", int64(1), int64(9), int64(0), int64(0), "10-20")
+	f.Add("7", "2", int64(-1), int64(-9), int64(200), int64(-2), "x")
+	f.Add("1++2", "nan", int64(1), int64(1), int64(1), int64(1), "5")
+	f.Fuzz(func(t *testing.T, nodes, rate string, sybils, base, dead, target int64, window string) {
+		spec := "poison:nodes=" + nodes + ",rate=" + rate +
+			",sybils=" + itoa(sybils) + ",base=" + itoa(base) +
+			",dead=" + itoa(dead) + ",target=" + itoa(target)
+		if window != "" {
+			spec += "@" + window
+		}
+		pl, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if len(pl.Clauses) != 1 {
+			t.Fatalf("%q parsed into %d clauses", spec, len(pl.Clauses))
+		}
+		c := pl.Clauses[0]
+		if len(c.Nodes) == 0 {
+			t.Fatalf("accepted poison clause without senders: %q", spec)
+		}
+		if !(c.P > 0 && c.P <= 1) {
+			t.Fatalf("accepted poison rate %v: %q", c.P, spec)
+		}
+		if c.Sybils < 0 || c.Dead < 0 || c.Sybil < 0 || c.Target < 0 {
+			t.Fatalf("accepted negative knob: %+v", c)
+		}
+		if c.Sybils == 0 && c.Dead == 0 && c.Target == 0 {
+			t.Fatalf("accepted clause that injects nothing: %q", spec)
+		}
+		if c.Sybils > 0 && c.Sybil == 0 {
+			t.Fatalf("accepted sybils without a base: %q", spec)
+		}
+		canon := pl.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted %q did not reparse: %v", canon, spec, err)
+		}
+		if !reflect.DeepEqual(pl, again) {
+			t.Fatalf("string round trip changed the plan: %q -> %q", spec, canon)
+		}
+		data, err := json.Marshal(pl)
+		if err != nil {
+			t.Fatalf("accepted plan %q did not marshal: %v", canon, err)
+		}
+		back, err := DecodeJSON(data)
+		if err != nil {
+			t.Fatalf("JSON of accepted plan %q did not decode: %v", canon, err)
+		}
+		if !reflect.DeepEqual(pl, back) {
+			t.Fatalf("JSON round trip changed the plan: %q", canon)
+		}
+	})
+}
+
+var _ = strconv.Itoa // keep strconv imported alongside future spec builders

@@ -520,9 +520,12 @@ func (au *auditLayer) counters(id graph.NodeID) *AuditCounters {
 // changes receipt retention would chase their own tail, and the
 // handshake's integrity rests on the MAC plus the prepare's canonical
 // encoding check instead.
+// Pex exchange traffic is also unstamped: its records carry their own
+// per-subject signatures, judged by the view-audit defense.
 func (au *auditLayer) stamps(tag string) bool {
 	return tag != AuditReceiptTag && tag != AuditProofTag &&
-		tag != AuditPullTag && tag != AuditPullRespTag && !isReconfigTag(tag)
+		tag != AuditPullTag && tag != AuditPullRespTag &&
+		!isReconfigTag(tag) && !isPexTag(tag)
 }
 
 // bseqFor assigns (or recalls) the broadcast sequence number of one

@@ -529,6 +529,11 @@ func (al *authLayer) quarantine(w *World, by, offender graph.NodeID) {
 	al.counters(by).Quarantines++
 	w.Trace.Mark(now, offender, MarkAuthQuarantine)
 	al.events = append(al.events, QuarantineEvent{At: now, By: by, Offender: offender})
+	if w.pex != nil {
+		// Mirror the verdict into the membership layer: evict everything
+		// the offender fed the quarantining entity's view and cut the link.
+		w.pex.onQuarantine(w, by, offender)
+	}
 	if al.cfg.Parole > 0 {
 		deadline := now + al.cfg.Parole
 		al.paroleAt[pair] = deadline
@@ -569,6 +574,9 @@ func (al *authLayer) parole(w *World, by, offender graph.NodeID) {
 	al.paroles = append(al.paroles, QuarantineEvent{At: now, By: by, Offender: offender})
 	if w.audit != nil {
 		w.audit.pardon(by, offender)
+	}
+	if w.pex != nil {
+		w.pex.pardon(by, offender)
 	}
 }
 

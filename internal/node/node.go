@@ -17,6 +17,7 @@ import (
 	"repro/internal/churn"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/pex"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -127,6 +128,14 @@ type Config struct {
 	// can replace at runtime through a quiescence handshake. Off by
 	// default, leaving the stack frozen at NewWorld.
 	Reconfig ReconfigConfig
+	// Pex enables the peer-exchange membership sublayer (see pex.Config
+	// and pexlayer.go): entities hold bounded partial views of signed
+	// membership records, trade them on a cadence, and the sublayer
+	// reconciles views into live overlay links. Requires an overlay
+	// implementing topology.LinkController. Its Audit knob turns on the
+	// view-audit defense, which quarantines record injectors through the
+	// auth sublayer when that one is enabled too.
+	Pex pex.Config
 	// Store persists behavior snapshots across crash–recovery gaps
 	// (see Recoverable). Defaults to an in-memory store.
 	Store StableStore
@@ -166,6 +175,9 @@ func (cfg Config) Validate() error {
 		return err
 	}
 	if err := cfg.Reconfig.Validate(); err != nil {
+		return err
+	}
+	if err := cfg.Pex.Validate(); err != nil {
 		return err
 	}
 	if cfg.Audit.Enabled && !cfg.Auth.Enabled {
@@ -248,6 +260,7 @@ type World struct {
 	auth         *authLayer
 	audit        *auditLayer
 	reconfig     *reconfigLayer
+	pex          *pexLayer
 	store        StableStore
 	// seen marks every identity that has ever joined, so Join can tell a
 	// rejoin from a first arrival; identStats, departed, departedSet and
@@ -299,6 +312,13 @@ func NewWorld(engine *sim.Engine, overlay topology.Overlay, factory BehaviorFact
 	}
 	if cfg.Audit.Enabled {
 		w.audit = newAuditLayer(cfg.Audit.withDefaults())
+	}
+	if cfg.Pex.Enabled {
+		if _, ok := overlay.(topology.LinkController); !ok {
+			panic(fmt.Sprintf("node: the pex sublayer needs direct link control, which overlay %s does not support", overlay.Name()))
+		}
+		w.pex = newPexLayer(cfg.Pex.WithDefaults(), cfg.Seed)
+		engine.Every(w.pex.cfg.SampleEvery, func() { w.pex.sample(w) })
 	}
 	if cfg.Reconfig.Enabled {
 		w.reconfig = newReconfigLayer(w.genesisStack())
@@ -378,6 +398,9 @@ func (w *World) Join(id graph.NodeID) *Proc {
 	if w.audit != nil {
 		w.audit.start(p)
 	}
+	if w.pex != nil {
+		w.pex.onJoin(w, p)
+	}
 	return p
 }
 
@@ -404,6 +427,9 @@ func (w *World) Leave(id graph.NodeID) {
 	p.timers = nil
 	p.alive = false
 	delete(w.procs, id)
+	if w.pex != nil {
+		w.pex.onLeave(id)
+	}
 	if w.reconfig != nil {
 		w.reconfig.onLeave(id)
 	}
@@ -475,6 +501,11 @@ func (w *World) Crash(id graph.NodeID) {
 	p.timers = nil
 	p.alive = false
 	delete(w.procs, id)
+	if w.pex != nil {
+		// The view is soft state and dies with the session; recovery
+		// re-bootstraps. (The overlay edges linger, as crashes leave them.)
+		w.pex.onLeave(id)
+	}
 	if w.reconfig != nil {
 		w.reconfig.onLeave(id)
 	}
@@ -544,6 +575,9 @@ func (w *World) Recover(id graph.NodeID) *Proc {
 				if w.audit != nil {
 					w.audit.start(p)
 				}
+				if w.pex != nil {
+					w.pex.onJoin(w, p)
+				}
 				return p
 			}
 		}
@@ -551,6 +585,9 @@ func (w *World) Recover(id graph.NodeID) *Proc {
 	p.behavior.Init(p)
 	if w.audit != nil {
 		w.audit.start(p)
+	}
+	if w.pex != nil {
+		w.pex.onJoin(w, p)
 	}
 	return p
 }
@@ -790,6 +827,14 @@ func (w *World) deliver(m Message) {
 			w.reconfig.onReconfig(w, m)
 			return
 		}
+	}
+	if w.pex != nil && isPexTag(m.Tag) {
+		// Pex exchange traffic terminates here, after authentication but
+		// outside the audit hold (its records carry their own signatures
+		// and freshness, judged by the view-audit defense).
+		w.Trace.Deliver(now, m.To, m.From, m.Tag)
+		w.pex.onMessage(w, m)
+		return
 	}
 	if w.audit != nil {
 		// Audit sublayer traffic (receipts, proof pairs, pull digests and

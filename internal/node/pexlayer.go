@@ -1,0 +1,643 @@
+package node
+
+// The pex sublayer: partial-view membership as live, attackable state.
+//
+// Every present entity holds a bounded pex.View of signed membership
+// records and trades them with one view member per cadence round, under
+// the configured selection policy. The sublayer OWNS the overlay's edges:
+// after every merge it reconciles its entity's links through the
+// topology.LinkController so the communication graph follows the views —
+// members decay out, links follow; a record arrives, a link comes up.
+// This is the paper's geography dimension served by gossip instead of
+// configuration, and it is exactly what makes the topology an attack
+// surface: whoever controls what a view believes controls who the entity
+// can talk to.
+//
+// The view-audit defense (pex.ViewAuditConfig) gates every merge: record
+// signatures must verify (sybils and forged-freshness dead records fail),
+// epochs must be fresh (genuinely-old replays are rejected strike-free),
+// hops must be sane, and a peer whose exchanges carry provably-bad
+// records exhausts a per-link injection budget and is quarantined through
+// the EXISTING auth machinery — one quarantine path for the whole stack,
+// parole included. Conviction by the audit sublayer (proven equivocation)
+// additionally evicts everything the convict ever contributed to the
+// local view.
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pex"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Pex sublayer message tags. Exchange traffic terminates in the runtime
+// like acks and audit gossip: behaviors never see it.
+const (
+	// PexExchangeTag carries a pex.Exchange push (optionally soliciting a
+	// pull reply) from an entity to its chosen partner.
+	PexExchangeTag = "node.pex-exchange"
+	// PexReplyTag carries the pull half of a pushpull exchange.
+	PexReplyTag = "node.pex-reply"
+)
+
+// Trace marks the pex sublayer records.
+const (
+	// MarkPexReject is recorded at a receiver when the view-audit defense
+	// rejects a provably-bad record (bad signature, impossible hop,
+	// duplicate, undecodable exchange).
+	MarkPexReject = "pex.reject"
+	// MarkPexQuarantine is recorded at the OFFENDER when a peer's
+	// injection budget runs out and the link is handed to the auth
+	// machinery (or locally blacklisted when auth is off).
+	MarkPexQuarantine = "pex.quarantine"
+)
+
+func isPexTag(tag string) bool {
+	return tag == PexExchangeTag || tag == PexReplyTag
+}
+
+// PexCounters aggregate the sublayer's activity across the run.
+type PexCounters struct {
+	// Exchanges counts initiated exchange rounds that found a partner;
+	// RoundsIdle counts rounds where no live, unblocked partner existed.
+	Exchanges  int
+	RoundsIdle int
+	// Replies counts pull replies sent.
+	Replies int
+	// RecordsShipped counts records sent (own record included);
+	// RecordsMerged counts records folded into a view.
+	RecordsShipped int
+	RecordsMerged  int
+	// Bootstraps counts joiners introduced through bootstrap contacts;
+	// Refreshes counts the periodic single-contact re-introductions that
+	// keep a large overlay from partitioning into forgotten halves.
+	Bootstraps int
+	Refreshes  int
+	// Decayed counts records aged past the hop horizon.
+	Decayed int
+	// RejectedSig/Stale/Hop/Dup/Bad are the view-audit rejection tallies
+	// (bad = undecodable exchange wire bytes). Only signatures, hops,
+	// duplicates and undecodable exchanges strike; staleness does not.
+	RejectedSig   int
+	RejectedStale int
+	RejectedHop   int
+	RejectedDup   int
+	RejectedBad   int
+	// RejectedBlacklisted counts records of (or exchanges from) peers the
+	// receiver has already blacklisted.
+	RejectedBlacklisted int
+	// Strikes and ViewQuarantines are the injection-budget ledger.
+	Strikes         int
+	ViewQuarantines int
+	// ConvictEvictions counts records evicted because their source (or
+	// subject) was quarantined or convicted.
+	ConvictEvictions int
+	// Links and Unlinks count overlay edges the reconciler flipped.
+	Links   int
+	Unlinks int
+}
+
+// PexSample is one tick of the overlay metrics stream.
+type PexSample struct {
+	At      int64
+	Present int
+	// Connected reports whole-graph connectivity; OutsideMain lists the
+	// present entities outside the largest component when it is not.
+	Connected   bool
+	OutsideMain []graph.NodeID
+	// Entries is the total record count across views; SybilEntries are
+	// records of identities that never joined, DeadEntries records of
+	// departed ones.
+	Entries      int
+	SybilEntries int
+	DeadEntries  int
+	// MeanHop is the mean record age in hops.
+	MeanHop float64
+	// Clustering and MaxDegree describe the overlay graph's shape;
+	// MaxInView is the largest number of views any one subject appears in
+	// (the in-degree a hub-biased poisoner tries to inflate).
+	Clustering float64
+	MaxDegree  int
+	MaxInView  int
+}
+
+type pexLayer struct {
+	cfg pex.Config
+	r   *rng.Rand
+	// views holds one bounded view per PRESENT entity.
+	views map[graph.NodeID]*pex.View
+	// strikes and blacklist are the per-(receiver, offender) injection
+	// ledger. Blacklist entries survive the offender's churn (identity
+	// memory) and clear on auth parole.
+	strikes   map[[2]graph.NodeID]int
+	blacklist map[[2]graph.NodeID]bool
+	// rounds counts each entity's completed cadence rounds this session,
+	// pacing its periodic bootstrap refresh.
+	rounds  map[graph.NodeID]int
+	events  []QuarantineEvent
+	samples []PexSample
+	// convergedAt is the first sampled tick the overlay was connected
+	// (-1 until then).
+	convergedAt int64
+	totals      PexCounters
+}
+
+func newPexLayer(cfg pex.Config, seed uint64) *pexLayer {
+	return &pexLayer{
+		cfg:         cfg,
+		r:           rng.New(seed ^ 0x9e97c3a5f0e1d2b4),
+		views:       make(map[graph.NodeID]*pex.View),
+		strikes:     make(map[[2]graph.NodeID]int),
+		blacklist:   make(map[[2]graph.NodeID]bool),
+		rounds:      make(map[graph.NodeID]int),
+		convergedAt: -1,
+	}
+}
+
+// blocked reports whether either side of the pair has blacklisted the
+// other — a blocked pair is never linked and never exchanged with.
+func (px *pexLayer) blocked(a, b graph.NodeID) bool {
+	return px.blacklist[[2]graph.NodeID{a, b}] || px.blacklist[[2]graph.NodeID{b, a}]
+}
+
+// onJoin gives a joiner its empty view and starts its exchange rounds.
+// Bootstrapping happens at the first round the view is still empty (see
+// round), so a population that is joined first and seeded afterwards —
+// the experiment setup — never burns bootstrap introductions.
+func (px *pexLayer) onJoin(w *World, p *Proc) {
+	if px.views[p.ID] == nil {
+		px.views[p.ID] = pex.NewView(px.cfg.ViewSize)
+	}
+	px.start(w, p)
+}
+
+// bootstrap introduces an entity with an EMPTY view to up to
+// BootstrapContacts present peers: fresh records both ways, links up —
+// a join handshake against an out-of-band bootstrap service. Because it
+// runs from round, a member whose whole view decayed away also
+// re-bootstraps instead of staying membership-blind forever.
+func (px *pexLayer) bootstrap(w *World, p *Proc) {
+	now := int64(w.Engine.Now())
+	var candidates []graph.NodeID
+	for _, id := range w.Present() {
+		if id != p.ID && w.procs[id] != nil && !px.blocked(p.ID, id) {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	k := px.cfg.BootstrapContacts
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	picks := candidates
+	if k < len(candidates) {
+		idx := px.r.Perm(len(candidates))[:k]
+		sort.Ints(idx)
+		picks = make([]graph.NodeID, k)
+		for i, j := range idx {
+			picks[i] = candidates[j]
+		}
+	}
+	for _, c := range picks {
+		px.views[p.ID].Merge(pex.Entry{Rec: pex.SignRecord(px.cfg.Audit.KeySeed, c, now)})
+		if cv := px.views[c]; cv != nil {
+			cv.Merge(pex.Entry{Rec: pex.SignRecord(px.cfg.Audit.KeySeed, p.ID, now)})
+		}
+		if !w.Overlay.Graph().HasEdge(p.ID, c) {
+			w.SetLink(p.ID, c, true)
+			px.totals.Links++
+		}
+	}
+	px.totals.Bootstraps++
+}
+
+// refresh re-contacts the bootstrap service for one present, unblocked
+// peer NOT already in the view — the periodic outside introduction that
+// makes overlay partitions transient. Hop-ordered eviction specializes
+// views toward their own neighborhood; once two regions hold no record
+// of each other anywhere, no exchange can ever cross the gap (partners
+// come from views), so the repair has to come from out of band. One
+// introduction per RefreshEvery rounds bounds the damage at negligible
+// steady-state cost.
+func (px *pexLayer) refresh(w *World, p *Proc) {
+	v := px.views[p.ID]
+	now := int64(w.Engine.Now())
+	var candidates []graph.NodeID
+	for _, id := range w.Present() {
+		if id != p.ID && w.procs[id] != nil && !px.blocked(p.ID, id) && !v.Contains(id) {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	c := candidates[px.r.Intn(len(candidates))]
+	if merged, _ := v.Merge(pex.Entry{Rec: pex.SignRecord(px.cfg.Audit.KeySeed, c, now)}); !merged {
+		return
+	}
+	px.totals.Refreshes++
+	if !w.Overlay.Graph().HasEdge(p.ID, c) {
+		w.SetLink(p.ID, c, true)
+		px.totals.Links++
+	}
+}
+
+// start schedules the entity's exchange rounds, staggered by ID so a
+// synchronous population does not fire every exchange on one tick. The
+// timers ride Proc.After and die with the entity.
+func (px *pexLayer) start(w *World, p *Proc) {
+	delay := sim.Time(1 + int64(p.ID)%int64(px.cfg.Cadence))
+	var tick func()
+	tick = func() {
+		px.round(w, p)
+		p.After(px.cfg.Cadence, tick)
+	}
+	p.After(delay, tick)
+}
+
+// round is one cadence step: age the view, reconcile links, pick a
+// partner under the policy, ship records.
+func (px *pexLayer) round(w *World, p *Proc) {
+	v := px.views[p.ID]
+	if v == nil {
+		return
+	}
+	if v.Len() == 0 {
+		px.bootstrap(w, p)
+	}
+	px.rounds[p.ID]++
+	if px.rounds[p.ID]%px.cfg.RefreshEvery == 0 {
+		px.refresh(w, p)
+	}
+	px.totals.Decayed += len(v.Age(px.cfg.MaxHop))
+	px.reconcile(w, p.ID)
+	partner, ok := v.SelectPartner(px.r, px.cfg.Policy, func(id graph.NodeID) bool {
+		return w.procs[id] != nil && !px.blocked(p.ID, id)
+	})
+	if !ok {
+		px.totals.RoundsIdle++
+		return
+	}
+	px.totals.Exchanges++
+	px.ship(w, p, partner, PexExchangeTag, px.cfg.Policy == pex.PolicyPushPull)
+}
+
+// ship sends one exchange batch: the sender's own freshly-minted record
+// plus up to Fanout-1 view records young enough to survive the transfer
+// increment.
+func (px *pexLayer) ship(w *World, p *Proc, to graph.NodeID, tag string, pull bool) {
+	now := int64(w.Engine.Now())
+	buf := []pex.Record{pex.SignRecord(px.cfg.Audit.KeySeed, p.ID, now)}
+	buf = append(buf, px.views[p.ID].SelectRecords(px.r, px.cfg.Policy, px.cfg.Fanout-1, px.cfg.MaxHop, to)...)
+	px.totals.RecordsShipped += len(buf)
+	p.Send(to, tag, pex.Exchange{Pull: pull, Wire: pex.EncodeRecords(buf)})
+}
+
+// reconcile aligns one entity's overlay edges with the views: every
+// present, unblocked view member is linked; an existing edge survives
+// only while SOME side's view still wants it (the self-healing — a
+// record decays out of both views, the link follows).
+func (px *pexLayer) reconcile(w *World, id graph.NodeID) {
+	v := px.views[id]
+	if v == nil {
+		return
+	}
+	g := w.Overlay.Graph()
+	for _, u := range v.Members() {
+		if w.procs[u] != nil && !px.blocked(id, u) && !g.HasEdge(id, u) {
+			w.SetLink(id, u, true)
+			px.totals.Links++
+		}
+	}
+	for _, u := range g.Neighbors(id) {
+		if px.blocked(id, u) {
+			w.SetLink(id, u, false)
+			px.totals.Unlinks++
+			continue
+		}
+		uv := px.views[u]
+		if v.Contains(u) || (uv != nil && uv.Contains(id)) {
+			continue
+		}
+		w.SetLink(id, u, false)
+		px.totals.Unlinks++
+	}
+}
+
+// onMessage handles exchange traffic after the auth sublayer admitted it:
+// decode, gate every record through the view-audit defense, merge,
+// reconcile, and answer a pull.
+func (px *pexLayer) onMessage(w *World, m Message) {
+	now := int64(w.Engine.Now())
+	q := w.procs[m.To]
+	v := px.views[m.To]
+	if q == nil || v == nil {
+		return
+	}
+	if px.blacklist[[2]graph.NodeID{m.To, m.From}] {
+		px.totals.RejectedBlacklisted++
+		return
+	}
+	ex, ok := m.Payload.(pex.Exchange)
+	if !ok {
+		px.reject(w, m.To, m.From, &px.totals.RejectedBad)
+		return
+	}
+	recs, err := pex.DecodeRecords(ex.Wire)
+	if err != nil {
+		px.reject(w, m.To, m.From, &px.totals.RejectedBad)
+		return
+	}
+	audit := px.cfg.Audit
+	seen := make(map[graph.NodeID]bool, len(recs))
+	for _, rec := range recs {
+		rec.Hop++ // the transfer increment: one more exchange hop traveled
+		if rec.ID == m.To {
+			continue // its own record echoed back; harmless, useless
+		}
+		if seen[rec.ID] {
+			// An honest buffer never repeats a subject (selection is a
+			// set); a duplicate is record stuffing.
+			if audit.Enabled {
+				px.reject(w, m.To, m.From, &px.totals.RejectedDup)
+			}
+			continue
+		}
+		seen[rec.ID] = true
+		if px.blacklist[[2]graph.NodeID{m.To, rec.ID}] {
+			// Never re-admit a subject this entity has convicted, whoever
+			// forwards it (no strike: the forwarder may be honest).
+			px.totals.RejectedBlacklisted++
+			continue
+		}
+		if audit.Enabled {
+			if rec.Hop > px.cfg.MaxHop {
+				// Honest senders only ship records with hop < MaxHop, so
+				// an over-horizon arrival is a fabricated age.
+				px.reject(w, m.To, m.From, &px.totals.RejectedHop)
+				continue
+			}
+			if !pex.VerifyRecord(audit.KeySeed, rec) {
+				// Sybils and forged-freshness resurrections die here: only
+				// the subject can sign (ID, Epoch).
+				px.reject(w, m.To, m.From, &px.totals.RejectedSig)
+				continue
+			}
+			if now-rec.Epoch > int64(audit.FreshFor) {
+				// A genuinely-signed but stale claim: a replayed record of
+				// a departed member, or just slow gossip. Reject without a
+				// strike — honest peers legitimately hold old records.
+				px.totals.RejectedStale++
+				continue
+			}
+		}
+		if merged, _ := v.Merge(pex.Entry{Rec: rec, Via: m.From}); merged {
+			px.totals.RecordsMerged++
+		}
+	}
+	px.reconcile(w, m.To)
+	if m.Tag == PexExchangeTag && ex.Pull && w.procs[m.From] != nil && !px.blocked(m.To, m.From) {
+		px.totals.Replies++
+		px.ship(w, q, m.From, PexReplyTag, false)
+	}
+}
+
+// reject charges one provably-bad record to the (receiver, sender)
+// injection budget; exhausting it quarantines the link through the auth
+// machinery, so parole and identity continuity govern pex offenses
+// exactly like wire-level ones.
+func (px *pexLayer) reject(w *World, by, offender graph.NodeID, counter *int) {
+	*counter++
+	now := int64(w.Engine.Now())
+	w.Trace.Mark(now, by, MarkPexReject)
+	if !px.cfg.Audit.Enabled {
+		return
+	}
+	px.totals.Strikes++
+	pair := [2]graph.NodeID{by, offender}
+	px.strikes[pair]++
+	if px.strikes[pair] <= px.cfg.Audit.Budget || px.blacklist[pair] {
+		return
+	}
+	w.Trace.Mark(now, offender, MarkPexQuarantine)
+	if w.auth != nil {
+		// The auth layer's quarantine path calls back into onQuarantine,
+		// which blacklists and evicts.
+		w.auth.quarantine(w, by, offender)
+	} else {
+		px.onQuarantine(w, by, offender)
+	}
+}
+
+// onQuarantine mirrors an auth-layer quarantine into the view layer:
+// blacklist the pair, evict everything the offender contributed to the
+// quarantining entity's view (its own record included), and cut the
+// link. Both the pex injection budget and every other auth/audit
+// conviction path funnel through here.
+func (px *pexLayer) onQuarantine(w *World, by, offender graph.NodeID) {
+	pair := [2]graph.NodeID{by, offender}
+	if px.blacklist[pair] {
+		return
+	}
+	px.blacklist[pair] = true
+	px.totals.ViewQuarantines++
+	px.events = append(px.events, QuarantineEvent{At: int64(w.Engine.Now()), By: by, Offender: offender})
+	if v := px.views[by]; v != nil {
+		px.totals.ConvictEvictions += len(v.RemoveVia(offender))
+	}
+	if w.Overlay.Graph().HasEdge(by, offender) {
+		w.SetLink(by, offender, false)
+		px.totals.Unlinks++
+	}
+}
+
+// pardon clears the pair's view-layer ledger when the auth sublayer
+// paroles the quarantine; the next offense re-earns it under the auth
+// layer's halved budget.
+func (px *pexLayer) pardon(by, offender graph.NodeID) {
+	pair := [2]graph.NodeID{by, offender}
+	delete(px.blacklist, pair)
+	delete(px.strikes, pair)
+}
+
+// onLeave drops the departing entity's view (soft state dies with the
+// session; a rejoiner re-bootstraps). The blacklist ledger is identity
+// memory and survives.
+func (px *pexLayer) onLeave(id graph.NodeID) {
+	delete(px.views, id)
+	delete(px.rounds, id)
+}
+
+// sample records one tick of overlay metrics and marks first convergence.
+func (px *pexLayer) sample(w *World) {
+	now := int64(w.Engine.Now())
+	g := w.Overlay.Graph()
+	present := g.Nodes()
+	s := PexSample{At: now, Present: len(present)}
+	comps := g.Components()
+	s.Connected = len(comps) <= 1
+	if !s.Connected {
+		main := 0
+		for i, c := range comps {
+			if len(c) > len(comps[main]) {
+				main = i
+			}
+		}
+		for i, c := range comps {
+			if i == main {
+				continue
+			}
+			s.OutsideMain = append(s.OutsideMain, c...)
+		}
+		sort.Slice(s.OutsideMain, func(i, j int) bool { return s.OutsideMain[i] < s.OutsideMain[j] })
+	}
+	ids := make([]graph.NodeID, 0, len(px.views))
+	for id := range px.views {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	inView := make(map[graph.NodeID]int)
+	hops := 0
+	for _, id := range ids {
+		for _, e := range px.views[id].Entries() {
+			s.Entries++
+			hops += e.Rec.Hop
+			inView[e.Rec.ID]++
+			if !w.seen[e.Rec.ID] {
+				s.SybilEntries++
+			} else if w.procs[e.Rec.ID] == nil {
+				s.DeadEntries++
+			}
+		}
+	}
+	if s.Entries > 0 {
+		s.MeanHop = float64(hops) / float64(s.Entries)
+	}
+	for _, n := range inView {
+		if n > s.MaxInView {
+			s.MaxInView = n
+		}
+	}
+	s.Clustering = g.AvgClustering()
+	s.MaxDegree = g.MaxDegree()
+	if s.Connected && len(present) > 1 && px.convergedAt < 0 {
+		px.convergedAt = now
+		w.Trace.Mark(now, present[0], core.MarkPexConverged)
+	}
+	px.samples = append(px.samples, s)
+}
+
+// PexSeedViews seeds the present population's views (and links) from a
+// bootstrap graph — typically an internal/topology builder like
+// BuildRing(n). Each present node's view starts as fresh signed records
+// of its graph neighbors; absent nodes in g are skipped. It panics
+// without the pex sublayer.
+func (w *World) PexSeedViews(g *graph.Graph) {
+	if w.pex == nil {
+		panic("node: PexSeedViews needs the pex sublayer (Config.Pex.Enabled)")
+	}
+	now := int64(w.Engine.Now())
+	for _, id := range g.Nodes() {
+		if w.procs[id] == nil {
+			continue
+		}
+		v := pex.NewView(w.pex.cfg.ViewSize)
+		for _, u := range g.Neighbors(id) {
+			if w.procs[u] == nil {
+				continue
+			}
+			v.Merge(pex.Entry{Rec: pex.SignRecord(w.pex.cfg.Audit.KeySeed, u, now)})
+		}
+		w.pex.views[id] = v
+		for _, u := range g.Neighbors(id) {
+			if w.procs[u] != nil && !w.Overlay.Graph().HasEdge(id, u) {
+				w.SetLink(id, u, true)
+				w.pex.totals.Links++
+			}
+		}
+	}
+}
+
+// PexView returns a copy of an entity's current view records (nil for
+// absent entities or without the sublayer).
+func (w *World) PexView(id graph.NodeID) []pex.Record {
+	if w.pex == nil || w.pex.views[id] == nil {
+		return nil
+	}
+	return w.pex.views[id].Records()
+}
+
+// PexRecordOf returns the record of subject held in holder's view. The
+// poison clause uses it to replay genuine records the poisoner already
+// holds (the hub-bias injection).
+func (w *World) PexRecordOf(holder, subject graph.NodeID) (pex.Record, bool) {
+	if w.pex == nil || w.pex.views[holder] == nil {
+		return pex.Record{}, false
+	}
+	for _, e := range w.pex.views[holder].Entries() {
+		if e.Rec.ID == subject {
+			return e.Rec, true
+		}
+	}
+	return pex.Record{}, false
+}
+
+// PexTotals returns the sublayer's aggregate counters (zero without it).
+func (w *World) PexTotals() PexCounters {
+	if w.pex == nil {
+		return PexCounters{}
+	}
+	return w.pex.totals
+}
+
+// PexSamples returns the sampled overlay metrics stream.
+func (w *World) PexSamples() []PexSample {
+	if w.pex == nil {
+		return nil
+	}
+	return append([]PexSample(nil), w.pex.samples...)
+}
+
+// PexConvergedAt returns the first sampled tick the overlay was
+// connected, or -1.
+func (w *World) PexConvergedAt() int64 {
+	if w.pex == nil {
+		return -1
+	}
+	return w.pex.convergedAt
+}
+
+// PexQuarantineEvents returns the view-layer quarantines in order.
+func (w *World) PexQuarantineEvents() []QuarantineEvent {
+	if w.pex == nil {
+		return nil
+	}
+	return append([]QuarantineEvent(nil), w.pex.events...)
+}
+
+// PexBlacklisted reports whether by has blacklisted offender's records.
+func (w *World) PexBlacklisted(by, offender graph.NodeID) bool {
+	return w.pex != nil && w.pex.blacklist[[2]graph.NodeID{by, offender}]
+}
+
+// DepartedEntities returns every identity that has joined at some point
+// and is absent now, ascending — the pool a poison clause resurrects
+// dead records from.
+func (w *World) DepartedEntities() []graph.NodeID {
+	var out []graph.NodeID
+	for id := range w.seen {
+		if w.procs[id] == nil {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+var _ topology.LinkController = (*topology.Manual)(nil)

@@ -1,0 +1,208 @@
+// Package pex implements the data model of a peer-exchange (PEX)
+// membership overlay: bounded partial views of signed view records that
+// entities trade on a cadence, so that each entity knows only a few
+// others — the paper's geography dimension made into soft state instead
+// of configuration handed to the node for free.
+//
+// A view record is a claim "entity ID existed at tick Epoch", carrying a
+// hop age (how many exchanges it has traveled/aged through) and a
+// transferable signature over (ID, Epoch) that only the subject can mint.
+// Views are bounded: merging dedupes by ID keeping the freshest claim,
+// aging increments every hop count once per cadence, records past the hop
+// horizon decay out, and over-full views evict oldest-first. Exchange
+// partners and the records shipped to them are chosen by a selection
+// Policy (rand / head / tail / pushpull).
+//
+// The package is pure data structures and policy — deterministic given an
+// rng, no clocks, no I/O. The runtime that schedules exchanges, reconciles
+// views into live overlay links, and defends merges against Byzantine
+// record injection (the view-audit sublayer) lives in internal/node; the
+// `poison` attack on the exchange traffic lives in internal/fault.
+package pex
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Policy selects exchange partners and the records shipped to them.
+type Policy string
+
+// Selection policies (see SNIPPETS.md / wetware's PEX lab).
+const (
+	// PolicyRand picks a uniform partner and uniform records.
+	PolicyRand Policy = "rand"
+	// PolicyHead prefers the freshest (lowest hop age) partner and records.
+	PolicyHead Policy = "head"
+	// PolicyTail prefers the oldest (highest hop age) partner and records —
+	// the anti-entropy flavor: push what is most at risk of decaying out.
+	PolicyTail Policy = "tail"
+	// PolicyPushPull picks uniformly like rand, but the partner answers
+	// with records of its own, halving convergence time per exchange.
+	PolicyPushPull Policy = "pushpull"
+)
+
+// ParsePolicy reads a policy name (the cmd/ddsim -pex-policy values).
+func ParsePolicy(s string) (Policy, error) {
+	switch p := Policy(s); p {
+	case PolicyRand, PolicyHead, PolicyTail, PolicyPushPull:
+		return p, nil
+	}
+	return "", fmt.Errorf("pex: unknown policy %q (want rand, head, tail, or pushpull)", s)
+}
+
+// ViewAuditConfig parameterizes the view-audit defense the runtime's pex
+// sublayer applies to every merged record. With Enabled false, a view
+// accepts whatever an exchange carries — the attack surface E27 measures.
+type ViewAuditConfig struct {
+	// Enabled turns the defense on: record signatures are verified,
+	// freshness and hop sanity are enforced, and per-peer injection
+	// budgets feed the auth sublayer's quarantine machinery.
+	Enabled bool
+	// KeySeed is the signing ceremony's seed (the pex analogue of
+	// AuditConfig.SigSeed). Zero is a valid seed.
+	KeySeed uint64
+	// FreshFor is the freshness window in ticks: a record whose Epoch is
+	// older than this on arrival is rejected (without a strike — honest
+	// peers may hold records up to the decay horizon). Catches dead-record
+	// replays that keep their genuine old signature. Default 64.
+	FreshFor sim.Time
+	// Budget is the number of provably-bad records (invalid signature,
+	// impossible hop, duplicate within one exchange, undecodable wire
+	// bytes) a peer may send before the link is quarantined. Default 3.
+	Budget int
+}
+
+// Config parameterizes a PEX overlay (node.Config.Pex).
+type Config struct {
+	// Enabled turns the pex sublayer on. The overlay given to
+	// node.NewWorld must then implement topology.LinkController, because
+	// the sublayer owns the edges.
+	Enabled bool
+	// ViewSize bounds each entity's partial view. Default 8, minimum 1.
+	ViewSize int
+	// Cadence is the tick interval between an entity's exchange rounds.
+	// Default 4, must be positive.
+	Cadence sim.Time
+	// Fanout is the number of records shipped per exchange (the entity's
+	// own fresh record included). Default min(4, ViewSize); must stay
+	// within [1, ViewSize].
+	Fanout int
+	// Policy selects partners and records. Default pushpull.
+	Policy Policy
+	// MaxHop is the decay horizon: aging past it drops a record, and an
+	// arriving record older than it is rejected. Default 16, minimum 1.
+	MaxHop int
+	// BootstrapContacts is how many present entities a joiner without a
+	// seeded view is introduced to (records minted fresh, links placed).
+	// Default 2, minimum 1.
+	BootstrapContacts int
+	// RefreshEvery re-contacts the bootstrap service for ONE fresh
+	// introduction every this many cadence rounds. Hop-ordered eviction
+	// keeps the nearest records, so views slowly specialize toward their
+	// own neighborhood; without an outside contact now and then, two
+	// halves of a large overlay can forget each other completely — an
+	// absorbing partition no exchange can repair, because exchanges only
+	// reach view members. The refresh bounds a partition's lifetime the
+	// same way real overlays do: by never fully letting go of the
+	// introduction service. Default 16 rounds, minimum 1.
+	RefreshEvery int
+	// SampleEvery is the tick interval of the overlay metrics sampler
+	// (connectivity, sybil fraction, clustering, in-degree). Default 8.
+	SampleEvery sim.Time
+	// Audit is the view-audit defense (off by default).
+	Audit ViewAuditConfig
+}
+
+// WithDefaults fills the zero knobs of an enabled config.
+func (c Config) WithDefaults() Config {
+	if !c.Enabled {
+		return c
+	}
+	if c.ViewSize == 0 {
+		c.ViewSize = 8
+	}
+	if c.Cadence == 0 {
+		c.Cadence = 4
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 4
+		if c.Fanout > c.ViewSize {
+			c.Fanout = c.ViewSize
+		}
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyPushPull
+	}
+	if c.MaxHop == 0 {
+		c.MaxHop = 16
+	}
+	if c.BootstrapContacts == 0 {
+		c.BootstrapContacts = 2
+	}
+	if c.RefreshEvery == 0 {
+		c.RefreshEvery = 16
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 8
+	}
+	if c.Audit.Enabled {
+		if c.Audit.FreshFor == 0 {
+			c.Audit.FreshFor = 64
+		}
+		if c.Audit.Budget == 0 {
+			c.Audit.Budget = 3
+		}
+	}
+	return c
+}
+
+// Validate reports the first configuration error, or nil. A disabled
+// config is always valid; zero knobs of an enabled one mean their
+// defaults (see WithDefaults).
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	d := c.WithDefaults()
+	if d.ViewSize < 1 {
+		return fmt.Errorf("pex: ViewSize %d below the 1-record minimum", c.ViewSize)
+	}
+	if d.Cadence <= 0 {
+		return fmt.Errorf("pex: Cadence %d must be positive", c.Cadence)
+	}
+	if d.Fanout < 1 {
+		return fmt.Errorf("pex: Fanout %d below the 1-record minimum", c.Fanout)
+	}
+	if d.Fanout > d.ViewSize {
+		return fmt.Errorf("pex: Fanout %d exceeds ViewSize %d", d.Fanout, d.ViewSize)
+	}
+	if _, err := ParsePolicy(string(d.Policy)); err != nil {
+		return err
+	}
+	if d.MaxHop < 1 {
+		return fmt.Errorf("pex: MaxHop %d below the 1-hop minimum", c.MaxHop)
+	}
+	if d.MaxHop > MaxWireHop {
+		return fmt.Errorf("pex: MaxHop %d exceeds the wire ceiling %d", c.MaxHop, MaxWireHop)
+	}
+	if d.BootstrapContacts < 1 {
+		return fmt.Errorf("pex: BootstrapContacts %d below the 1-contact minimum", c.BootstrapContacts)
+	}
+	if d.RefreshEvery < 1 {
+		return fmt.Errorf("pex: RefreshEvery %d below the 1-round minimum", c.RefreshEvery)
+	}
+	if d.SampleEvery <= 0 {
+		return fmt.Errorf("pex: SampleEvery %d must be positive", c.SampleEvery)
+	}
+	if d.Audit.Enabled {
+		if d.Audit.FreshFor <= 0 {
+			return fmt.Errorf("pex: view-audit FreshFor %d must be positive", c.Audit.FreshFor)
+		}
+		if d.Audit.Budget < 1 {
+			return fmt.Errorf("pex: view-audit Budget %d below the 1-strike minimum", c.Audit.Budget)
+		}
+	}
+	return nil
+}

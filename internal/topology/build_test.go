@@ -1,0 +1,125 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// buildSizes sweeps the static builders across the population range the
+// experiments actually use: tiny (6), awkward prime (37), round (100),
+// and the largest E27 world (256).
+var buildSizes = []int{6, 37, 100, 256}
+
+func TestBuildRingSizes(t *testing.T) {
+	for _, n := range buildSizes {
+		g := BuildRing(n)
+		if g.NumNodes() != n || g.NumEdges() != n {
+			t.Fatalf("ring %d: %d nodes, %d edges", n, g.NumNodes(), g.NumEdges())
+		}
+		if hist := g.DegreeHistogram(); len(hist) != 1 || hist[2] != n {
+			t.Fatalf("ring %d degree histogram: %v", n, hist)
+		}
+		d, ok := g.Diameter()
+		if !ok || d != n/2 {
+			t.Fatalf("ring %d diameter = %d (%v), want %d", n, d, ok, n/2)
+		}
+	}
+}
+
+func TestBuildPathSizes(t *testing.T) {
+	for _, n := range buildSizes {
+		g := BuildPath(n)
+		if g.NumNodes() != n || g.NumEdges() != n-1 {
+			t.Fatalf("path %d: %d nodes, %d edges", n, g.NumNodes(), g.NumEdges())
+		}
+		d, ok := g.Diameter()
+		if !ok || d != n-1 {
+			t.Fatalf("path %d diameter = %d (%v)", n, d, ok)
+		}
+		if hist := g.DegreeHistogram(); hist[1] != 2 || hist[2] != n-2 {
+			t.Fatalf("path %d degree histogram: %v", n, hist)
+		}
+	}
+}
+
+func TestBuildCompleteSizes(t *testing.T) {
+	for _, n := range buildSizes {
+		g := BuildComplete(n)
+		if g.NumNodes() != n || g.NumEdges() != n*(n-1)/2 {
+			t.Fatalf("K%d: %d nodes, %d edges", n, g.NumNodes(), g.NumEdges())
+		}
+		if d, ok := g.Diameter(); !ok || d != 1 {
+			t.Fatalf("K%d diameter = %d (%v)", n, d, ok)
+		}
+		if c := g.AvgClustering(); c != 1 {
+			t.Fatalf("K%d clustering = %v", n, c)
+		}
+	}
+}
+
+func TestBuildGridAndTorusSizes(t *testing.T) {
+	// Dimension pairs hitting the sweep sizes: 2x3=6, 37x1 (degenerate
+	// path), 10x10=100, 16x16=256.
+	for _, dim := range [][2]int{{2, 3}, {37, 1}, {10, 10}, {16, 16}} {
+		w, h := dim[0], dim[1]
+		n := w * h
+		g := BuildGrid(w, h)
+		if g.NumNodes() != n {
+			t.Fatalf("grid %dx%d: %d nodes", w, h, g.NumNodes())
+		}
+		if got, want := g.NumEdges(), (w-1)*h+(h-1)*w; got != want {
+			t.Fatalf("grid %dx%d: %d edges, want %d", w, h, got, want)
+		}
+		if d, ok := g.Diameter(); !ok || d != w+h-2 {
+			t.Fatalf("grid %dx%d diameter = %d (%v), want %d", w, h, d, ok, w+h-2)
+		}
+		tor := BuildTorus(w, h)
+		if !tor.Connected() || tor.NumNodes() != n {
+			t.Fatalf("torus %dx%d not connected or wrong size", w, h)
+		}
+		// Wrap edges only close dimensions of length >= 3.
+		want := g.NumEdges()
+		if w > 2 {
+			want += h
+		}
+		if h > 2 {
+			want += w
+		}
+		if got := tor.NumEdges(); got != want {
+			t.Fatalf("torus %dx%d: %d edges, want %d", w, h, got, want)
+		}
+	}
+}
+
+func TestBuildFingerRingSizes(t *testing.T) {
+	for _, n := range buildSizes {
+		g := BuildFingerRing(n)
+		if g.NumNodes() != n || !g.Connected() {
+			t.Fatalf("finger ring %d: %d nodes connected=%v", n, g.NumNodes(), g.Connected())
+		}
+		// The chords must only shorten paths: never below the ring's node
+		// or edge count, and the diameter is logarithmic, not linear.
+		if g.NumEdges() < n {
+			t.Fatalf("finger ring %d lost ring edges: %d", n, g.NumEdges())
+		}
+		if d, ok := g.Diameter(); !ok || (n >= 37 && d >= n/4) {
+			t.Fatalf("finger ring %d diameter = %d (%v): chords not shortening", n, d, ok)
+		}
+	}
+}
+
+// TestBuildersShareIDConvention: every builder numbers nodes 1..n (the
+// churn generator's allocation convention), so experiment scripts can
+// address members positionally at any sweep size.
+func TestBuildersShareIDConvention(t *testing.T) {
+	for _, n := range buildSizes {
+		for name, g := range map[string]*graph.Graph{
+			"ring": BuildRing(n), "path": BuildPath(n), "complete": BuildComplete(n),
+		} {
+			if !g.HasNode(1) || !g.HasNode(graph.NodeID(n)) || g.HasNode(0) || g.HasNode(graph.NodeID(n+1)) {
+				t.Fatalf("%s %d: node IDs not 1..n", name, n)
+			}
+		}
+	}
+}
