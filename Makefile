@@ -21,23 +21,28 @@ vet:
 test:
 	$(GO) test ./...
 
+# The experiment suite sits near the default 10m per-package budget
+# under the detector's overhead; the explicit timeout is headroom, not
+# an expectation.
 race:
-	$(GO) test -race ./internal/object/... ./internal/sketch/ ./internal/pex/... ./internal/node/... ./internal/fault/... ./internal/exp/...
+	$(GO) test -race -timeout 20m ./internal/object/... ./internal/sketch/ ./internal/pex/... ./internal/node/... ./internal/fault/... ./internal/exp/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Record the substrate + experiment benchmarks as JSON for cross-PR
-# comparison (BENCH_PR7.json is the baseline this PR ships). The root
-# E1-E27 suite is excluded: it takes minutes and its tables live in
+# comparison (BENCH_PR8.json is the baseline this PR ships). The root
+# E1-E28 suite is excluded: it takes minutes and its tables live in
 # EXPERIMENTS.md already.
 bench-record:
-	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -out BENCH_PR7.json
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -out BENCH_PR8.json
 
 # Diff fresh benchmark numbers against the checked-in baseline; fails on
-# any benchmark whose ns/op regressed more than 20%.
+# any benchmark whose ns/op regressed more than 20% or whose allocs/op
+# grew more than 25% (allocation counts are deterministic — that gate
+# catches pooled paths that silently start allocating again).
 bench-check:
-	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -compare BENCH_PR7.json
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -compare BENCH_PR8.json
 
 # Regenerate every table in EXPERIMENTS.md (several minutes).
 experiments:

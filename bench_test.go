@@ -1,9 +1,11 @@
 package repro_test
 
-// One benchmark per experiment in the DESIGN.md index (E1-E25), each
-// executing a single representative cell of that experiment so that
-// `go test -bench=. -benchmem` regenerates the cost profile of the whole
-// suite. The full tables themselves are produced by cmd/otqbench.
+// One benchmark per experiment in the DESIGN.md index (E1-E25, plus an
+// E28 engine-scale cell; the E26/E27 layer benches live next to their
+// layers under internal/), each executing a single representative cell
+// of that experiment so that `go test -bench=. -benchmem` regenerates
+// the cost profile of the whole suite. The full tables themselves are
+// produced by cmd/otqbench.
 
 import (
 	"testing"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/object/register"
 	"repro/internal/omega"
 	"repro/internal/otq"
+	"repro/internal/pex"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -657,6 +660,28 @@ func BenchmarkE25ByzChurn(b *testing.B) {
 		}
 		if res.Identity.QuarantinesLaundered != 0 {
 			b.Fatalf("durable identity laundered: %+v", res.Identity)
+		}
+	}
+}
+
+func BenchmarkE28EngineScale(b *testing.B) {
+	// Representative cell: a 2000-entity protocol-less world with live pex
+	// membership, rejoining churn and count-only trace retention — the
+	// whole-world path the E28 sweep scales to 100k.
+	for i := 0; i < b.N; i++ {
+		res := exp.Execute(exp.Scenario{
+			Seed:    uint64(i + 1),
+			Overlay: func(uint64) topology.Overlay { return topology.NewManual() },
+			Churn: churn.Config{InitialPopulation: 2000, Immortal: true,
+				ArrivalRate: 0.2, Session: churn.ExpSessions(40),
+				RejoinProb: 0.3, Downtime: churn.FixedSessions(8)},
+			Pex:        pex.Config{Enabled: true, SampleEvery: 120},
+			LiteTrace:  true,
+			MinLatency: 1, MaxLatency: 2,
+			Horizon: 120,
+		})
+		if res.Messages.Sent == 0 {
+			b.Fatal("no pex traffic in the scale world")
 		}
 	}
 }

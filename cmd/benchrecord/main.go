@@ -5,12 +5,15 @@
 //
 // With -compare the fresh results are additionally diffed against a
 // checked-in baseline: any benchmark whose ns/op regressed past the
-// tolerance (default 20%) is reported and the exit status is non-zero
-// (see `make bench-check`). Benchmarks new to this run or missing from
-// it are noted but never fail the check — virtual-time simulations are
-// deterministic but the host is not, so the tolerance is deliberately
-// generous; the gate exists to catch order-of-magnitude accidents, not
-// noise.
+// tolerance (default 20%), or whose allocs/op grew past -alloc-tolerance
+// (default 25%), is reported and the exit status is non-zero (see `make
+// bench-check`). Benchmarks new to this run or missing from it are noted
+// but never fail the check — virtual-time simulations are deterministic
+// but the host is not, so the ns/op tolerance is deliberately generous;
+// the gate exists to catch order-of-magnitude accidents, not noise.
+// Allocation counts ARE deterministic, so the allocs gate catches the
+// quieter regression class: a pooled path that silently starts
+// allocating again.
 //
 // Only the standard benchmark line shape is recognized:
 //
@@ -41,8 +44,9 @@ type Result struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
-	compare := flag.String("compare", "", "baseline JSON to diff against; exit non-zero on ns/op regressions past -tolerance")
+	compare := flag.String("compare", "", "baseline JSON to diff against; exit non-zero on ns/op or allocs/op regressions past tolerance")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op growth over the -compare baseline")
+	allocTol := flag.Float64("alloc-tolerance", 0.25, "allowed fractional allocs/op growth over the -compare baseline")
 	flag.Parse()
 
 	var results []Result
@@ -92,14 +96,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchrecord: wrote %d results to %s\n", len(results), *out)
 		}
 	}
-	if *compare != "" && !check(results, *compare, *tolerance) {
+	if *compare != "" && !check(results, *compare, *tolerance, *allocTol) {
 		os.Exit(1)
 	}
 }
 
 // check diffs fresh results against the baseline file; it reports every
-// benchmark and returns false when any ns/op regressed past tolerance.
-func check(results []Result, baselineFile string, tolerance float64) bool {
+// benchmark and returns false when any ns/op or allocs/op regressed past
+// its tolerance.
+func check(results []Result, baselineFile string, tolerance, allocTol float64) bool {
 	data, err := os.ReadFile(baselineFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrecord:", err)
@@ -133,6 +138,15 @@ func check(results []Result, baselineFile string, tolerance float64) bool {
 			}
 			fmt.Printf("  %-8s %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
 				verdict, r.Name, b.NsPerOp, r.NsPerOp, (ratio-1)*100)
+			// A zero-alloc baseline that starts allocating is the exact
+			// failure the pooled paths guard against; any growth past the
+			// absolute slack of 1 alloc/op fails regardless of ratio.
+			if grew := r.AllocsPerOp - b.AllocsPerOp; grew > 1 &&
+				float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*(1+allocTol) {
+				fmt.Printf("  ALLOCS   %-60s %12d -> %12d allocs/op\n",
+					r.Name, b.AllocsPerOp, r.AllocsPerOp)
+				ok = false
+			}
 		}
 	}
 	for _, b := range baseline {
@@ -141,7 +155,8 @@ func check(results []Result, baselineFile string, tolerance float64) bool {
 		}
 	}
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchrecord: ns/op regressions past %.0f%% vs %s\n", tolerance*100, baselineFile)
+		fmt.Fprintf(os.Stderr, "benchrecord: ns/op regressions past %.0f%% or allocs/op past %.0f%% vs %s\n",
+			tolerance*100, allocTol*100, baselineFile)
 	}
 	return ok
 }

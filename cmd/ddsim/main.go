@@ -15,6 +15,7 @@
 //	ddsim -overlay ring -n 16 -protocol echo-wave -reliable -auth -reconfig 'nodes=1,every=80,count=4,rotate=1@120'
 //	ddsim -n 64 -protocol echo-wave -pex -pex-policy pushpull -pex-view 8
 //	ddsim -n 64 -protocol echo-wave -pex -auth -poison 'nodes=4+9,rate=1,sybils=3,base=1000@24-'
+//	ddsim -n 10000 -protocol none -pex -lite-trace -arrival 1 -horizon 240
 package main
 
 import (
@@ -44,7 +45,7 @@ func main() {
 		session     = flag.Float64("session", 80, "mean session length of arrivals (exp-distributed)")
 		doubleEvery = flag.Int64("double-every", 0, "double the arrival rate every D ticks (M^inf runs)")
 		quiesceAt   = flag.Int64("quiesce-at", 0, "suppress churn from this tick on (eventual stability)")
-		protoName   = flag.String("protocol", "echo-wave", "protocol: flood-ttl, flood-repeat, echo-wave, tree-echo, expanding-ring, gossip-push-sum")
+		protoName   = flag.String("protocol", "echo-wave", "protocol: flood-ttl, flood-repeat, echo-wave, tree-echo, expanding-ring, gossip-push-sum, none (no query or judgment — membership/throughput runs at populations a judged query would not fit)")
 		ttl         = flag.Int("ttl", 4, "TTL for flood-ttl")
 		queryAt     = flag.Int64("query-at", 100, "virtual time the query launches")
 		horizon     = flag.Int64("horizon", 2000, "virtual time the run stops")
@@ -66,6 +67,7 @@ func main() {
 		pexPolicy   = flag.String("pex-policy", "pushpull", "pex exchange policy: rand, head, tail, pushpull")
 		pexView     = flag.Int("pex-view", 8, "pex partial-view size")
 		poisonSpec  = flag.String("poison", "", "poison clause body appended to -faults, e.g. 'nodes=4+9,rate=1,sybils=3,base=1000@24-' (requires -pex; see internal/fault)")
+		liteTrace   = flag.Bool("lite-trace", false, "count-only trace retention: exact message/concurrency counters, no stored events (requires -protocol none; keeps 100k-entity runs in memory)")
 	)
 	flag.Parse()
 
@@ -92,6 +94,14 @@ func main() {
 	proto, protoID, err := protocolBuilder(*protoName, *ttl)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddsim:", err)
+		os.Exit(2)
+	}
+	if proto == nil {
+		// Protocol-less run: no query launches, so the query-at default is
+		// meaningless rather than wrong — zero it instead of erroring.
+		*queryAt = 0
+	} else if *liteTrace {
+		fmt.Fprintln(os.Stderr, "ddsim: -lite-trace discards the events the OTQ checker reads; it requires -protocol none")
 		os.Exit(2)
 	}
 
@@ -179,6 +189,7 @@ func main() {
 		Overlay:    overlay,
 		Churn:      cc,
 		Protocol:   proto,
+		LiteTrace:  *liteTrace,
 		MinLatency: 1, MaxLatency: 2,
 		Faults:           plan,
 		Reliable:         relCfg,
@@ -197,9 +208,17 @@ func main() {
 	}
 
 	fmt.Printf("run: overlay=%s protocol=%s seed=%d horizon=%d\n", *overlayName, *protoName, *seed, *horizon)
-	fmt.Printf("querier: entity %d, query window [%d, ...]\n", res.Querier, *queryAt)
-	fmt.Printf("trace: %d events, %d entities ever, max concurrency %d\n",
-		res.Trace.Len(), len(res.Trace.Entities()), res.Trace.MaxConcurrency())
+	if proto != nil {
+		fmt.Printf("querier: entity %d, query window [%d, ...]\n", res.Querier, *queryAt)
+	}
+	if *liteTrace {
+		// Count-only retention keeps no per-entity events to enumerate.
+		fmt.Printf("trace: %d events (count-only), max concurrency %d\n",
+			res.Trace.Len(), res.Trace.MaxConcurrency())
+	} else {
+		fmt.Printf("trace: %d events, %d entities ever, max concurrency %d\n",
+			res.Trace.Len(), len(res.Trace.Entities()), res.Trace.MaxConcurrency())
+	}
 	fmt.Printf("messages: sent %d, delivered %d, dropped %d\n",
 		res.Messages.Sent, res.Messages.Delivered, res.Messages.Dropped)
 	if *reliable {
@@ -255,6 +274,11 @@ func main() {
 			res.Identity.Saves, res.Identity.Restores, res.Identity.SessionResets,
 			res.Identity.QuarantinesLaundered, res.Identity.ConvictionsLaundered)
 	}
+	if proto == nil {
+		// No query ran: there is no judgment to print, and the inferred
+		// class needs the per-event trace a lite run discards.
+		return
+	}
 	fmt.Printf("inferred class: %s\n", res.Inferred)
 
 	verdict, reason := core.OTQSolvability(res.Inferred)
@@ -301,6 +325,10 @@ func overlayBuilder(name string, k int) (func(uint64) topology.Overlay, error) {
 
 func protocolBuilder(name string, ttl int) (func() otq.Protocol, core.ProtocolID, error) {
 	switch name {
+	case "none":
+		// Protocol-less world: membership and throughput only, no query,
+		// no judgment (the Outcome/Run/Inferred result fields stay zero).
+		return nil, "", nil
 	case "flood-ttl":
 		return func() otq.Protocol { return &otq.FloodTTL{TTL: ttl, MaxLatency: 2} }, core.ProtoFloodTTL, nil
 	case "flood-repeat":

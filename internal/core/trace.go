@@ -89,6 +89,35 @@ type Trace struct {
 	events []TraceEvent
 	end    Time
 	closed bool
+
+	// Count-only retention (SetCountOnly): events update the aggregate
+	// counters below and are then discarded, keeping memory O(tags)
+	// instead of O(events). Scale runs at n >= 10k entities use it; the
+	// specification checkers need full event retention and must not.
+	countOnly bool
+	count     int
+	lastAt    Time
+	msgAll    MessageStats
+	msgByTag  map[string]*MessageStats
+	cur, peak int
+	firstMark map[string]Time
+}
+
+// SetCountOnly switches the trace to count-only retention: Len,
+// Messages, MaxConcurrency, FirstMark and End stay exact, every other
+// accessor sees an empty event list. It exists for scale experiments
+// whose worlds record tens of millions of events that no checker will
+// ever read; judged runs must keep the default full retention. Must be
+// called before the first Record.
+func (tr *Trace) SetCountOnly(on bool) {
+	if len(tr.events) > 0 || tr.count > 0 {
+		panic("core: SetCountOnly on a trace that already holds events")
+	}
+	tr.countOnly = on
+	if on {
+		tr.msgByTag = make(map[string]*MessageStats)
+		tr.firstMark = make(map[string]Time)
+	}
 }
 
 // Record appends an event. Events must be recorded in non-decreasing time
@@ -97,12 +126,55 @@ func (tr *Trace) Record(ev TraceEvent) {
 	if tr.closed {
 		panic("core: Record on closed trace")
 	}
+	if tr.countOnly {
+		if tr.count > 0 && ev.At < tr.lastAt {
+			panic(fmt.Sprintf("core: trace event at %d after event at %d", ev.At, tr.lastAt))
+		}
+		tr.count++
+		tr.lastAt = ev.At
+		if ev.At > tr.end {
+			tr.end = ev.At
+		}
+		switch ev.Kind {
+		case TJoin:
+			tr.cur++
+			if tr.cur > tr.peak {
+				tr.peak = tr.cur
+			}
+		case TLeave:
+			tr.cur--
+		case TSend, TDeliver, TDrop:
+			tr.countMessage(&tr.msgAll, ev.Kind)
+			s := tr.msgByTag[ev.Tag]
+			if s == nil {
+				s = &MessageStats{}
+				tr.msgByTag[ev.Tag] = s
+			}
+			tr.countMessage(s, ev.Kind)
+		case TMark:
+			if _, seen := tr.firstMark[ev.Tag]; !seen {
+				tr.firstMark[ev.Tag] = ev.At
+			}
+		}
+		return
+	}
 	if n := len(tr.events); n > 0 && ev.At < tr.events[n-1].At {
 		panic(fmt.Sprintf("core: trace event at %d after event at %d", ev.At, tr.events[n-1].At))
 	}
 	tr.events = append(tr.events, ev)
 	if ev.At > tr.end {
 		tr.end = ev.At
+	}
+}
+
+func (tr *Trace) countMessage(s *MessageStats, kind TraceEventKind) {
+	switch kind {
+	case TSend:
+		s.Sent++
+	case TDeliver:
+		s.Delivered++
+	case TDrop:
+		s.Dropped++
 	}
 }
 
@@ -158,8 +230,14 @@ func (tr *Trace) Close(t Time) {
 // the time of the last event.
 func (tr *Trace) End() Time { return tr.end }
 
-// Len returns the number of recorded events.
-func (tr *Trace) Len() int { return len(tr.events) }
+// Len returns the number of recorded events (including discarded ones
+// under count-only retention).
+func (tr *Trace) Len() int {
+	if tr.countOnly {
+		return tr.count
+	}
+	return len(tr.events)
+}
 
 // Events returns a copy of the recorded events.
 func (tr *Trace) Events() []TraceEvent {
@@ -413,6 +491,9 @@ func (tr *Trace) PresentAt(t Time) []graph.NodeID {
 // entities over the run — the observed concurrency level that places the
 // run within an infinite arrival model.
 func (tr *Trace) MaxConcurrency() int {
+	if tr.countOnly {
+		return tr.peak
+	}
 	cur, max := 0, 0
 	for _, ev := range tr.events {
 		switch ev.Kind {
@@ -549,6 +630,15 @@ type MessageStats struct {
 
 // Messages counts message events, optionally filtered by tag ("" = all).
 func (tr *Trace) Messages(tag string) MessageStats {
+	if tr.countOnly {
+		if tag == "" {
+			return tr.msgAll
+		}
+		if s := tr.msgByTag[tag]; s != nil {
+			return *s
+		}
+		return MessageStats{}
+	}
 	var ms MessageStats
 	for _, ev := range tr.events {
 		if tag != "" && ev.Tag != tag {
@@ -596,6 +686,10 @@ func (tr *Trace) ProvenEquivocators() []graph.NodeID {
 // whether one exists — e.g. the detection latency of an injected fault,
 // measured from the injection window's start.
 func (tr *Trace) FirstMark(tag string) (Time, bool) {
+	if tr.countOnly {
+		at, ok := tr.firstMark[tag]
+		return at, ok
+	}
 	for _, ev := range tr.events {
 		if ev.Kind == TMark && ev.Tag == tag {
 			return ev.At, true

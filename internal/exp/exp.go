@@ -5,7 +5,7 @@
 //
 // The paper is a position paper with no numbered tables or figures; each
 // experiment here operationalizes one of its qualitative claims (C1-C6 in
-// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E27 are
+// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E28 are
 // ours and are indexed in DESIGN.md.
 package exp
 
@@ -35,8 +35,16 @@ type Scenario struct {
 	// Script, when set, runs right after world construction (at t=0); use
 	// it for manual population and staged interventions.
 	Script func(w *node.World, e *sim.Engine)
-	// Protocol builds the (single-use) query protocol for this run.
+	// Protocol builds the (single-use) query protocol for this run. Nil
+	// runs the world with no query and no OTQ judgment — membership and
+	// throughput studies at populations where a judged query would not
+	// fit (the Outcome, Run and Inferred fields stay zero).
 	Protocol func() otq.Protocol
+	// LiteTrace switches the trace to count-only retention (see
+	// core.Trace.SetCountOnly): message and concurrency counters stay
+	// exact but individual events are discarded, keeping 100k-entity
+	// runs in memory. Requires a nil Protocol — checkers read events.
+	LiteTrace bool
 	// Latency bounds per-hop delay; zero means [1, 1].
 	MinLatency, MaxLatency sim.Time
 	// LossRate drops messages independently.
@@ -117,9 +125,19 @@ func Execute(sc Scenario) RunResult {
 		panic("exp: scenario needs a positive horizon")
 	}
 	engine := sim.New()
-	proto := sc.Protocol()
+	var proto otq.Protocol
+	var factory node.BehaviorFactory
+	if sc.Protocol != nil {
+		proto = sc.Protocol()
+		factory = proto.Factory()
+	} else if sc.QueryAt > 0 {
+		panic("exp: QueryAt set on a protocol-less scenario")
+	}
+	if sc.LiteTrace && proto != nil {
+		panic("exp: LiteTrace discards the events the OTQ checker needs; use it only with a nil Protocol")
+	}
 	valueOf := sc.ValueOf
-	w := node.NewWorld(engine, sc.Overlay(sc.Seed), proto.Factory(), node.Config{
+	w := node.NewWorld(engine, sc.Overlay(sc.Seed), factory, node.Config{
 		MinLatency: sc.MinLatency,
 		MaxLatency: sc.MaxLatency,
 		LossRate:   sc.LossRate,
@@ -132,6 +150,9 @@ func Execute(sc Scenario) RunResult {
 		Seed:       sc.Seed ^ 0xdddd,
 		ValueOf:    valueOf,
 	})
+	if sc.LiteTrace {
+		w.Trace.SetCountOnly(true)
+	}
 	if sc.Faults != nil {
 		// Attach before the script so even the population's first sends
 		// pass through the plan's channel hook.
@@ -145,30 +166,29 @@ func Execute(sc Scenario) RunResult {
 		gen := churn.New(sc.Seed^0xcccc, sc.Churn)
 		w.ApplyChurn(gen, sc.Horizon)
 	}
-	engine.RunUntil(sc.QueryAt)
-	present := w.Present()
-	if len(present) == 0 {
-		panic("exp: no entity present at query time")
+	var querier graph.NodeID
+	var run *otq.Run
+	if proto != nil {
+		engine.RunUntil(sc.QueryAt)
+		present := w.Present()
+		if len(present) == 0 {
+			panic("exp: no entity present at query time")
+		}
+		idx := sc.QuerierIndex
+		if idx >= len(present) {
+			idx = len(present) - 1
+		}
+		querier = present[idx]
+		run = proto.Launch(w, querier)
 	}
-	idx := sc.QuerierIndex
-	if idx >= len(present) {
-		idx = len(present) - 1
-	}
-	querier := present[idx]
-	run := proto.Launch(w, querier)
 	engine.RunUntil(sc.Horizon)
 	w.Close()
 	if valueOf == nil {
 		valueOf = func(id graph.NodeID) float64 { return float64(id) }
 	}
-	return RunResult{
-		Outcome: otq.CheckWith(w.Trace, run, valueOf, otq.CheckOptions{
-			BridgeRecoveries: sc.BridgeRecoveries,
-			BridgeRejoins:    sc.BridgeRejoins,
-		}),
+	res := RunResult{
 		Trace:          w.Trace,
 		Run:            run,
-		Inferred:       core.InferClass(w.Trace),
 		Messages:       w.Trace.Messages(""),
 		Reliable:       w.ReliableTotals(),
 		Auth:           w.AuthTotals(),
@@ -180,6 +200,14 @@ func Execute(sc Scenario) RunResult {
 		PexConvergedAt: w.PexConvergedAt(),
 		Querier:        querier,
 	}
+	if proto != nil {
+		res.Outcome = otq.CheckWith(w.Trace, run, valueOf, otq.CheckOptions{
+			BridgeRecoveries: sc.BridgeRecoveries,
+			BridgeRejoins:    sc.BridgeRejoins,
+		})
+		res.Inferred = core.InferClass(w.Trace)
+	}
+	return res
 }
 
 // Report is one experiment's rendered result.
@@ -272,5 +300,6 @@ func All() []Experiment {
 		{"E25", "byzantine churn: session-keyed vs durable identity under rejoin laundering", E25},
 		{"E26", "live reconfiguration: quiescence handshake under fault storms", E26},
 		{"E27", "view poisoning: partial-view membership with and without the view audit", E27},
+		{"E28", "engine scale: 1k-100k entity worlds with live membership and churn", E28},
 	}
 }

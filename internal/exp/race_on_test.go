@@ -1,0 +1,9 @@
+//go:build race
+
+package exp
+
+// raceDetectorOn lets the scale tests shed their largest worlds under
+// `go test -race`: the detector multiplies the cost of the allocation-
+// heavy pex codec path by close to an order of magnitude, and the big
+// cells' raced coverage already comes from TestAllExperimentsRun/E28.
+const raceDetectorOn = true

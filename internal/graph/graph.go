@@ -20,6 +20,12 @@ type NodeID int64
 // construct with New. Self-loops are rejected.
 type Graph struct {
 	adj map[NodeID]map[NodeID]bool
+	// sorted caches the ascending node list between membership changes;
+	// overlay layers (pex bootstrap/refresh, samplers) call Nodes far
+	// more often than the node set changes, and re-sorting a 100k-member
+	// world on every call dominated their cost.
+	sorted      []NodeID
+	sortedValid bool
 }
 
 // New returns an empty graph.
@@ -29,16 +35,21 @@ func New() *Graph { return &Graph{adj: make(map[NodeID]map[NodeID]bool)} }
 func (g *Graph) AddNode(v NodeID) {
 	if _, ok := g.adj[v]; !ok {
 		g.adj[v] = make(map[NodeID]bool)
+		g.sortedValid = false
 	}
 }
 
 // RemoveNode deletes a node and all incident edges. Removing an absent
 // node is a no-op.
 func (g *Graph) RemoveNode(v NodeID) {
+	if _, ok := g.adj[v]; !ok {
+		return
+	}
 	for u := range g.adj[v] {
 		delete(g.adj[u], v)
 	}
 	delete(g.adj, v)
+	g.sortedValid = false
 }
 
 // AddEdge inserts the undirected edge {u, v}, adding missing endpoints.
@@ -90,13 +101,19 @@ func (g *Graph) NumEdges() int {
 // Degree returns the number of neighbors of v (0 if absent).
 func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
 
-// Nodes returns all node IDs in ascending order.
+// Nodes returns all node IDs in ascending order. The caller owns the
+// returned slice.
 func (g *Graph) Nodes() []NodeID {
-	out := make([]NodeID, 0, len(g.adj))
-	for v := range g.adj {
-		out = append(out, v)
+	if !g.sortedValid {
+		g.sorted = g.sorted[:0]
+		for v := range g.adj {
+			g.sorted = append(g.sorted, v)
+		}
+		sort.Slice(g.sorted, func(i, j int) bool { return g.sorted[i] < g.sorted[j] })
+		g.sortedValid = true
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]NodeID, len(g.sorted))
+	copy(out, g.sorted)
 	return out
 }
 
@@ -135,7 +152,10 @@ func (g *Graph) BFS(src NodeID) map[NodeID]int {
 	for len(frontier) > 0 {
 		var next []NodeID
 		for _, v := range frontier {
-			for _, u := range g.Neighbors(v) {
+			// Adjacency is walked unsorted: the resulting distance map is
+			// identical regardless of visit order, and skipping the
+			// per-node sort matters on 100k-member connectivity sweeps.
+			for u := range g.adj[v] {
 				if _, seen := dist[u]; !seen {
 					dist[u] = dist[v] + 1
 					next = append(next, u)

@@ -983,23 +983,34 @@ func (au *auditLayer) onAudit(w *World, m Message) {
 // quarantined) at this receiver in the meantime — the proof beat the
 // poison — and delivered normally otherwise.
 func (au *auditLayer) hold(w *World, m Message) {
-	w.Engine.After(au.cfg.HoldFor, func() {
-		now := int64(w.Engine.Now())
-		q, ok := w.procs[m.To]
-		if !ok {
-			w.Trace.Drop(now, m.From, m.To, m.Tag)
-			return
-		}
-		pair := [2]graph.NodeID{m.To, m.From}
-		if au.proven[pair] || (w.auth != nil && w.auth.quarantined[pair]) {
-			au.counters(m.To).HeldDropped++
-			w.Trace.Mark(now, m.To, MarkAuditHeldDrop)
-			w.Trace.Drop(now, m.From, m.To, m.Tag)
-			return
-		}
-		w.Trace.Deliver(now, m.To, m.From, m.Tag)
-		q.behavior.Receive(q, m)
-	})
+	env := w.acquireEnv()
+	env.m = m
+	w.Engine.AfterCall(au.cfg.HoldFor, fireHeldDelivery, env)
+}
+
+// fireHeldDelivery releases one audit-held copy, sharing the world's
+// delivery envelope pool so holding a message costs no closure.
+func fireHeldDelivery(arg any) {
+	env := arg.(*deliveryEnv)
+	w, m := env.w, env.m
+	env.m = Message{}
+	w.envFree = append(w.envFree, env)
+	au := w.audit
+	now := int64(w.Engine.Now())
+	q, ok := w.procs[m.To]
+	if !ok {
+		w.Trace.Drop(now, m.From, m.To, m.Tag)
+		return
+	}
+	pair := [2]graph.NodeID{m.To, m.From}
+	if au.proven[pair] || (w.auth != nil && w.auth.quarantined[pair]) {
+		au.counters(m.To).HeldDropped++
+		w.Trace.Mark(now, m.To, MarkAuditHeldDrop)
+		w.Trace.Drop(now, m.From, m.To, m.Tag)
+		return
+	}
+	w.Trace.Deliver(now, m.To, m.From, m.Tag)
+	q.behavior.Receive(q, m)
 }
 
 // start schedules an entity's receipt-gossip and pull loops, offset by

@@ -193,8 +193,19 @@ type Proc struct {
 
 	world    *World
 	behavior Behavior
-	timers   []*sim.Event
+	timers   []*procTimer
 	alive    bool
+}
+
+// procTimer is one slot in an entity's timer registry. Fired and
+// canceled timers are swap-removed immediately (see Proc.After), so the
+// registry length tracks the number of armed timers instead of every
+// timer the entity ever set.
+type procTimer struct {
+	p    *Proc
+	f    func()
+	ev   *sim.Event
+	slot int // index in p.timers, -1 once unregistered
 }
 
 // ChannelFault describes what a channel hook does to one transmission:
@@ -254,14 +265,19 @@ type World struct {
 	// lastDelivery tracks, per directed pair, the latest scheduled
 	// delivery time (FIFO enforcement).
 	lastDelivery map[[2]graph.NodeID]sim.Time
-	hook         ChannelHook
-	sendHook     SenderHook
-	rel          *reliableLayer
-	auth         *authLayer
-	audit        *auditLayer
-	reconfig     *reconfigLayer
-	pex          *pexLayer
-	store        StableStore
+	// envFree is the in-flight delivery envelope pool. Delivery events
+	// are never canceled, so an envelope is always handed back exactly
+	// once, at the top of its firing; the world is single-threaded, so a
+	// plain freelist suffices and stays deterministic.
+	envFree  []*deliveryEnv
+	hook     ChannelHook
+	sendHook SenderHook
+	rel      *reliableLayer
+	auth     *authLayer
+	audit    *auditLayer
+	reconfig *reconfigLayer
+	pex      *pexLayer
+	store    StableStore
 	// seen marks every identity that has ever joined, so Join can tell a
 	// rejoin from a first arrival; identStats, departed, departedSet and
 	// departedPinned are the identity-continuity bookkeeping (see
@@ -421,8 +437,8 @@ func (w *World) Leave(id graph.NodeID) {
 	}
 	w.recordChanges(now, w.Overlay.RemoveNode(id))
 	w.Trace.Leave(now, id)
-	for _, ev := range p.timers {
-		ev.Cancel()
+	for _, t := range p.timers {
+		t.ev.Cancel()
 	}
 	p.timers = nil
 	p.alive = false
@@ -495,8 +511,8 @@ func (w *World) Crash(id graph.NodeID) {
 	now := int64(w.Engine.Now())
 	w.Trace.Mark(now, id, core.MarkCrash)
 	w.Trace.Leave(now, id)
-	for _, ev := range p.timers {
-		ev.Cancel()
+	for _, t := range p.timers {
+		t.ev.Cancel()
 	}
 	p.timers = nil
 	p.alive = false
@@ -735,7 +751,7 @@ func (w *World) transmit(m Message) {
 		if span := w.cfg.MaxLatency - w.cfg.MinLatency; span > 0 {
 			delay += sim.Time(w.r.Intn(int(span) + 1))
 		}
-		w.Engine.After(delay+fl.ReplayAfter, func() { w.deliver(replayed) })
+		w.scheduleDelivery(delay+fl.ReplayAfter, replayed)
 	}
 	if fl.Corrupt != nil {
 		rep, ok := fl.Corrupt(m.Payload)
@@ -763,9 +779,42 @@ func (w *World) transmit(m Message) {
 			}
 			w.lastDelivery[pair] = w.Engine.Now() + delay
 		}
-		m := m
-		w.Engine.After(delay, func() { w.deliver(m) })
+		w.scheduleDelivery(delay, m)
 	}
+}
+
+// deliveryEnv carries one scheduled message copy from transmit to
+// deliver without a per-delivery closure; envelopes recycle through
+// World.envFree.
+type deliveryEnv struct {
+	w *World
+	m Message
+}
+
+func (w *World) acquireEnv() *deliveryEnv {
+	if n := len(w.envFree); n > 0 {
+		env := w.envFree[n-1]
+		w.envFree[n-1] = nil
+		w.envFree = w.envFree[:n-1]
+		return env
+	}
+	return &deliveryEnv{w: w}
+}
+
+func (w *World) scheduleDelivery(delay sim.Time, m Message) {
+	env := w.acquireEnv()
+	env.m = m
+	w.Engine.AfterCall(delay, fireDelivery, env)
+}
+
+func fireDelivery(arg any) {
+	env := arg.(*deliveryEnv)
+	w, m := env.w, env.m
+	// Release before delivering: the behavior may send, and the nested
+	// transmit can then reuse the envelope.
+	env.m = Message{}
+	w.envFree = append(w.envFree, env)
+	w.deliver(m)
 }
 
 // deliver hands an arriving copy to the recipient: drop if it departed,
@@ -871,14 +920,36 @@ func (p *Proc) Broadcast(tag string, payload any) {
 }
 
 // After schedules f to run on this entity d ticks from now; the timer is
-// silently canceled if the entity leaves first.
+// silently canceled if the entity leaves first. The registry entry is
+// removed the moment the timer fires, so long-lived entities with
+// self-rescheduling tickers hold O(armed timers), not O(timers ever set).
 func (p *Proc) After(d sim.Time, f func()) {
-	ev := p.world.Engine.After(d, func() {
-		if p.alive {
-			f()
-		}
-	})
-	p.timers = append(p.timers, ev)
+	t := &procTimer{p: p, f: f, slot: len(p.timers)}
+	t.ev = p.world.Engine.AfterCall(d, fireProcTimer, t)
+	p.timers = append(p.timers, t)
+}
+
+func fireProcTimer(arg any) {
+	t := arg.(*procTimer)
+	t.p.unregister(t)
+	if t.p.alive {
+		t.f()
+	}
+}
+
+// unregister swap-removes a timer from the registry. Safe to call for a
+// timer already cleared by Leave/Crash (the slot no longer points back).
+func (p *Proc) unregister(t *procTimer) {
+	last := len(p.timers) - 1
+	if t.slot < 0 || t.slot > last || p.timers[t.slot] != t {
+		return
+	}
+	moved := p.timers[last]
+	p.timers[t.slot] = moved
+	moved.slot = t.slot
+	p.timers[last] = nil
+	p.timers = p.timers[:last]
+	t.slot = -1
 }
 
 // Mark records a protocol-defined trace event at this entity.

@@ -121,6 +121,7 @@ type ackMsg struct {
 
 type pendingMsg struct {
 	m        Message
+	w        *World
 	attempts int
 	timeout  sim.Time
 	timer    *sim.Event
@@ -232,30 +233,40 @@ func (rl *reliableLayer) scheduleRetry(w *World, pm *pendingMsg) {
 	if rl.cfg.Jitter > 0 {
 		delay += sim.Time(w.r.Intn(int(rl.cfg.Jitter) + 1))
 	}
-	pm.timer = w.Engine.After(delay, func() {
-		if _, unacked := rl.pending[pm.m.seq]; !unacked {
-			return
-		}
-		now := int64(w.Engine.Now())
-		if _, alive := w.procs[pm.m.From]; !alive {
-			// The sender is gone; its channel-layer buffer died with it.
-			delete(rl.pending, pm.m.seq)
-			return
-		}
-		if pm.attempts >= rl.cfg.MaxRetries {
-			rl.counters(pm.m.From).GiveUps++
-			w.Trace.Mark(now, pm.m.From, MarkGiveUp)
-			delete(rl.pending, pm.m.seq)
-			return
-		}
-		pm.attempts++
-		pm.retransmitted = true
-		rl.counters(pm.m.From).Retries++
-		w.Trace.Mark(now, pm.m.From, MarkRetry)
-		w.transmit(pm.m)
-		pm.timeout = sim.Time(float64(pm.timeout) * rl.cfg.Backoff)
-		rl.scheduleRetry(w, pm)
-	})
+	pm.w = w
+	pm.timer = w.Engine.AfterCall(delay, fireRetry, pm)
+}
+
+// fireRetry is the retransmission timeout of one tracked message. It is
+// a shared function (the pendingMsg rides sim.Event.arg) so arming a
+// retry allocates no closure; acked messages cancel the timer eagerly
+// and the event never fires.
+func fireRetry(arg any) {
+	pm := arg.(*pendingMsg)
+	w := pm.w
+	rl := w.rel
+	if _, unacked := rl.pending[pm.m.seq]; !unacked {
+		return
+	}
+	now := int64(w.Engine.Now())
+	if _, alive := w.procs[pm.m.From]; !alive {
+		// The sender is gone; its channel-layer buffer died with it.
+		delete(rl.pending, pm.m.seq)
+		return
+	}
+	if pm.attempts >= rl.cfg.MaxRetries {
+		rl.counters(pm.m.From).GiveUps++
+		w.Trace.Mark(now, pm.m.From, MarkGiveUp)
+		delete(rl.pending, pm.m.seq)
+		return
+	}
+	pm.attempts++
+	pm.retransmitted = true
+	rl.counters(pm.m.From).Retries++
+	w.Trace.Mark(now, pm.m.From, MarkRetry)
+	w.transmit(pm.m)
+	pm.timeout = sim.Time(float64(pm.timeout) * rl.cfg.Backoff)
+	rl.scheduleRetry(w, pm)
 }
 
 // ackBack sends an acknowledgment for the arriving copy toward its

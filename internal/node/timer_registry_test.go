@@ -1,0 +1,83 @@
+package node
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// A long-lived entity with a self-rescheduling ticker must not accumulate
+// registry entries: fired timers are swap-removed, so the registry holds
+// only the timers currently armed. Before the indexed registry, p.timers
+// grew by one per firing and was only reclaimed at Leave/Crash.
+func TestTimerRegistryBounded(t *testing.T) {
+	engine := sim.New()
+	w := NewWorld(engine, topology.NewManual(), nil, Config{Seed: 1})
+	p := w.Join(1)
+
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		p.After(1, tick)
+	}
+	p.After(1, tick)
+	engine.RunUntil(5000)
+
+	if fired < 4999 {
+		t.Fatalf("ticker fired %d times, want ~5000", fired)
+	}
+	if got := len(p.timers); got != 1 {
+		t.Fatalf("timer registry holds %d entries after %d firings, want 1 (the armed tick)", got, fired)
+	}
+
+	// Multiple interleaved timers stay bounded by the armed count too.
+	for i := 0; i < 8; i++ {
+		p.After(sim.Time(1+i), func() {})
+	}
+	if got := len(p.timers); got != 9 {
+		t.Fatalf("timer registry holds %d entries with 9 armed, want 9", got)
+	}
+	engine.RunUntil(5020)
+	if got := len(p.timers); got != 1 {
+		t.Fatalf("timer registry holds %d entries after one-shots fired, want 1", got)
+	}
+
+	// Leave cancels the survivors and empties the registry for good.
+	w.Leave(1)
+	if p.timers != nil {
+		t.Fatalf("timer registry not cleared on Leave: %d entries", len(p.timers))
+	}
+	before := fired
+	engine.RunUntil(5040)
+	if fired != before {
+		t.Fatal("ticker fired after Leave")
+	}
+}
+
+// The delivery envelope pool recycles: a steady message load keeps the
+// free list near the in-flight high-water mark instead of growing with
+// traffic volume.
+func TestDeliveryEnvelopePoolBounded(t *testing.T) {
+	engine := sim.New()
+	w := NewWorld(engine, topology.NewManual(), nil, Config{Seed: 2, MinLatency: 1, MaxLatency: 2})
+	a, b := w.Join(1), w.Join(2)
+	w.SetLink(1, 2, true)
+	_ = b
+
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 5; i++ {
+			a.Send(graph.NodeID(2), "ping", i)
+		}
+		engine.RunUntil(engine.Now() + 4)
+	}
+	engine.Run()
+	if got := len(w.envFree); got > 16 {
+		t.Fatalf("envelope free list grew to %d after 1000 deliveries, want <= in-flight high-water mark", got)
+	}
+	if w.Trace.Messages("ping").Delivered != 1000 {
+		t.Fatalf("delivered %d pings, want 1000", w.Trace.Messages("ping").Delivered)
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+// The pre-calendar-queue engine — one global container/heap with lazy
+// cancellation — kept verbatim as a reference implementation. The
+// differential tests below drive identical schedule/cancel scripts
+// through it and the live engine and demand the identical firing order;
+// the paired benchmarks measure what the rewrite bought.
+
+import "container/heap"
+
+type refEvent struct {
+	at       Time
+	seq      uint64
+	do       func()
+	canceled bool
+	index    int
+}
+
+func (ev *refEvent) cancel() { ev.canceled = true }
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *refHeap) Push(x any) {
+	ev := x.(*refEvent)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+type refEngine struct {
+	now     Time
+	pending refHeap
+	seq     uint64
+	fired   uint64
+}
+
+func (e *refEngine) at(t Time, do func()) *refEvent {
+	if t < e.now {
+		panic("ref: scheduling in the past")
+	}
+	ev := &refEvent{at: t, seq: e.seq, do: do}
+	e.seq++
+	heap.Push(&e.pending, ev)
+	return ev
+}
+
+func (e *refEngine) after(d Time, do func()) *refEvent { return e.at(e.now+d, do) }
+
+func (e *refEngine) step() bool {
+	for len(e.pending) > 0 {
+		ev := heap.Pop(&e.pending).(*refEvent)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.do()
+		return true
+	}
+	return false
+}
+
+func (e *refEngine) peek() *refEvent {
+	for len(e.pending) > 0 {
+		if e.pending[0].canceled {
+			heap.Pop(&e.pending)
+			continue
+		}
+		return e.pending[0]
+	}
+	return nil
+}
+
+func (e *refEngine) runUntil(deadline Time) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+func (e *refEngine) run() {
+	for e.step() {
+	}
+}
