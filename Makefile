@@ -5,12 +5,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-record bench-check experiments quick-experiments fuzz fmt clean verify
+.PHONY: all build vet test race bench bench-record bench-check verify-bench experiments quick-experiments fuzz fmt clean verify
 
 all: build vet test
 
-# Tier-1 verification: what CI and the ROADMAP hold every PR to.
-verify: build vet test race
+# Tier-1 verification: what CI and the ROADMAP hold every PR to. The
+# bench gate runs loose (see verify-bench) so host noise cannot flake
+# tier-1; the sharp 20% gate stays in bench-check for deliberate runs.
+verify: build vet test race verify-bench
 
 build:
 	$(GO) build ./...
@@ -31,18 +33,27 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Record the substrate + experiment benchmarks as JSON for cross-PR
-# comparison (BENCH_PR8.json is the baseline this PR ships). The root
-# E1-E28 suite is excluded: it takes minutes and its tables live in
+# comparison (BENCH_PR9.json is the baseline this PR ships). The root
+# E1-E29 suite is excluded: it takes minutes and its tables live in
 # EXPERIMENTS.md already.
 bench-record:
-	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -out BENCH_PR8.json
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -out BENCH_PR9.json
 
 # Diff fresh benchmark numbers against the checked-in baseline; fails on
 # any benchmark whose ns/op regressed more than 20% or whose allocs/op
 # grew more than 25% (allocation counts are deterministic — that gate
-# catches pooled paths that silently start allocating again).
+# catches pooled paths that silently start allocating again). A baseline
+# benchmark that did not run at all also fails (benchrecord
+# -allow-missing overrides when a deletion is deliberate).
 bench-check:
-	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -compare BENCH_PR8.json
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -compare BENCH_PR9.json
+
+# The tier-1 flavor of bench-check: the ns/op tolerance is opened to
+# 100% so a loaded CI host cannot flake verify, while the two
+# deterministic regressions it exists to catch still fail hard —
+# allocation growth, and baseline benchmarks that silently stop running.
+verify-bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -compare BENCH_PR9.json -tolerance 1.0
 
 # Regenerate every table in EXPERIMENTS.md (several minutes).
 experiments:

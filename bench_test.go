@@ -1,8 +1,8 @@
 package repro_test
 
-// One benchmark per experiment in the DESIGN.md index (E1-E25, plus an
-// E28 engine-scale cell; the E26/E27 layer benches live next to their
-// layers under internal/), each executing a single representative cell
+// One benchmark per experiment in the DESIGN.md index (E1-E25, plus
+// E28/E29 engine-scale cells; the E26/E27 layer benches live next to
+// their layers under internal/), each executing a single representative cell
 // of that experiment so that `go test -bench=. -benchmem` regenerates
 // the cost profile of the whole suite. The full tables themselves are
 // produced by cmd/otqbench.
@@ -682,6 +682,37 @@ func BenchmarkE28EngineScale(b *testing.B) {
 		})
 		if res.Messages.Sent == 0 {
 			b.Fatal("no pex traffic in the scale world")
+		}
+	}
+}
+
+func BenchmarkE29JudgedScale(b *testing.B) {
+	// The E28 world plus a query and a verdict: count-only retention with
+	// the streaming OTQ checker riding the event stream, so the judged
+	// run stores no trace. The delta over BenchmarkE28EngineScale is the
+	// price of judgment itself.
+	for i := 0; i < b.N; i++ {
+		res := exp.Execute(exp.Scenario{
+			Seed:    uint64(i + 1),
+			Overlay: func(uint64) topology.Overlay { return topology.NewManual() },
+			Script: func(w *node.World, e *sim.Engine) {
+				e.At(1, func() { w.PexSeedViews(topology.BuildRing(2000)) })
+			},
+			Churn: churn.Config{InitialPopulation: 2000, Immortal: true,
+				ArrivalRate: 0.2, Session: churn.ExpSessions(40),
+				RejoinProb: 0.3, Downtime: churn.FixedSessions(8)},
+			Protocol: func() otq.Protocol {
+				return &otq.FloodTTL{TTL: 10, MaxLatency: 2}
+			},
+			Pex:         pex.Config{Enabled: true, SampleEvery: 120},
+			LiteTrace:   true,
+			StreamCheck: true,
+			MinLatency:  1, MaxLatency: 2,
+			QueryAt: 60,
+			Horizon: 120,
+		})
+		if res.Outcome.StableCount == 0 {
+			b.Fatal("the streaming checker judged nobody stable")
 		}
 	}
 }

@@ -7,10 +7,13 @@
 // checked-in baseline: any benchmark whose ns/op regressed past the
 // tolerance (default 20%), or whose allocs/op grew past -alloc-tolerance
 // (default 25%), is reported and the exit status is non-zero (see `make
-// bench-check`). Benchmarks new to this run or missing from it are noted
-// but never fail the check — virtual-time simulations are deterministic
-// but the host is not, so the ns/op tolerance is deliberately generous;
-// the gate exists to catch order-of-magnitude accidents, not noise.
+// bench-check`). Benchmarks new to this run are noted but never fail;
+// baseline entries MISSING from the run fail the check unless
+// -allow-missing is set — a benchmark that silently stops running is a
+// gate that silently stops gating, which is exactly how a suite rots.
+// Virtual-time simulations are deterministic but the host is not, so the
+// ns/op tolerance is deliberately generous; the gate exists to catch
+// order-of-magnitude accidents, not noise.
 // Allocation counts ARE deterministic, so the allocs gate catches the
 // quieter regression class: a pooled path that silently starts
 // allocating again.
@@ -47,6 +50,7 @@ func main() {
 	compare := flag.String("compare", "", "baseline JSON to diff against; exit non-zero on ns/op or allocs/op regressions past tolerance")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op growth over the -compare baseline")
 	allocTol := flag.Float64("alloc-tolerance", 0.25, "allowed fractional allocs/op growth over the -compare baseline")
+	allowMissing := flag.Bool("allow-missing", false, "tolerate baseline benchmarks missing from this run instead of failing")
 	flag.Parse()
 
 	var results []Result
@@ -96,15 +100,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchrecord: wrote %d results to %s\n", len(results), *out)
 		}
 	}
-	if *compare != "" && !check(results, *compare, *tolerance, *allocTol) {
+	if *compare != "" && !check(results, *compare, *tolerance, *allocTol, *allowMissing) {
 		os.Exit(1)
 	}
 }
 
 // check diffs fresh results against the baseline file; it reports every
 // benchmark and returns false when any ns/op or allocs/op regressed past
-// its tolerance.
-func check(results []Result, baselineFile string, tolerance, allocTol float64) bool {
+// its tolerance, or (without allowMissing) when a baseline entry did not
+// run at all.
+func check(results []Result, baselineFile string, tolerance, allocTol float64, allowMissing bool) bool {
 	data, err := os.ReadFile(baselineFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrecord:", err)
@@ -149,10 +154,16 @@ func check(results []Result, baselineFile string, tolerance, allocTol float64) b
 			}
 		}
 	}
+	missing := 0
 	for _, b := range baseline {
 		if !seen[b.Name] {
 			fmt.Printf("  missing  %-60s was %12.0f ns/op\n", b.Name, b.NsPerOp)
+			missing++
 		}
+	}
+	if missing > 0 && !allowMissing {
+		ok = false
+		fmt.Fprintf(os.Stderr, "benchrecord: %d baseline benchmark(s) did not run; pass -allow-missing if that is intended\n", missing)
 	}
 	if !ok {
 		fmt.Fprintf(os.Stderr, "benchrecord: ns/op regressions past %.0f%% or allocs/op past %.0f%% vs %s\n",

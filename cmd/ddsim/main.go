@@ -16,6 +16,7 @@
 //	ddsim -n 64 -protocol echo-wave -pex -pex-policy pushpull -pex-view 8
 //	ddsim -n 64 -protocol echo-wave -pex -auth -poison 'nodes=4+9,rate=1,sybils=3,base=1000@24-'
 //	ddsim -n 10000 -protocol none -pex -lite-trace -arrival 1 -horizon 240
+//	ddsim -n 10000 -protocol flood-ttl -ttl 10 -pex -stream-check -lite-trace -query-at 120 -horizon 240
 package main
 
 import (
@@ -67,7 +68,8 @@ func main() {
 		pexPolicy   = flag.String("pex-policy", "pushpull", "pex exchange policy: rand, head, tail, pushpull")
 		pexView     = flag.Int("pex-view", 8, "pex partial-view size")
 		poisonSpec  = flag.String("poison", "", "poison clause body appended to -faults, e.g. 'nodes=4+9,rate=1,sybils=3,base=1000@24-' (requires -pex; see internal/fault)")
-		liteTrace   = flag.Bool("lite-trace", false, "count-only trace retention: exact message/concurrency counters, no stored events (requires -protocol none; keeps 100k-entity runs in memory)")
+		liteTrace   = flag.Bool("lite-trace", false, "count-only trace retention: exact message/concurrency counters, no stored events (requires -protocol none or -stream-check; keeps 100k-entity runs in memory)")
+		streamCheck = flag.Bool("stream-check", false, "judge the query with the streaming OTQ checker (verdict bit-identical to the batch checker; composes with -lite-trace so judged runs need no stored trace)")
 	)
 	flag.Parse()
 
@@ -100,8 +102,12 @@ func main() {
 		// Protocol-less run: no query launches, so the query-at default is
 		// meaningless rather than wrong — zero it instead of erroring.
 		*queryAt = 0
-	} else if *liteTrace {
-		fmt.Fprintln(os.Stderr, "ddsim: -lite-trace discards the events the OTQ checker reads; it requires -protocol none")
+		if *streamCheck {
+			fmt.Fprintln(os.Stderr, "ddsim: -stream-check without a query protocol has nothing to judge; drop it or pick a -protocol")
+			os.Exit(2)
+		}
+	} else if *liteTrace && !*streamCheck {
+		fmt.Fprintln(os.Stderr, "ddsim: -lite-trace discards the events the batch OTQ checker reads; add -stream-check or use -protocol none")
 		os.Exit(2)
 	}
 
@@ -185,12 +191,13 @@ func main() {
 		os.Exit(2)
 	}
 	res := exp.Execute(exp.Scenario{
-		Seed:       *seed,
-		Overlay:    overlay,
-		Churn:      cc,
-		Protocol:   proto,
-		LiteTrace:  *liteTrace,
-		MinLatency: 1, MaxLatency: 2,
+		Seed:        *seed,
+		Overlay:     overlay,
+		Churn:       cc,
+		Protocol:    proto,
+		LiteTrace:   *liteTrace,
+		StreamCheck: *streamCheck,
+		MinLatency:  1, MaxLatency: 2,
 		Faults:           plan,
 		Reliable:         relCfg,
 		Auth:             authCfg,
@@ -279,12 +286,19 @@ func main() {
 		// class needs the per-event trace a lite run discards.
 		return
 	}
-	fmt.Printf("inferred class: %s\n", res.Inferred)
+	if *streamCheck {
+		fmt.Println("checker: streaming (verdict identical to the batch checker)")
+	}
+	if *liteTrace {
+		fmt.Println("inferred class: n/a (count-only retention keeps no events to classify)")
+	} else {
+		fmt.Printf("inferred class: %s\n", res.Inferred)
 
-	verdict, reason := core.OTQSolvability(res.Inferred)
-	fmt.Printf("oracle on the inferred class: %s (%s)\n", verdict, reason)
-	pred := core.PredictOTQ(protoID, res.Inferred)
-	fmt.Printf("oracle on %s here: terminates=%v valid=%v (%s)\n", protoID, pred.Terminates, pred.Valid, pred.Note)
+		verdict, reason := core.OTQSolvability(res.Inferred)
+		fmt.Printf("oracle on the inferred class: %s (%s)\n", verdict, reason)
+		pred := core.PredictOTQ(protoID, res.Inferred)
+		fmt.Printf("oracle on %s here: terminates=%v valid=%v (%s)\n", protoID, pred.Terminates, pred.Valid, pred.Note)
+	}
 
 	fmt.Printf("\noutcome: %s\n", res.Outcome)
 	if ans := res.Run.Answer(); ans != nil {

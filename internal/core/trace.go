@@ -101,6 +101,19 @@ type Trace struct {
 	msgByTag  map[string]*MessageStats
 	cur, peak int
 	firstMark map[string]Time
+
+	sinks []func(TraceEvent)
+}
+
+// Stream registers fn as an event sink: every subsequently recorded event
+// is handed to fn at Record time, after validation and before retention
+// decides the event's fate. Sinks therefore see the complete stream even
+// under count-only retention — the hook that lets incremental consumers
+// (e.g. otq.StreamChecker) judge runs whose event logs never materialize.
+// Register before the first Record to observe the whole run; sinks must
+// not Record into the trace.
+func (tr *Trace) Stream(fn func(TraceEvent)) {
+	tr.sinks = append(tr.sinks, fn)
 }
 
 // SetCountOnly switches the trace to count-only retention: Len,
@@ -129,6 +142,9 @@ func (tr *Trace) Record(ev TraceEvent) {
 	if tr.countOnly {
 		if tr.count > 0 && ev.At < tr.lastAt {
 			panic(fmt.Sprintf("core: trace event at %d after event at %d", ev.At, tr.lastAt))
+		}
+		for _, fn := range tr.sinks {
+			fn(ev)
 		}
 		tr.count++
 		tr.lastAt = ev.At
@@ -160,6 +176,9 @@ func (tr *Trace) Record(ev TraceEvent) {
 	}
 	if n := len(tr.events); n > 0 && ev.At < tr.events[n-1].At {
 		panic(fmt.Sprintf("core: trace event at %d after event at %d", ev.At, tr.events[n-1].At))
+	}
+	for _, fn := range tr.sinks {
+		fn(ev)
 	}
 	tr.events = append(tr.events, ev)
 	if ev.At > tr.end {

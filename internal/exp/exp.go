@@ -5,7 +5,7 @@
 //
 // The paper is a position paper with no numbered tables or figures; each
 // experiment here operationalizes one of its qualitative claims (C1-C6 in
-// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E28 are
+// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E29 are
 // ours and are indexed in DESIGN.md.
 package exp
 
@@ -43,8 +43,17 @@ type Scenario struct {
 	// LiteTrace switches the trace to count-only retention (see
 	// core.Trace.SetCountOnly): message and concurrency counters stay
 	// exact but individual events are discarded, keeping 100k-entity
-	// runs in memory. Requires a nil Protocol — checkers read events.
+	// runs in memory. Requires a nil Protocol (the batch checker reads
+	// events) unless StreamCheck is set.
 	LiteTrace bool
+	// StreamCheck judges the query with the incremental streaming checker
+	// (otq.StreamChecker) fed from the live event stream instead of the
+	// batch checker's post-hoc trace scan. The verdict is bit-identical;
+	// the point is composition with LiteTrace, which makes judged runs
+	// possible at populations whose full event logs would not fit in
+	// memory. Requires a Protocol. Inferred stays zero under LiteTrace
+	// (class inference still reads events).
+	StreamCheck bool
 	// Latency bounds per-hop delay; zero means [1, 1].
 	MinLatency, MaxLatency sim.Time
 	// LossRate drops messages independently.
@@ -133,8 +142,11 @@ func Execute(sc Scenario) RunResult {
 	} else if sc.QueryAt > 0 {
 		panic("exp: QueryAt set on a protocol-less scenario")
 	}
-	if sc.LiteTrace && proto != nil {
-		panic("exp: LiteTrace discards the events the OTQ checker needs; use it only with a nil Protocol")
+	if sc.StreamCheck && proto == nil {
+		panic("exp: StreamCheck without a Protocol has nothing to judge")
+	}
+	if sc.LiteTrace && proto != nil && !sc.StreamCheck {
+		panic("exp: LiteTrace discards the events the batch OTQ checker needs; add StreamCheck or use a nil Protocol")
 	}
 	valueOf := sc.ValueOf
 	w := node.NewWorld(engine, sc.Overlay(sc.Seed), factory, node.Config{
@@ -152,6 +164,14 @@ func Execute(sc Scenario) RunResult {
 	})
 	if sc.LiteTrace {
 		w.Trace.SetCountOnly(true)
+	}
+	var checker *otq.StreamChecker
+	if sc.StreamCheck {
+		checker = otq.NewStreamChecker(otq.CheckOptions{
+			BridgeRecoveries: sc.BridgeRecoveries,
+			BridgeRejoins:    sc.BridgeRejoins,
+		})
+		w.Trace.Stream(checker.Observe)
 	}
 	if sc.Faults != nil {
 		// Attach before the script so even the population's first sends
@@ -180,6 +200,9 @@ func Execute(sc Scenario) RunResult {
 		}
 		querier = present[idx]
 		run = proto.Launch(w, querier)
+		if checker != nil {
+			checker.Arm(run)
+		}
 	}
 	engine.RunUntil(sc.Horizon)
 	w.Close()
@@ -201,11 +224,17 @@ func Execute(sc Scenario) RunResult {
 		Querier:        querier,
 	}
 	if proto != nil {
-		res.Outcome = otq.CheckWith(w.Trace, run, valueOf, otq.CheckOptions{
-			BridgeRecoveries: sc.BridgeRecoveries,
-			BridgeRejoins:    sc.BridgeRejoins,
-		})
-		res.Inferred = core.InferClass(w.Trace)
+		if checker != nil {
+			res.Outcome = checker.Finish(w.Trace.End(), valueOf)
+		} else {
+			res.Outcome = otq.CheckWith(w.Trace, run, valueOf, otq.CheckOptions{
+				BridgeRecoveries: sc.BridgeRecoveries,
+				BridgeRejoins:    sc.BridgeRejoins,
+			})
+		}
+		if !sc.LiteTrace {
+			res.Inferred = core.InferClass(w.Trace)
+		}
 	}
 	return res
 }
@@ -301,5 +330,6 @@ func All() []Experiment {
 		{"E26", "live reconfiguration: quiescence handshake under fault storms", E26},
 		{"E27", "view poisoning: partial-view membership with and without the view audit", E27},
 		{"E28", "engine scale: 1k-100k entity worlds with live membership and churn", E28},
+		{"E29", "judged scale: streaming OTQ verdicts over live full worlds", E29},
 	}
 }

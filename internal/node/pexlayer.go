@@ -135,6 +135,15 @@ type pexLayer struct {
 	// memory) and clear on auth parole.
 	strikes   map[[2]graph.NodeID]int
 	blacklist map[[2]graph.NodeID]bool
+	// idx is the order-statistic index over live entities, maintained by
+	// onJoin/onLeave; bootstrap and refresh sample candidates from it in
+	// O(k log n) instead of scanning the present set.
+	idx *presentIndex
+	// blockedAdj is the blacklist's symmetric adjacency: for each entity,
+	// the peers blocked in EITHER direction, refcounted per directed
+	// entry (1 or 2). It turns the pair-keyed blacklist into the per-
+	// entity exclusion list candidate sampling needs.
+	blockedAdj map[graph.NodeID]map[graph.NodeID]int
 	// rounds counts each entity's completed cadence rounds this session,
 	// pacing its periodic bootstrap refresh.
 	rounds  map[graph.NodeID]int
@@ -153,6 +162,8 @@ func newPexLayer(cfg pex.Config, seed uint64) *pexLayer {
 		views:       make(map[graph.NodeID]*pex.View),
 		strikes:     make(map[[2]graph.NodeID]int),
 		blacklist:   make(map[[2]graph.NodeID]bool),
+		idx:         newPresentIndex(),
+		blockedAdj:  make(map[graph.NodeID]map[graph.NodeID]int),
 		rounds:      make(map[graph.NodeID]int),
 		convergedAt: -1,
 	}
@@ -164,11 +175,100 @@ func (px *pexLayer) blocked(a, b graph.NodeID) bool {
 	return px.blacklist[[2]graph.NodeID{a, b}] || px.blacklist[[2]graph.NodeID{b, a}]
 }
 
+// blockAdj/unblockAdj keep blockedAdj in lockstep with the directed
+// blacklist: one increment per blacklist entry created, one decrement
+// per entry removed, in both orientations. Every blacklist mutation
+// funnels through onQuarantine and pardon, so these are the only
+// callers.
+func (px *pexLayer) blockAdj(a, b graph.NodeID) {
+	for _, pr := range [2][2]graph.NodeID{{a, b}, {b, a}} {
+		m := px.blockedAdj[pr[0]]
+		if m == nil {
+			m = make(map[graph.NodeID]int)
+			px.blockedAdj[pr[0]] = m
+		}
+		m[pr[1]]++
+	}
+}
+
+func (px *pexLayer) unblockAdj(a, b graph.NodeID) {
+	for _, pr := range [2][2]graph.NodeID{{a, b}, {b, a}} {
+		m := px.blockedAdj[pr[0]]
+		if m[pr[1]]--; m[pr[1]] <= 0 {
+			delete(m, pr[1])
+			if len(m) == 0 {
+				delete(px.blockedAdj, pr[0])
+			}
+		}
+	}
+}
+
+// pexCandidates is one sampling population: the live entities ascending,
+// minus a small exclusion list (the sampler itself, peers blocked
+// against it, and — for refresh — its current view members). count and
+// at together replace the old materialized candidate slice: at(j)
+// returns exactly the element the scan-built slice held at position j,
+// computed in O(|excl| log n) through the present index instead of
+// O(present) per call.
+type pexCandidates struct {
+	idx *presentIndex
+	// excl is ascending, duplicate-free, and only holds LIVE ids —
+	// both invariants are what make count and at correct.
+	excl []graph.NodeID
+}
+
+// candidates assembles the population for one sampling call by self.
+// Pass the view to exclude its members (refresh); nil for bootstrap.
+func (px *pexLayer) candidates(self graph.NodeID, v *pex.View) pexCandidates {
+	cs := pexCandidates{idx: px.idx}
+	add := func(id graph.NodeID) {
+		if px.idx.Contains(id) {
+			cs.excl = append(cs.excl, id)
+		}
+	}
+	add(self)
+	for q := range px.blockedAdj[self] {
+		add(q)
+	}
+	if v != nil {
+		for _, u := range v.Members() {
+			add(u)
+		}
+	}
+	sort.Slice(cs.excl, func(i, j int) bool { return cs.excl[i] < cs.excl[j] })
+	// Dedupe: a blocked peer can also sit in the view (records merged
+	// before the conviction, via third parties, survive eviction).
+	out := cs.excl[:0]
+	for i, id := range cs.excl {
+		if i == 0 || id != cs.excl[i-1] {
+			out = append(out, id)
+		}
+	}
+	cs.excl = out
+	return cs
+}
+
+// count returns the candidate population size.
+func (cs pexCandidates) count() int { return cs.idx.Len() - len(cs.excl) }
+
+// at returns the j-th (0-based, ascending) candidate: the drawn index is
+// bumped past each excluded ID at or below it — excl ascending makes
+// each bump final — then resolved with one order-statistic Select.
+func (cs pexCandidates) at(j int) graph.NodeID {
+	for _, e := range cs.excl {
+		if cs.idx.Rank(e) <= j {
+			j++
+		}
+	}
+	return cs.idx.Select(j)
+}
+
 // onJoin gives a joiner its empty view and starts its exchange rounds.
 // Bootstrapping happens at the first round the view is still empty (see
 // round), so a population that is joined first and seeded afterwards —
 // the experiment setup — never burns bootstrap introductions.
 func (px *pexLayer) onJoin(w *World, p *Proc) {
+	px.idx.Add(p.ID)
 	if px.views[p.ID] == nil {
 		px.views[p.ID] = pex.NewView(px.cfg.ViewSize)
 	}
@@ -176,32 +276,46 @@ func (px *pexLayer) onJoin(w *World, p *Proc) {
 }
 
 // bootstrap introduces an entity with an EMPTY view to up to
-// BootstrapContacts present peers: fresh records both ways, links up —
-// a join handshake against an out-of-band bootstrap service. Because it
-// runs from round, a member whose whole view decayed away also
-// re-bootstraps instead of staying membership-blind forever.
+// BootstrapContacts distinct present peers, drawn uniformly through the
+// present index: fresh records both ways, links up — a join handshake
+// against an out-of-band bootstrap service. Because it runs from round,
+// a member whose whole view decayed away also re-bootstraps instead of
+// staying membership-blind forever. When the population is no larger
+// than the contact budget every candidate is taken, ascending, with no
+// rng draws at all.
 func (px *pexLayer) bootstrap(w *World, p *Proc) {
 	now := int64(w.Engine.Now())
-	var candidates []graph.NodeID
-	for _, id := range w.Present() {
-		if id != p.ID && w.procs[id] != nil && !px.blocked(p.ID, id) {
-			candidates = append(candidates, id)
-		}
-	}
-	if len(candidates) == 0 {
+	cs := px.candidates(p.ID, nil)
+	m := cs.count()
+	if m == 0 {
 		return
 	}
 	k := px.cfg.BootstrapContacts
-	if k > len(candidates) {
-		k = len(candidates)
-	}
-	picks := candidates
-	if k < len(candidates) {
-		idx := px.r.Perm(len(candidates))[:k]
-		sort.Ints(idx)
+	var picks []graph.NodeID
+	if k >= m {
+		picks = make([]graph.NodeID, m)
+		for j := range picks {
+			picks[j] = cs.at(j)
+		}
+	} else {
+		// k distinct uniform indexes by rejection (k is a small constant,
+		// so collisions are vanishing at any interesting m), sorted so the
+		// contact order is ascending like the take-all path's.
+		idxs := make([]int, 0, k)
+	draw:
+		for len(idxs) < k {
+			j := px.r.Intn(m)
+			for _, prev := range idxs {
+				if prev == j {
+					continue draw
+				}
+			}
+			idxs = append(idxs, j)
+		}
+		sort.Ints(idxs)
 		picks = make([]graph.NodeID, k)
-		for i, j := range idx {
-			picks[i] = candidates[j]
+		for i, j := range idxs {
+			picks[i] = cs.at(j)
 		}
 	}
 	for _, c := range picks {
@@ -228,16 +342,14 @@ func (px *pexLayer) bootstrap(w *World, p *Proc) {
 func (px *pexLayer) refresh(w *World, p *Proc) {
 	v := px.views[p.ID]
 	now := int64(w.Engine.Now())
-	var candidates []graph.NodeID
-	for _, id := range w.Present() {
-		if id != p.ID && w.procs[id] != nil && !px.blocked(p.ID, id) && !v.Contains(id) {
-			candidates = append(candidates, id)
-		}
-	}
-	if len(candidates) == 0 {
+	cs := px.candidates(p.ID, v)
+	m := cs.count()
+	if m == 0 {
 		return
 	}
-	c := candidates[px.r.Intn(len(candidates))]
+	// One draw, one order-statistic lookup: the same Intn(m) the scan
+	// made, resolving to the same pick the materialized slice held.
+	c := cs.at(px.r.Intn(m))
 	if merged, _ := v.Merge(pex.Entry{Rec: pex.SignRecord(px.cfg.Audit.KeySeed, c, now)}); !merged {
 		return
 	}
@@ -446,6 +558,7 @@ func (px *pexLayer) onQuarantine(w *World, by, offender graph.NodeID) {
 		return
 	}
 	px.blacklist[pair] = true
+	px.blockAdj(by, offender)
 	px.totals.ViewQuarantines++
 	px.events = append(px.events, QuarantineEvent{At: int64(w.Engine.Now()), By: by, Offender: offender})
 	if v := px.views[by]; v != nil {
@@ -462,6 +575,9 @@ func (px *pexLayer) onQuarantine(w *World, by, offender graph.NodeID) {
 // layer's halved budget.
 func (px *pexLayer) pardon(by, offender graph.NodeID) {
 	pair := [2]graph.NodeID{by, offender}
+	if px.blacklist[pair] {
+		px.unblockAdj(by, offender)
+	}
 	delete(px.blacklist, pair)
 	delete(px.strikes, pair)
 }
@@ -470,6 +586,7 @@ func (px *pexLayer) pardon(by, offender graph.NodeID) {
 // session; a rejoiner re-bootstraps). The blacklist ledger is identity
 // memory and survives.
 func (px *pexLayer) onLeave(id graph.NodeID) {
+	px.idx.Remove(id)
 	delete(px.views, id)
 	delete(px.rounds, id)
 }

@@ -1,0 +1,150 @@
+package node
+
+// presentIndex is an order-statistic index over the live entity
+// population: the set of IDs with a running Proc, maintained
+// incrementally by the pex sublayer's join/leave hooks. It exists so
+// bootstrap and refresh can sample membership candidates in O(k log n)
+// instead of scanning every present entity per call — the O(present)
+// candidate scans were the engine's last per-round full-population walk
+// and the scaling ceiling ROADMAP item (a) names.
+//
+// The structure is a Fenwick (binary indexed) tree over the ID space
+// holding one bit per live ID, plus a direct membership table. IDs are
+// dense small integers in this simulator (churn allocates them
+// sequentially), so indexing by ID directly — growing the universe by
+// powers of two as IDs appear — is both simple and compact. All
+// operations are deterministic; the index never touches the rng.
+//
+//	Add/Remove  O(log n)   flip an ID's liveness bit
+//	Contains    O(1)
+//	Len         O(1)
+//	Rank(id)    O(log n)   #live IDs strictly below id
+//	Select(k)   O(log n)   k-th (0-based) live ID in ascending order
+//
+// Rank and Select are the pair that makes exclusion-adjusted sampling
+// work: a uniform draw over "live minus a small exclusion set" maps to a
+// Select after bumping the drawn index past each excluded ID's Rank (see
+// pexCandidates.at).
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+type presentIndex struct {
+	// tree is 1-based Fenwick storage over ID positions; tree[i] covers
+	// the bit range (i - lowbit(i), i].
+	tree []int
+	// in is the direct membership table, indexed by ID.
+	in []bool
+	// size is the universe bound: IDs in [0, size) are representable.
+	size int
+	// count is the number of live IDs.
+	count int
+}
+
+func newPresentIndex() *presentIndex {
+	return &presentIndex{tree: make([]int, 17), in: make([]bool, 16), size: 16}
+}
+
+// grow extends the universe to cover id, doubling until it fits and
+// rebuilding the Fenwick prefix structure from the membership bits.
+func (px *presentIndex) grow(id int) {
+	size := px.size
+	for size <= id {
+		size *= 2
+	}
+	in := make([]bool, size)
+	copy(in, px.in)
+	tree := make([]int, size+1)
+	for i, live := range in {
+		if !live {
+			continue
+		}
+		for j := i + 1; j <= size; j += j & -j {
+			tree[j]++
+		}
+	}
+	px.tree, px.in, px.size = tree, in, size
+}
+
+// Add marks id live. Adding a live ID is a no-op.
+func (px *presentIndex) Add(id graph.NodeID) {
+	i := int(id)
+	if i < 0 {
+		panic(fmt.Sprintf("node: presentIndex.Add with negative ID %d", id))
+	}
+	if i >= px.size {
+		px.grow(i)
+	}
+	if px.in[i] {
+		return
+	}
+	px.in[i] = true
+	px.count++
+	for j := i + 1; j <= px.size; j += j & -j {
+		px.tree[j]++
+	}
+}
+
+// Remove marks id dead. Removing a dead or out-of-universe ID is a no-op.
+func (px *presentIndex) Remove(id graph.NodeID) {
+	i := int(id)
+	if i < 0 || i >= px.size || !px.in[i] {
+		return
+	}
+	px.in[i] = false
+	px.count--
+	for j := i + 1; j <= px.size; j += j & -j {
+		px.tree[j]--
+	}
+}
+
+// Contains reports whether id is live.
+func (px *presentIndex) Contains(id graph.NodeID) bool {
+	i := int(id)
+	return i >= 0 && i < px.size && px.in[i]
+}
+
+// Len returns the number of live IDs.
+func (px *presentIndex) Len() int { return px.count }
+
+// Rank returns the number of live IDs strictly below id — equivalently,
+// id's position in the ascending live order if it is live.
+func (px *presentIndex) Rank(id graph.NodeID) int {
+	i := int(id)
+	if i <= 0 {
+		return 0
+	}
+	if i > px.size {
+		i = px.size
+	}
+	// Prefix sum over positions [1, i] = IDs [0, i).
+	n := 0
+	for j := i; j > 0; j -= j & -j {
+		n += px.tree[j]
+	}
+	return n
+}
+
+// Select returns the k-th (0-based) live ID in ascending order. It
+// panics if k is out of range — callers sample k from [0, Len).
+func (px *presentIndex) Select(k int) graph.NodeID {
+	if k < 0 || k >= px.count {
+		panic(fmt.Sprintf("node: presentIndex.Select(%d) with %d live", k, px.count))
+	}
+	// Binary descent: find the smallest position whose prefix sum
+	// exceeds k. px.size is a power of two, so the top step is exact.
+	pos, want := 0, k+1
+	for step := px.size; step > 0; step /= 2 {
+		next := pos + step
+		if next <= px.size && px.tree[next] < want {
+			pos = next
+			want -= px.tree[next]
+		}
+	}
+	// pos is the largest position with prefix sum < want, so the hit is
+	// position pos+1, which holds ID pos.
+	return graph.NodeID(pos)
+}

@@ -160,20 +160,23 @@ func (c Config) WithDefaults() Config {
 
 // Validate reports the first configuration error, or nil. A disabled
 // config is always valid; zero knobs of an enabled one mean their
-// defaults (see WithDefaults).
+// defaults (see WithDefaults). Validation judges — and its messages
+// report — the EFFECTIVE values after defaulting: an error that quoted
+// the literal zero a user left unset while rejecting the default it
+// became would be describing a config nobody wrote.
 func (c Config) Validate() error {
 	if !c.Enabled {
 		return nil
 	}
 	d := c.WithDefaults()
 	if d.ViewSize < 1 {
-		return fmt.Errorf("pex: ViewSize %d below the 1-record minimum", c.ViewSize)
+		return fmt.Errorf("pex: ViewSize %d below the 1-record minimum", d.ViewSize)
 	}
 	if d.Cadence <= 0 {
-		return fmt.Errorf("pex: Cadence %d must be positive", c.Cadence)
+		return fmt.Errorf("pex: Cadence %d must be positive", d.Cadence)
 	}
 	if d.Fanout < 1 {
-		return fmt.Errorf("pex: Fanout %d below the 1-record minimum", c.Fanout)
+		return fmt.Errorf("pex: Fanout %d below the 1-record minimum", d.Fanout)
 	}
 	if d.Fanout > d.ViewSize {
 		return fmt.Errorf("pex: Fanout %d exceeds ViewSize %d", d.Fanout, d.ViewSize)
@@ -182,26 +185,26 @@ func (c Config) Validate() error {
 		return err
 	}
 	if d.MaxHop < 1 {
-		return fmt.Errorf("pex: MaxHop %d below the 1-hop minimum", c.MaxHop)
+		return fmt.Errorf("pex: MaxHop %d below the 1-hop minimum", d.MaxHop)
 	}
 	if d.MaxHop > MaxWireHop {
-		return fmt.Errorf("pex: MaxHop %d exceeds the wire ceiling %d", c.MaxHop, MaxWireHop)
+		return fmt.Errorf("pex: MaxHop %d exceeds the wire ceiling %d", d.MaxHop, MaxWireHop)
 	}
 	if d.BootstrapContacts < 1 {
-		return fmt.Errorf("pex: BootstrapContacts %d below the 1-contact minimum", c.BootstrapContacts)
+		return fmt.Errorf("pex: BootstrapContacts %d below the 1-contact minimum", d.BootstrapContacts)
 	}
 	if d.RefreshEvery < 1 {
-		return fmt.Errorf("pex: RefreshEvery %d below the 1-round minimum", c.RefreshEvery)
+		return fmt.Errorf("pex: RefreshEvery %d below the 1-round minimum", d.RefreshEvery)
 	}
 	if d.SampleEvery <= 0 {
-		return fmt.Errorf("pex: SampleEvery %d must be positive", c.SampleEvery)
+		return fmt.Errorf("pex: SampleEvery %d must be positive", d.SampleEvery)
 	}
 	if d.Audit.Enabled {
 		if d.Audit.FreshFor <= 0 {
-			return fmt.Errorf("pex: view-audit FreshFor %d must be positive", c.Audit.FreshFor)
+			return fmt.Errorf("pex: view-audit FreshFor %d must be positive", d.Audit.FreshFor)
 		}
 		if d.Audit.Budget < 1 {
-			return fmt.Errorf("pex: view-audit Budget %d below the 1-strike minimum", c.Audit.Budget)
+			return fmt.Errorf("pex: view-audit Budget %d below the 1-strike minimum", d.Audit.Budget)
 		}
 	}
 	return nil

@@ -65,6 +65,15 @@ func TestConfigValidateBounds(t *testing.T) {
 		{"negative sample", Config{Enabled: true, SampleEvery: -4}, "SampleEvery"},
 		{"negative freshfor", Config{Enabled: true, Audit: ViewAuditConfig{Enabled: true, FreshFor: -1}}, "FreshFor"},
 		{"negative budget", Config{Enabled: true, Audit: ViewAuditConfig{Enabled: true, Budget: -1}}, "Budget"},
+		// Messages must quote EFFECTIVE values: the defaulted config is
+		// what was judged, so it is what the error describes. A Fanout of
+		// 9 over an unset ViewSize is rejected against the default 8 —
+		// and the message has to say 8, not the 0 the user never chose.
+		{"fanout over defaulted view", Config{Enabled: true, Fanout: 9}, "Fanout 9 exceeds ViewSize 8"},
+		{"fanout over explicit view", Config{Enabled: true, ViewSize: 2, Fanout: 3}, "Fanout 3 exceeds ViewSize 2"},
+		{"negative view quotes value", Config{Enabled: true, ViewSize: -3}, "ViewSize -3"},
+		{"negative maxhop quotes value", Config{Enabled: true, MaxHop: -2}, "MaxHop -2"},
+		{"negative budget quotes value", Config{Enabled: true, Audit: ViewAuditConfig{Enabled: true, Budget: -5}}, "Budget -5"},
 	}
 	for _, tc := range cases {
 		err := tc.cfg.Validate()
