@@ -27,17 +27,17 @@ test:
 # under the detector's overhead; the explicit timeout is headroom, not
 # an expectation.
 race:
-	$(GO) test -race -timeout 20m ./internal/object/... ./internal/sketch/ ./internal/pex/... ./internal/node/... ./internal/fault/... ./internal/exp/...
+	$(GO) test -race -timeout 20m ./internal/object/... ./internal/sketch/ ./internal/pex/... ./internal/node/... ./internal/fault/... ./internal/tq/... ./internal/exp/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Record the substrate + experiment benchmarks as JSON for cross-PR
-# comparison (BENCH_PR9.json is the baseline this PR ships). The root
-# E1-E29 suite is excluded: it takes minutes and its tables live in
+# comparison (BENCH_PR10.json is the baseline this PR ships). The root
+# E1-E30 suite is excluded: it takes minutes and its tables live in
 # EXPERIMENTS.md already.
 bench-record:
-	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -out BENCH_PR9.json
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -out BENCH_PR10.json
 
 # Diff fresh benchmark numbers against the checked-in baseline; fails on
 # any benchmark whose ns/op regressed more than 20% or whose allocs/op
@@ -46,14 +46,14 @@ bench-record:
 # benchmark that did not run at all also fails (benchrecord
 # -allow-missing overrides when a deletion is deliberate).
 bench-check:
-	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -compare BENCH_PR9.json
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -compare BENCH_PR10.json
 
 # The tier-1 flavor of bench-check: the ns/op tolerance is opened to
 # 100% so a loaded CI host cannot flake verify, while the two
 # deterministic regressions it exists to catch still fail hard —
 # allocation growth, and baseline benchmarks that silently stop running.
 verify-bench:
-	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -compare BENCH_PR9.json -tolerance 1.0
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/... | $(GO) run ./cmd/benchrecord -compare BENCH_PR10.json -tolerance 1.0
 
 # Regenerate every table in EXPERIMENTS.md (several minutes).
 experiments:
@@ -76,6 +76,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzStackConfigCodec -fuzztime=10s ./internal/node/
 	$(GO) test -fuzz=FuzzViewRecord -fuzztime=10s ./internal/pex/
 	$(GO) test -fuzz=FuzzPoisonClause -fuzztime=10s ./internal/fault/
+	$(GO) test -fuzz=FuzzTQWire -fuzztime=10s ./internal/tq/
 
 fmt:
 	gofmt -w .

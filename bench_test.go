@@ -28,6 +28,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/tq"
 )
 
 func BenchmarkE1StaticFlood(b *testing.B) {
@@ -714,6 +715,52 @@ func BenchmarkE29JudgedScale(b *testing.B) {
 		if res.Outcome.StableCount == 0 {
 			b.Fatal("the streaming checker judged nobody stable")
 		}
+	}
+}
+
+func BenchmarkE30TimedQuorum(b *testing.B) {
+	// One representative E30 cell: the timed-quorum register over live
+	// pex views under rejoining churn and 5% loss, judged by its
+	// streaming regularity checker. The cost profile is dominated by the
+	// walk traffic (sqrt(N) quorums, one walker per slot).
+	for i := 0; i < b.N; i++ {
+		cl := tq.NewClient(tq.Config{QuorumCoeff: 1.6, WalkTTL: 4,
+			Walkers: 13, MaxLease: 64, Seed: uint64(i + 1)})
+		sc := tq.NewStreamChecker()
+		res := exp.Execute(exp.Scenario{
+			Seed:    uint64(i + 1),
+			Overlay: func(uint64) topology.Overlay { return topology.NewManual() },
+			Churn: churn.Config{InitialPopulation: 64, Immortal: true,
+				ArrivalRate: 0.02 * 64, Session: churn.ExpSessions(40),
+				RejoinProb: 0.3, Downtime: churn.FixedSessions(8)},
+			MinLatency: 1, MaxLatency: 2,
+			LossRate: 0.05,
+			Pex:      pex.Config{Enabled: true, SampleEvery: 600},
+			Factory:  cl.Factory(),
+			Script: func(w *node.World, e *sim.Engine) {
+				w.Trace.Stream(sc.Observe)
+				e.At(1, func() { w.PexSeedViews(topology.BuildRing(64)) })
+				e.At(120, func() {
+					writer := w.Present()[0]
+					cl.Bootstrap(w, 0)
+					cl.Attach(w)
+					val := 0.0
+					e.Every(16, func() { val++; cl.Write(w, writer, val) })
+					turn := 0
+					e.Every(7, func() {
+						present := w.Present()
+						cl.Read(w, present[turn%len(present)])
+						turn++
+					})
+				})
+			},
+			Horizon: 600,
+		})
+		rep := sc.Finish()
+		if rep.Stale+rep.Fabricated > 0 {
+			b.Fatalf("tq served silent violations: %+v", rep)
+		}
+		_ = res
 	}
 }
 

@@ -17,6 +17,9 @@
 //	ddsim -n 64 -protocol echo-wave -pex -auth -poison 'nodes=4+9,rate=1,sybils=3,base=1000@24-'
 //	ddsim -n 10000 -protocol none -pex -lite-trace -arrival 1 -horizon 240
 //	ddsim -n 10000 -protocol flood-ttl -ttl 10 -pex -stream-check -lite-trace -query-at 120 -horizon 240
+//	ddsim -n 64 -protocol none -pex -tq -tq-coeff 1.6 -tq-ttl 4 -arrival 1.3 -session 40 -horizon 600
+//	ddsim -n 1024 -protocol none -pex -tq -tq-coeff 1.6 -tq-ttl 4 -lite-trace -arrival 20 -session 40 -horizon 600
+//	ddsim -n 48 -protocol none -dynreg -write-window 96 -arrival 0.5 -session 60 -horizon 600
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/churn"
 	"repro/internal/core"
+	"repro/internal/dynreg"
 	"repro/internal/exp"
 	"repro/internal/fault"
 	"repro/internal/node"
@@ -35,6 +39,7 @@ import (
 	"repro/internal/pex"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/tq"
 )
 
 func main() {
@@ -70,6 +75,16 @@ func main() {
 		poisonSpec  = flag.String("poison", "", "poison clause body appended to -faults, e.g. 'nodes=4+9,rate=1,sybils=3,base=1000@24-' (requires -pex; see internal/fault)")
 		liteTrace   = flag.Bool("lite-trace", false, "count-only trace retention: exact message/concurrency counters, no stored events (requires -protocol none or -stream-check; keeps 100k-entity runs in memory)")
 		streamCheck = flag.Bool("stream-check", false, "judge the query with the streaming OTQ checker (verdict bit-identical to the batch checker; composes with -lite-trace so judged runs need no stored trace)")
+		tqOn        = flag.Bool("tq", false, "drive the timed-quorum replicated register workload, judged by its streaming regularity checker (requires -protocol none; pair with -pex for the dynamic-overlay setting; composes with -lite-trace)")
+		dynOn       = flag.Bool("dynreg", false, "drive the epidemic replicated register workload, judged by its batch regularity checker (requires -protocol none; the batch checker reads stored events, so -lite-trace is rejected)")
+		tqCoeff     = flag.Float64("tq-coeff", 0, "tq quorum coefficient: q = ceil(coeff*sqrt(N)) (0 = default 1.0)")
+		tqTTL       = flag.Int("tq-ttl", 0, "tq walk hop budget (0 = default 8; keep small over -pex — walk return paths decay as views rotate)")
+		tqLease     = flag.Int64("tq-lease", 0, "fix the tq attempt/value lease outright (0 = size from measured churn)")
+		spread      = flag.Int64("spread", 0, "dynreg anti-entropy period (0 = default 4)")
+		writeWindow = flag.Int64("write-window", 0, "dynreg write completion window (0 = default 40)")
+		writeEvery  = flag.Int64("write-every", 16, "register workloads: write period of the single immortal writer")
+		readEvery   = flag.Int64("read-every", 7, "register workloads: read period (reads rotate over present members)")
+		opsAt       = flag.Int64("ops-at", 0, "register workloads: first-operation tick (0 = horizon/5)")
 	)
 	flag.Parse()
 
@@ -109,6 +124,42 @@ func main() {
 	} else if *liteTrace && !*streamCheck {
 		fmt.Fprintln(os.Stderr, "ddsim: -lite-trace discards the events the batch OTQ checker reads; add -stream-check or use -protocol none")
 		os.Exit(2)
+	}
+
+	var tqc *tq.Client
+	var tqsc *tq.StreamChecker
+	var reg *dynreg.Register
+	if *tqOn || *dynOn {
+		switch {
+		case *tqOn && *dynOn:
+			fmt.Fprintln(os.Stderr, "ddsim: -tq and -dynreg are mutually exclusive — one world hosts one register")
+			os.Exit(2)
+		case proto != nil:
+			fmt.Fprintln(os.Stderr, "ddsim: the register workloads replace the query; run with -protocol none")
+			os.Exit(2)
+		case *dynOn && *liteTrace:
+			fmt.Fprintln(os.Stderr, "ddsim: -dynreg is judged by a batch trace scan, which -lite-trace discards; drop -lite-trace or use -tq (streaming checker)")
+			os.Exit(2)
+		case *writeEvery < 1 || *readEvery < 1:
+			fmt.Fprintln(os.Stderr, "ddsim: -write-every and -read-every must be positive")
+			os.Exit(2)
+		}
+		if *tqOn {
+			tcfg := tq.Config{QuorumCoeff: *tqCoeff, WalkTTL: *tqTTL,
+				Lease: sim.Time(*tqLease), Seed: *seed}
+			if err := tcfg.Validate(); err != nil {
+				fmt.Fprintln(os.Stderr, "ddsim:", err)
+				os.Exit(2)
+			}
+			tqc = tq.NewClient(tcfg)
+			tqsc = tq.NewStreamChecker()
+		} else {
+			reg = &dynreg.Register{SpreadInterval: sim.Time(*spread), WriteWindow: sim.Time(*writeWindow)}
+			if err := reg.Validate(); err != nil {
+				fmt.Fprintln(os.Stderr, "ddsim:", err)
+				os.Exit(2)
+			}
+		}
 	}
 
 	var plan *fault.Plan
@@ -190,7 +241,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ddsim:", err)
 		os.Exit(2)
 	}
-	res := exp.Execute(exp.Scenario{
+	scen := exp.Scenario{
 		Seed:        *seed,
 		Overlay:     overlay,
 		Churn:       cc,
@@ -209,7 +260,57 @@ func main() {
 		BridgeRejoins:    *bridgeRe,
 		QueryAt:          sim.Time(*queryAt),
 		Horizon:          sim.Time(*horizon),
-	})
+	}
+	regWrites, regReads := 0, 0
+	if tqc != nil || reg != nil {
+		start := sim.Time(*opsAt)
+		if start <= 0 {
+			start = sim.Time(*horizon / 5)
+		}
+		if tqc != nil {
+			scen.Factory = tqc.Factory()
+		} else {
+			scen.Factory = reg.Factory()
+		}
+		wEvery, rEvery := sim.Time(*writeEvery), sim.Time(*readEvery)
+		scen.Script = func(w *node.World, e *sim.Engine) {
+			if tqsc != nil {
+				w.Trace.Stream(tqsc.Observe)
+			}
+			e.At(start, func() {
+				writer := w.Present()[0] // immortal founding member
+				if tqc != nil {
+					tqc.Bootstrap(w, 0)
+					tqc.Attach(w)
+				} else {
+					reg.Bootstrap(w, 0)
+				}
+				val := 0.0
+				e.Every(wEvery, func() {
+					val++
+					regWrites++
+					if tqc != nil {
+						tqc.Write(w, writer, val)
+					} else {
+						reg.Write(w, writer, val)
+					}
+				})
+				turn := 0
+				e.Every(rEvery, func() {
+					present := w.Present()
+					id := present[turn%len(present)]
+					turn++
+					regReads++
+					if tqc != nil {
+						tqc.Read(w, id)
+					} else {
+						reg.Read(w, id)
+					}
+				})
+			})
+		}
+	}
+	res := exp.Execute(scen)
 	if plan != nil {
 		fmt.Printf("faults: %s (%s)\n", plan.Summary(), plan)
 	}
@@ -280,6 +381,40 @@ func main() {
 		fmt.Printf("identity continuity: saved %d, restored %d, session resets %d, laundered %d quarantines + %d convictions\n",
 			res.Identity.Saves, res.Identity.Restores, res.Identity.SessionResets,
 			res.Identity.QuarantinesLaundered, res.Identity.ConvictionsLaundered)
+	}
+	if tqc != nil {
+		rep := tqsc.Finish()
+		cn := tqc.Counters()
+		fmt.Printf("tq register: writes %d (quorum %d, soft %d, unfinished %d), reads %d issued, retries %d\n",
+			regWrites, rep.WriteQuorums, rep.WriteSofts, rep.UnfinishedWrites, regReads, rep.Retries)
+		fmt.Printf("tq reads: value %d (flagged soft %d, lease-expired %d), no-value %d, unfinished %d; mean rlat %.1f, wlat %.1f\n",
+			rep.Reads, rep.Soft, rep.Expired, rep.NoValue, rep.Unfinished,
+			rep.MeanReadLatency(), rep.MeanWriteLatency())
+		fmt.Printf("tq lease: effective %d ticks (measured churn %.4f per member per tick)\n",
+			tqc.EffectiveLease(), tqc.MeasuredRate())
+		fmt.Printf("tq walks: launched %d, probe deliveries %d, forwards %d, responses consumed %d (late %d)\n",
+			cn.Walks, cn.Probes, cn.Forwards, cn.Responses, cn.LateResponses)
+		fmt.Printf("tq regularity (streaming): stale %d, fabricated %d (violation rate %.3f, max lag %d)\n",
+			rep.Stale, rep.Fabricated, rep.ViolationRate(), rep.MaxLag)
+		if rep.OK() {
+			fmt.Println("verdict: every value-returning read was regular — degradation stayed flagged (soft), never silent")
+		} else {
+			fmt.Println("verdict: the register served silently wrong answers on this run")
+		}
+		return
+	}
+	if reg != nil {
+		rep := dynreg.Check(res.Trace)
+		fmt.Printf("dynreg register: writes %d issued, reads served %d, refused %d (join incomplete)\n",
+			regWrites, rep.Reads, rep.NotServed)
+		fmt.Printf("dynreg regularity: stale %d, fabricated %d (stale rate %.3f, max lag %d)\n",
+			rep.Stale, rep.Fabricated, rep.StaleRate(), rep.MaxLag)
+		if rep.OK() {
+			fmt.Println("verdict: every served read was regular on this run")
+		} else {
+			fmt.Println("verdict: the register served silently stale or fabricated answers on this run")
+		}
+		return
 	}
 	if proto == nil {
 		// No query ran: there is no judgment to print, and the inferred

@@ -1,4 +1,4 @@
-// Command otqbench runs the experiment suite (E1-E29) that reproduces the
+// Command otqbench runs the experiment suite (E1-E30) that reproduces the
 // paper's claims and prints the result tables recorded in EXPERIMENTS.md.
 //
 // Usage:

@@ -84,6 +84,28 @@ func (r *Register) maxTicks() int {
 	return 100000
 }
 
+// Validate reports the first configuration error, or nil. Zero fields
+// are valid (they mean the defaults, which the error messages quote);
+// negative values would silently fall back to the defaults inside the
+// private getters, so they are rejected here instead — drivers
+// assembling configs from user input (cmd/ddsim -dynreg) call Validate
+// for a graceful message, matching every other protocol config.
+func (r *Register) Validate() error {
+	if r.SpreadInterval < 0 {
+		return fmt.Errorf("dynreg: SpreadInterval %d must be non-negative (0 = default %d)", r.SpreadInterval, (&Register{}).spreadInterval())
+	}
+	if r.WriteWindow < 0 {
+		return fmt.Errorf("dynreg: WriteWindow %d must be non-negative (0 = default %d)", r.WriteWindow, (&Register{}).writeWindow())
+	}
+	if r.WriteWindow > 0 && r.WriteWindow < r.spreadInterval() {
+		return fmt.Errorf("dynreg: WriteWindow %d below the spread interval %d — no dissemination round fits the write", r.WriteWindow, r.spreadInterval())
+	}
+	if r.MaxTicks < 0 {
+		return fmt.Errorf("dynreg: MaxTicks %d must be non-negative (0 = default %d)", r.MaxTicks, (&Register{}).maxTicks())
+	}
+	return nil
+}
+
 // regBehavior is one member's replica.
 type regBehavior struct {
 	proto  *Register

@@ -1,6 +1,7 @@
 package dynreg
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/churn"
@@ -199,4 +200,42 @@ func TestWritePanicsOnAbsentWriter(t *testing.T) {
 		}
 	}()
 	reg.Write(w, 99, 1)
+}
+
+// TestConfigBoundaries probes each Register knob just inside and just
+// outside its valid range, matching the node/config_test.go convention:
+// zero fields mean the defaults and always validate.
+func TestConfigBoundaries(t *testing.T) {
+	cases := []struct {
+		name    string
+		reg     Register
+		wantErr string // "" = must validate
+	}{
+		{"zero value", Register{}, ""},
+		{"spread at floor", Register{SpreadInterval: 1}, ""},
+		{"spread negative", Register{SpreadInterval: -1}, "SpreadInterval"},
+		{"window at default spread", Register{WriteWindow: 4}, ""},
+		{"window below default spread", Register{WriteWindow: 3}, "WriteWindow"},
+		{"window at explicit spread", Register{SpreadInterval: 10, WriteWindow: 10}, ""},
+		{"window below explicit spread", Register{SpreadInterval: 10, WriteWindow: 9}, "WriteWindow"},
+		{"window negative", Register{WriteWindow: -1}, "WriteWindow"},
+		{"max ticks at floor", Register{MaxTicks: 1}, ""},
+		{"max ticks negative", Register{MaxTicks: -1}, "MaxTicks"},
+	}
+	for _, tc := range cases {
+		err := tc.reg.Validate()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: validated, want error mentioning %q", tc.name, tc.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
 }

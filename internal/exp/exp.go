@@ -5,7 +5,7 @@
 //
 // The paper is a position paper with no numbered tables or figures; each
 // experiment here operationalizes one of its qualitative claims (C1-C6 in
-// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E29 are
+// DESIGN.md) so the claim becomes measurable. Experiment IDs E1-E30 are
 // ours and are indexed in DESIGN.md.
 package exp
 
@@ -40,6 +40,11 @@ type Scenario struct {
 	// throughput studies at populations where a judged query would not
 	// fit (the Outcome, Run and Inferred fields stay zero).
 	Protocol func() otq.Protocol
+	// Factory, for protocol-less scenarios, runs this behavior on every
+	// entity instead of Nop — register families (internal/tq,
+	// internal/dynreg) and other non-OTQ protocols ride the world
+	// through it, driven from Script. Mutually exclusive with Protocol.
+	Factory node.BehaviorFactory
 	// LiteTrace switches the trace to count-only retention (see
 	// core.Trace.SetCountOnly): message and concurrency counters stay
 	// exact but individual events are discarded, keeping 100k-entity
@@ -137,10 +142,16 @@ func Execute(sc Scenario) RunResult {
 	var proto otq.Protocol
 	var factory node.BehaviorFactory
 	if sc.Protocol != nil {
+		if sc.Factory != nil {
+			panic("exp: Protocol and Factory are mutually exclusive")
+		}
 		proto = sc.Protocol()
 		factory = proto.Factory()
-	} else if sc.QueryAt > 0 {
-		panic("exp: QueryAt set on a protocol-less scenario")
+	} else {
+		if sc.QueryAt > 0 {
+			panic("exp: QueryAt set on a protocol-less scenario")
+		}
+		factory = sc.Factory
 	}
 	if sc.StreamCheck && proto == nil {
 		panic("exp: StreamCheck without a Protocol has nothing to judge")
@@ -331,5 +342,6 @@ func All() []Experiment {
 		{"E27", "view poisoning: partial-view membership with and without the view audit", E27},
 		{"E28", "engine scale: 1k-100k entity worlds with live membership and churn", E28},
 		{"E29", "judged scale: streaming OTQ verdicts over live full worlds", E29},
+		{"E30", "timed quorums: graceful register degradation over pex", E30},
 	}
 }

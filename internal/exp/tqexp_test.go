@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/pex"
+)
+
+// TestE30CellDeterministic replays one cell per arm with an identical
+// seed; the full metrics structs must match bit-for-bit (the acceptance
+// bar: the headline curve is reproducible, not a lucky draw).
+func TestE30CellDeterministic(t *testing.T) {
+	for _, arm := range []string{e30TQ, e30Dyn, e30Ring} {
+		cell := e30Cell{n: 32, rate: 0.02, arm: arm, pol: pex.PolicyPushPull,
+			seeds: 1, horizon: 200}
+		a := e30Run(5, cell)
+		b := e30Run(5, cell)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s replays differ:\n%+v\n%+v", arm, a, b)
+		}
+	}
+}
+
+// TestE30HonestDegradation pins the headline contrast on one fixed cell:
+// churn heavy enough that the ring-window register serves silent stales
+// must leave the timed-quorum register with zero silent violations — its
+// pressure shows up as flagged soft serves and retries instead.
+func TestE30HonestDegradation(t *testing.T) {
+	tqm := e30Run(1, e30Cell{n: 48, rate: 0.04, arm: e30TQ,
+		pol: pex.PolicyPushPull, seeds: 1, horizon: 300})
+	rg := e30Run(1, e30Cell{n: 48, rate: 0.04, arm: e30Ring,
+		pol: pex.PolicyPushPull, seeds: 1, horizon: 300})
+	if tqm.viol != 0 {
+		t.Fatalf("tq served silent violations under churn: %+v", tqm)
+	}
+	if rg.viol == 0 {
+		t.Fatalf("fixture too lenient: the ring arm stayed regular under churn: %+v", rg)
+	}
+	if tqm.soft == 0 && tqm.refused == 0 {
+		t.Fatalf("tq shows no degradation at all at this churn — the graceful mode is untested: %+v", tqm)
+	}
+	if tqm.retries == 0 {
+		t.Fatalf("tq never retried under churn: %+v", tqm)
+	}
+}
+
+// TestE30ChurnFreeBaselinesClean: with no churn both pex arms must be
+// fully clean — the curve's origin isolates churn as the moving variable.
+// (The ring arm is exempt: 5% loss alone defeats its static window, which
+// is part of E30's finding.)
+func TestE30ChurnFreeBaselinesClean(t *testing.T) {
+	for _, arm := range []string{e30TQ, e30Dyn} {
+		m := e30Run(2, e30Cell{n: 48, rate: 0, arm: arm,
+			pol: pex.PolicyPushPull, seeds: 1, horizon: 300})
+		if m.viol != 0 || m.soft != 0 || m.refused != 0 {
+			t.Fatalf("%s not clean on the churn-free world: %+v", arm, m)
+		}
+		if m.attempts == 0 {
+			t.Fatalf("%s served no reads at all: %+v", arm, m)
+		}
+	}
+}
+
+func TestE30QuickReport(t *testing.T) {
+	if raceDetectorOn {
+		t.Skip("duplicates TestAllExperimentsRun/E30 under the race detector")
+	}
+	rep := E30(quick)
+	out := rep.String()
+	for _, want := range []string{"E30", "tq", "dynreg/ring", "pushpull",
+		"tail", "streaming regularity checker", "msgs/op"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -282,8 +282,14 @@ type World struct {
 	// rejoin from a first arrival; identStats, departed, departedSet and
 	// departedPinned are the identity-continuity bookkeeping (see
 	// identity.go).
-	seen           map[graph.NodeID]bool
-	identStats     IdentityCounters
+	seen       map[graph.NodeID]bool
+	identStats IdentityCounters
+	// turnJoins / turnLeaves count every membership arrival (Join,
+	// Recover) and departure (Leave, Crash) since the world was built.
+	// Protocols that size time bounds from churn (internal/tq's lease)
+	// sample the deltas; see Turnover.
+	turnJoins      int
+	turnLeaves     int
 	departed       []graph.NodeID
 	departedSet    map[graph.NodeID]bool
 	departedPinned map[graph.NodeID]bool
@@ -363,6 +369,12 @@ func (w *World) Proc(id graph.NodeID) *Proc { return w.procs[id] }
 // Present returns the IDs of currently present entities, ascending.
 func (w *World) Present() []graph.NodeID { return w.Overlay.Graph().Nodes() }
 
+// Turnover returns the cumulative membership turnover since the world
+// was built: joins counts arrivals (Join + Recover), leaves counts
+// departures (Leave + Crash). Both are monotone; samplers take deltas
+// (internal/tq's churn-sized lease estimator does).
+func (w *World) Turnover() (joins, leaves int) { return w.turnJoins, w.turnLeaves }
+
 // Join brings an entity into the system now: overlay attachment, trace
 // recording, behaviour start. Joining a present entity panics.
 //
@@ -380,6 +392,7 @@ func (w *World) Join(id graph.NodeID) *Proc {
 		panic(fmt.Sprintf("node: entity %d joined twice", id))
 	}
 	now := int64(w.Engine.Now())
+	w.turnJoins++
 	rejoin := w.seen[id]
 	w.seen[id] = true
 	if rejoin {
@@ -428,6 +441,7 @@ func (w *World) Leave(id graph.NodeID) {
 	if !ok {
 		return
 	}
+	w.turnLeaves++
 	now := int64(w.Engine.Now())
 	// Resolve the departing entity's durability under ITS current epoch
 	// before the handshake session state is torn down.
@@ -490,6 +504,7 @@ func (w *World) Crash(id graph.NodeID) {
 	if !ok {
 		return
 	}
+	w.turnLeaves++
 	snap := durableSnapshot{}
 	if rec, ok := p.behavior.(Recoverable); ok {
 		snap.behavior, snap.hasBehavior = rec.Snapshot(), true
@@ -539,6 +554,7 @@ func (w *World) Recover(id graph.NodeID) *Proc {
 		panic(fmt.Sprintf("node: entity %d recovered while present", id))
 	}
 	now := int64(w.Engine.Now())
+	w.turnJoins++
 	w.seen[id] = true
 	w.Trace.Mark(now, id, core.MarkRecover)
 	w.Trace.Join(now, id)

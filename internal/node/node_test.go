@@ -52,6 +52,36 @@ func TestJoinLeaveBookkeeping(t *testing.T) {
 	}
 }
 
+func TestTurnoverCounters(t *testing.T) {
+	w, e := meshWorld(nil, Config{})
+	if j, l := w.Turnover(); j != 0 || l != 0 {
+		t.Fatalf("fresh world turnover = %d, %d", j, l)
+	}
+	w.Join(1)
+	w.Join(2)
+	w.Join(3)
+	if j, l := w.Turnover(); j != 3 || l != 0 {
+		t.Fatalf("after 3 joins: %d, %d", j, l)
+	}
+	w.Leave(2)
+	w.Leave(2) // no-op double leave must not count
+	w.Crash(3)
+	if j, l := w.Turnover(); j != 3 || l != 2 {
+		t.Fatalf("after leave+crash: %d, %d", j, l)
+	}
+	e.RunUntil(5)
+	w.Recover(3)
+	w.Join(2) // rejoin counts as an arrival again
+	if j, l := w.Turnover(); j != 5 || l != 2 {
+		t.Fatalf("after recover+rejoin: %d, %d", j, l)
+	}
+	// Counters are monotone: nothing decrements them.
+	w.Leave(1)
+	if j, l := w.Turnover(); j != 5 || l != 3 {
+		t.Fatalf("final: %d, %d", j, l)
+	}
+}
+
 func TestDoubleJoinPanics(t *testing.T) {
 	w, _ := meshWorld(nil, Config{})
 	w.Join(1)

@@ -1,0 +1,213 @@
+package tq
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Probe/response kinds. A probe's kind decides what the contact does at
+// each replica it visits: a write probe pushes (tag, val, deadline) and
+// the replica adopts-if-newer; a read probe only snapshots the replica's
+// current value.
+const (
+	KindRead  = byte(0)
+	KindWrite = byte(1)
+)
+
+// Wire-format limits. Honest walk paths hold at most WalkTTL+1 entries,
+// far under MaxWirePath; the codec rejects anything past it so an
+// adversarial payload cannot make receivers allocate unboundedly.
+const (
+	MaxWirePath = 64
+
+	probeWireVersion = 1
+	respWireVersion  = 1
+
+	// version + kind + attempt + ttl + op + tag + val + deadline + pathlen
+	probeWireHeader = 4 + 8 + 8 + 8 + 8 + 1
+	// version + kind + attempt + has + op + replica + tag + val + deadline + pathlen
+	respWireHeader = 4 + 8 + 8 + 8 + 8 + 8 + 1
+)
+
+// Probe is one hop of a quorum walk: operation identity (Op, Kind,
+// Attempt), remaining budget (TTL), the value being pushed for writes
+// (Tag, Val, Deadline — zero for reads), and the path walked so far.
+// Path[0] is the initiator; responses unwind along it hop by hop, so a
+// probe is routable home even though intermediate links are only known
+// pairwise.
+type Probe struct {
+	Op       uint64
+	Kind     byte
+	Attempt  int
+	TTL      int
+	Tag      uint64
+	Val      float64
+	Deadline int64
+	Path     []graph.NodeID
+}
+
+// Resp is one replica's answer to a probe, travelling the recorded path
+// in reverse. Has reports whether the replica held a value at contact
+// time (inactive joiners answer Has=false and do not count toward read
+// quorums); Replica identifies the answering member for initiator-side
+// deduplication across overlapping walks.
+type Resp struct {
+	Op       uint64
+	Kind     byte
+	Attempt  int
+	Has      bool
+	Replica  graph.NodeID
+	Tag      uint64
+	Val      float64
+	Deadline int64
+	Path     []graph.NodeID
+}
+
+func clampByte(v int) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+// EncodeProbe renders a probe in its canonical wire form: fixed-width
+// little-endian fields, then the path as uint64 entries. It panics on
+// paths over MaxWirePath — honest walks are TTL-bounded far below it.
+func EncodeProbe(p Probe) []byte {
+	if len(p.Path) > MaxWirePath {
+		panic(fmt.Sprintf("tq: encoding a %d-hop path exceeds the wire cap %d", len(p.Path), MaxWirePath))
+	}
+	b := make([]byte, probeWireHeader+8*len(p.Path))
+	b[0] = probeWireVersion
+	b[1] = p.Kind
+	b[2] = clampByte(p.Attempt)
+	b[3] = clampByte(p.TTL)
+	binary.LittleEndian.PutUint64(b[4:], p.Op)
+	binary.LittleEndian.PutUint64(b[12:], p.Tag)
+	binary.LittleEndian.PutUint64(b[20:], math.Float64bits(p.Val))
+	binary.LittleEndian.PutUint64(b[28:], uint64(p.Deadline))
+	b[36] = byte(len(p.Path))
+	off := probeWireHeader
+	for _, id := range p.Path {
+		binary.LittleEndian.PutUint64(b[off:], uint64(id))
+		off += 8
+	}
+	return b
+}
+
+// DecodeProbe parses a wire probe, rejecting version/kind/length
+// mismatches. It never panics on adversarial input (FuzzTQWire holds it
+// to that), and EncodeProbe(DecodeProbe(b)) == b for every accepted b.
+func DecodeProbe(b []byte) (Probe, error) {
+	if len(b) < probeWireHeader {
+		return Probe{}, fmt.Errorf("tq: probe truncated at %d bytes", len(b))
+	}
+	if b[0] != probeWireVersion {
+		return Probe{}, fmt.Errorf("tq: unknown probe wire version %d", b[0])
+	}
+	if b[1] != KindRead && b[1] != KindWrite {
+		return Probe{}, fmt.Errorf("tq: unknown probe kind %d", b[1])
+	}
+	n := int(b[36])
+	if n > MaxWirePath {
+		return Probe{}, fmt.Errorf("tq: probe path of %d exceeds the wire cap %d", n, MaxWirePath)
+	}
+	if len(b) != probeWireHeader+8*n {
+		return Probe{}, fmt.Errorf("tq: probe with %d path entries is %d bytes, want %d", n, len(b), probeWireHeader+8*n)
+	}
+	p := Probe{
+		Op:       binary.LittleEndian.Uint64(b[4:]),
+		Kind:     b[1],
+		Attempt:  int(b[2]),
+		TTL:      int(b[3]),
+		Tag:      binary.LittleEndian.Uint64(b[12:]),
+		Val:      math.Float64frombits(binary.LittleEndian.Uint64(b[20:])),
+		Deadline: int64(binary.LittleEndian.Uint64(b[28:])),
+	}
+	if n > 0 {
+		p.Path = make([]graph.NodeID, n)
+		off := probeWireHeader
+		for i := range p.Path {
+			p.Path[i] = graph.NodeID(binary.LittleEndian.Uint64(b[off:]))
+			off += 8
+		}
+	}
+	return p, nil
+}
+
+// EncodeResp renders a response in its canonical wire form. It panics on
+// paths over MaxWirePath, like EncodeProbe.
+func EncodeResp(r Resp) []byte {
+	if len(r.Path) > MaxWirePath {
+		panic(fmt.Sprintf("tq: encoding a %d-hop path exceeds the wire cap %d", len(r.Path), MaxWirePath))
+	}
+	b := make([]byte, respWireHeader+8*len(r.Path))
+	b[0] = respWireVersion
+	b[1] = r.Kind
+	b[2] = clampByte(r.Attempt)
+	if r.Has {
+		b[3] = 1
+	}
+	binary.LittleEndian.PutUint64(b[4:], r.Op)
+	binary.LittleEndian.PutUint64(b[12:], uint64(r.Replica))
+	binary.LittleEndian.PutUint64(b[20:], r.Tag)
+	binary.LittleEndian.PutUint64(b[28:], math.Float64bits(r.Val))
+	binary.LittleEndian.PutUint64(b[36:], uint64(r.Deadline))
+	b[44] = byte(len(r.Path))
+	off := respWireHeader
+	for _, id := range r.Path {
+		binary.LittleEndian.PutUint64(b[off:], uint64(id))
+		off += 8
+	}
+	return b
+}
+
+// DecodeResp parses a wire response with the same guarantees as
+// DecodeProbe: no panics on adversarial input, canonical round-trip for
+// every accepted input.
+func DecodeResp(b []byte) (Resp, error) {
+	if len(b) < respWireHeader {
+		return Resp{}, fmt.Errorf("tq: resp truncated at %d bytes", len(b))
+	}
+	if b[0] != respWireVersion {
+		return Resp{}, fmt.Errorf("tq: unknown resp wire version %d", b[0])
+	}
+	if b[1] != KindRead && b[1] != KindWrite {
+		return Resp{}, fmt.Errorf("tq: unknown resp kind %d", b[1])
+	}
+	if b[3] > 1 {
+		return Resp{}, fmt.Errorf("tq: non-canonical resp has byte %d", b[3])
+	}
+	n := int(b[44])
+	if n > MaxWirePath {
+		return Resp{}, fmt.Errorf("tq: resp path of %d exceeds the wire cap %d", n, MaxWirePath)
+	}
+	if len(b) != respWireHeader+8*n {
+		return Resp{}, fmt.Errorf("tq: resp with %d path entries is %d bytes, want %d", n, len(b), respWireHeader+8*n)
+	}
+	r := Resp{
+		Op:       binary.LittleEndian.Uint64(b[4:]),
+		Kind:     b[1],
+		Attempt:  int(b[2]),
+		Has:      b[3] == 1,
+		Replica:  graph.NodeID(binary.LittleEndian.Uint64(b[12:])),
+		Tag:      binary.LittleEndian.Uint64(b[20:]),
+		Val:      math.Float64frombits(binary.LittleEndian.Uint64(b[28:])),
+		Deadline: int64(binary.LittleEndian.Uint64(b[36:])),
+	}
+	if n > 0 {
+		r.Path = make([]graph.NodeID, n)
+		off := respWireHeader
+		for i := range r.Path {
+			r.Path[i] = graph.NodeID(binary.LittleEndian.Uint64(b[off:]))
+			off += 8
+		}
+	}
+	return r, nil
+}
